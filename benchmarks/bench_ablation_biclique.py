@@ -1,0 +1,23 @@
+"""Ablation: biclique-mining knobs vs compression and cost."""
+
+import pytest
+from conftest import run_and_check
+
+from repro.bigraph import induced_bigraph, mine_bicliques
+from repro.datasets import load_dataset
+
+
+def test_ablation_biclique_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "abl-biclique")
+
+
+@pytest.mark.parametrize("cap", [8, 64])
+def test_mining_timing_by_seeding_cap(benchmark, cap):
+    bigraph = induced_bigraph(load_dataset("web-google").graph)
+    benchmark.pedantic(
+        mine_bicliques,
+        args=(bigraph,),
+        kwargs={"max_set_size_for_seeding": cap},
+        rounds=2,
+        iterations=1,
+    )

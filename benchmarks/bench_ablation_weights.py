@@ -1,0 +1,35 @@
+"""Ablation: length-weight schemes (geometric / exponential / harmonic)."""
+
+import pytest
+from conftest import run_and_check
+
+from repro.core import (
+    ExponentialWeights,
+    GeometricWeights,
+    HarmonicWeights,
+    simrank_star_series,
+)
+from repro.datasets import load_dataset
+
+SCHEMES = {
+    "geometric": GeometricWeights,
+    "exponential": ExponentialWeights,
+    "harmonic": HarmonicWeights,
+}
+
+
+def test_ablation_weights_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "abl-weights")
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+def test_series_timing_by_scheme(benchmark, name):
+    graph = load_dataset("d05").graph
+    weights = SCHEMES[name](0.8)
+    benchmark.pedantic(
+        simrank_star_series,
+        args=(graph, 0.8, 10),
+        kwargs={"weights": weights},
+        rounds=3,
+        iterations=1,
+    )

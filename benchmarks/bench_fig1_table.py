@@ -1,0 +1,15 @@
+"""Figure 1: the motivating similarity table (exact reproduction)."""
+
+from conftest import run_and_check
+
+from repro.core import simrank_star
+from repro.graph import figure1_citation_graph
+
+
+def test_fig1_reproduces_paper_table(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig1")
+
+
+def test_fig1_simrank_star_timing(benchmark):
+    graph = figure1_citation_graph()
+    benchmark(simrank_star, graph, 0.8, 50)

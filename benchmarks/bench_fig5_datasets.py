@@ -1,0 +1,16 @@
+"""Figure 5: dataset roster and generation cost."""
+
+from conftest import run_and_check
+
+from repro.datasets import citation_network
+
+
+def test_fig5_reproduces_paper_table(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig5")
+
+
+def test_fig5_citation_generator_timing(benchmark):
+    benchmark.pedantic(
+        citation_network, args=(600,), kwargs={"avg_out_degree": 8.0},
+        rounds=3, iterations=1,
+    )

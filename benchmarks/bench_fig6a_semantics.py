@@ -1,0 +1,17 @@
+"""Figure 6(a): semantic effectiveness of the five measures."""
+
+from conftest import run_and_check
+
+from repro.core import simrank_star
+from repro.datasets import load_dataset
+
+
+def test_fig6a_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6a")
+
+
+def test_fig6a_gsr_star_all_pairs_timing(benchmark):
+    graph = load_dataset("dblp").graph
+    benchmark.pedantic(
+        simrank_star, args=(graph, 0.6, 10), rounds=3, iterations=1
+    )

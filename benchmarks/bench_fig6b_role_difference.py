@@ -1,0 +1,22 @@
+"""Figure 6(b): role difference of top-ranked node-pairs."""
+
+from conftest import run_and_check
+
+from repro.analysis import top_pair_attribute_difference
+from repro.core import simrank_star
+from repro.datasets import load_dataset
+
+
+def test_fig6b_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6b")
+
+
+def test_fig6b_top_pair_analysis_timing(benchmark):
+    ds = load_dataset("dblp")
+    scores = simrank_star(ds.graph, 0.6, 10)
+    benchmark.pedantic(
+        top_pair_attribute_difference,
+        args=(scores, ds.node_attribute),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,23 @@
+"""Figure 6(c): within/cross role-decile average similarity."""
+
+from conftest import run_and_check
+
+from repro.analysis import grouped_similarity
+from repro.core import simrank_star
+from repro.datasets import load_dataset
+
+
+def test_fig6c_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6c")
+
+
+def test_fig6c_grouping_timing(benchmark):
+    ds = load_dataset("dblp")
+    scores = simrank_star(ds.graph, 0.6, 10)
+    benchmark.pedantic(
+        grouped_similarity,
+        args=(scores, ds.node_attribute),
+        kwargs={"min_score": 1e-4},
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,17 @@
+"""Figure 6(d): the zero-similarity census."""
+
+from conftest import run_and_check
+
+from repro.analysis import zero_similarity_census
+from repro.datasets import load_dataset
+
+
+def test_fig6d_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6d")
+
+
+def test_fig6d_census_timing(benchmark):
+    graph = load_dataset("dblp").graph
+    benchmark.pedantic(
+        zero_similarity_census, args=(graph,), rounds=3, iterations=1
+    )

@@ -1,0 +1,33 @@
+"""Figure 6(e): time efficiency — the head-to-head algorithm timings.
+
+The per-algorithm benchmarks below are the pytest-benchmark view of
+the paper's bars: same dataset (D11), accuracy-matched iteration
+counts, one row per implementation.
+"""
+
+import pytest
+from conftest import run_and_check
+
+from repro.core import iterations_for_accuracy
+from repro.datasets import load_dataset
+from repro.measures import TIMED_ALGORITHMS
+
+C = 0.6
+EPSILON = 1e-3
+
+
+def test_fig6e_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6e")
+
+
+@pytest.mark.parametrize("label", list(TIMED_ALGORITHMS))
+def test_fig6e_algorithm_timing_d11(benchmark, label):
+    graph = load_dataset("d11").graph
+    variant = "exponential" if "eSR" in label else "geometric"
+    k = iterations_for_accuracy(C, EPSILON, variant)
+    benchmark.pedantic(
+        TIMED_ALGORITHMS[label],
+        args=(graph, C, k),
+        rounds=3,
+        iterations=1,
+    )

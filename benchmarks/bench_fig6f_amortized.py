@@ -1,0 +1,17 @@
+"""Figure 6(f): amortized phase time (compress vs share sums)."""
+
+from conftest import run_and_check
+
+from repro.bigraph import compress_graph
+from repro.datasets import load_dataset
+
+
+def test_fig6f_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6f")
+
+
+def test_fig6f_compress_phase_timing(benchmark):
+    graph = load_dataset("web-google").graph
+    benchmark.pedantic(
+        compress_graph, args=(graph,), rounds=3, iterations=1
+    )

@@ -1,0 +1,22 @@
+"""Figure 6(g): effect of graph density on time and compression."""
+
+import pytest
+from conftest import run_and_check
+
+from repro.core import memo_simrank_star_factorized
+from repro.graph import rmat
+
+
+def test_fig6g_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6g")
+
+
+@pytest.mark.parametrize("density", [10, 40])
+def test_fig6g_memo_timing_by_density(benchmark, density):
+    graph = rmat(9, density * 512, seed=17)
+    benchmark.pedantic(
+        memo_simrank_star_factorized,
+        args=(graph, 0.6, 5),
+        rounds=2,
+        iterations=1,
+    )

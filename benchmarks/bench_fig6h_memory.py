@@ -1,0 +1,21 @@
+"""Figure 6(h): memory footprint comparison."""
+
+from conftest import run_and_check
+
+from repro.bench.memory import measure_peak_memory
+from repro.core import memo_simrank_star_factorized
+from repro.datasets import load_dataset
+
+
+def test_fig6h_reproduces_paper_shape(benchmark, capsys):
+    run_and_check(benchmark, capsys, "fig6h")
+
+
+def test_fig6h_measurement_overhead_timing(benchmark):
+    graph = load_dataset("d08").graph
+    benchmark.pedantic(
+        measure_peak_memory,
+        args=(memo_simrank_star_factorized, graph, 0.6, 5),
+        rounds=2,
+        iterations=1,
+    )

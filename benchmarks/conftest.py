@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_*`` module pairs (a) a *shape test* that regenerates its
+table/figure via :mod:`repro.experiments`, prints the paper-style
+rows, and asserts the paper's qualitative claims, with (b) one or more
+pytest-benchmark timings of the exhibit's core computation. Shape
+tests are benchmarked too (one round — they time the full experiment)
+so the whole suite runs under ``--benchmark-only``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def run_and_check(benchmark, capsys, name: str) -> None:
+    """Time one fast-mode experiment run, print it, assert its checks."""
+    result = benchmark.pedantic(
+        run_experiment, args=(name,), kwargs={"fast": True},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    result.assert_all_checks()

@@ -1,0 +1,56 @@
+"""Related-paper search on a citation network.
+
+Generates a topical citation DAG (the CitHepTh stand-in), issues a
+related-paper query with SimRank*, SimRank, and RWR, and scores each
+result list against the planted topical ground truth — a miniature
+version of the paper's Exp-1.
+
+Run:  python examples/citation_analysis.py
+"""
+
+import numpy as np
+
+from repro import simrank_star, single_source
+from repro.analysis import query_ground_truth
+from repro.analysis.ranking import ndcg_for_scores
+from repro.baselines import rwr, simrank_matrix
+from repro.datasets import citation_network
+
+
+def main() -> None:
+    net = citation_network(
+        num_papers=600, avg_out_degree=8.0, num_topics=6, seed=3
+    )
+    graph = net.graph
+    print(f"citation DAG: {graph.num_nodes} papers, "
+          f"{graph.num_edges} citations")
+
+    # pick a mid-generation, well-cited paper as the query
+    query = int(np.argmax(net.citation_counts[200:400])) + 200
+    truth = query_ground_truth(net.topics, query)
+    truth[query] = 0.0
+
+    rankings = {
+        "SimRank*": simrank_star(graph, 0.6, 10)[query],
+        "SimRank": simrank_matrix(graph, 0.6, 10)[query],
+        "RWR": rwr(graph, 0.6, 10)[query],
+    }
+    print(f"\nquery paper {query} "
+          f"({net.citation_counts[query]} citations)")
+    print(f"{'measure':10} {'NDCG@20':>8}  top-5 related papers")
+    for name, scores in rankings.items():
+        pred = scores.copy()
+        pred[query] = -1.0
+        quality = ndcg_for_scores(pred, truth, p=20)
+        top = np.argsort(-pred)[:5]
+        print(f"{name:10} {quality:8.3f}  {top.tolist()}")
+
+    # single-source queries avoid the full n x n computation
+    column = single_source(graph, query, c=0.6, num_terms=10)
+    full = simrank_star(graph, 0.6, 10)[:, query]
+    print(f"\nsingle-source column agrees with the full matrix: "
+          f"max diff = {np.abs(column - full).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

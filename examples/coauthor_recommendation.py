@@ -1,0 +1,58 @@
+"""Collaborator recommendation on a co-authorship network.
+
+Generates a DBLP-like co-authorship graph, recommends potential
+collaborators with SimRank* (excluding existing co-authors), and
+inspects the role consistency of the recommendations via H-index —
+the Figure 6(b) analysis in miniature.
+
+Run:  python examples/coauthor_recommendation.py
+"""
+
+import numpy as np
+
+from repro import simrank_star
+from repro.analysis import top_pair_attribute_difference
+from repro.datasets import coauthor_network
+
+
+def main() -> None:
+    net = coauthor_network(
+        num_authors=400, papers_per_author=2.2, num_topics=8, seed=5
+    )
+    graph = net.graph
+    print(
+        f"co-authorship graph: {graph.num_nodes} authors, "
+        f"{net.num_undirected_edges} collaborations"
+    )
+
+    scores = simrank_star(graph, c=0.6, num_iterations=10)
+
+    # recommend for the most prolific author
+    author = int(np.argmax(net.h_indices))
+    existing = set(graph.out_neighbors(author))
+    ranked = np.argsort(-scores[author])
+    recommendations = [
+        int(v)
+        for v in ranked
+        if v != author and v not in existing
+    ][:5]
+    print(f"\nauthor {author} (H-index {net.h_indices[author]})")
+    print("top-5 recommended new collaborators (id, score, H-index):")
+    for v in recommendations:
+        print(
+            f"  {v:4d}  score={scores[author, v]:.4f}  "
+            f"H-index={net.h_indices[v]}"
+        )
+
+    # are highly similar pairs role-consistent?
+    gaps = top_pair_attribute_difference(
+        scores, net.h_indices, fractions=(0.001, 0.01)
+    )
+    print("\nrole consistency (avg |H-index| difference):")
+    print(f"  top 0.1% similar pairs: {gaps[0.001]:.2f}")
+    print(f"  top 1%   similar pairs: {gaps[0.01]:.2f}")
+    print(f"  random pairs          : {gaps['random']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

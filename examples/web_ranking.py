@@ -1,0 +1,65 @@
+"""Edge concentration and fast SimRank* on a web graph.
+
+Generates an R-MAT web graph (the Web-Google stand-in), compresses
+its in-neighbourhood structure via biclique concentration, and runs
+the accuracy-matched algorithm comparison of Figure 6(e) in
+miniature: memo-eSR* vs memo-gSR* vs iter-gSR* vs psum-SR.
+
+Run:  python examples/web_ranking.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import psum_simrank_fast
+from repro.bigraph import compress_graph
+from repro.core import (
+    iterations_for_accuracy,
+    memo_simrank_star_exponential,
+    memo_simrank_star_factorized,
+    simrank_star,
+)
+from repro.datasets import web_graph
+
+
+def main() -> None:
+    graph = web_graph(10, density=8.0, seed=9)  # 1024 pages
+    print(f"web graph: {graph.num_nodes} pages, {graph.num_edges} links")
+
+    compressed = compress_graph(graph)
+    print(
+        f"edge concentration: {graph.num_edges} -> "
+        f"{compressed.num_edges} edges "
+        f"({compressed.compression_ratio:.1%} saved, "
+        f"{compressed.num_concentration_nodes} concentration nodes)"
+    )
+
+    epsilon = 1e-3
+    k_geo = iterations_for_accuracy(0.6, epsilon, "geometric")
+    k_exp = iterations_for_accuracy(0.6, epsilon, "exponential")
+    print(f"\naccuracy eps = {epsilon}: K_geo = {k_geo}, K_exp = {k_exp}")
+
+    runs = {
+        "memo-eSR*": lambda: memo_simrank_star_exponential(
+            graph, 0.6, k_exp, compressed=compressed
+        ),
+        "memo-gSR*": lambda: memo_simrank_star_factorized(
+            graph, 0.6, k_geo, compressed=compressed
+        ),
+        "iter-gSR*": lambda: simrank_star(graph, 0.6, k_geo),
+        "psum-SR": lambda: psum_simrank_fast(graph, 0.6, k_geo),
+    }
+    results = {}
+    print(f"\n{'algorithm':10} {'seconds':>8}")
+    for name, fn in runs.items():
+        start = time.perf_counter()
+        results[name] = fn()
+        print(f"{name:10} {time.perf_counter() - start:8.3f}")
+
+    drift = np.abs(results["memo-gSR*"] - results["iter-gSR*"]).max()
+    print(f"\nmemo-gSR* == iter-gSR* (max diff {drift:.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""SimRank* — a reproduction of "More is Simpler: Effectively and
+Efficiently Assessing Node-Pair Similarities Based on Hyperlinks"
+(Yu, Lin, Zhang, Chang, Pei; VLDB 2013).
+
+Quickstart
+----------
+>>> from repro import DiGraph, simrank_star
+>>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
+>>> s = simrank_star(g, c=0.8, num_iterations=10)
+>>> s[1, 2] > 0          # siblings are similar
+True
+
+Packages
+--------
+* :mod:`repro.graph` — the graph substrate (structure, matrices,
+  generators, IO, stats).
+* :mod:`repro.core` — SimRank* itself: geometric / exponential forms,
+  fine-grained memoization, path semantics, queries.
+* :mod:`repro.bigraph` — induced bigraph, biclique mining, edge
+  concentration.
+* :mod:`repro.baselines` — SimRank (3 forms + psum + SVD), P-Rank,
+  RWR/PPR, co-citation, SimRank++.
+* :mod:`repro.datasets` — synthetic stand-ins for the evaluation
+  corpora, with planted ground truth.
+* :mod:`repro.analysis` — ranking metrics, zero-similarity census,
+  role analyses.
+* :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+from repro.core import (
+    memo_simrank_star,
+    memo_simrank_star_exponential,
+    memo_simrank_star_factorized,
+    simrank_star,
+    simrank_star_exponential,
+    single_source,
+    top_k,
+)
+from repro.graph import DiGraph
+from repro.measures import MEASURES, compute_measure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "MEASURES",
+    "compute_measure",
+    "memo_simrank_star",
+    "memo_simrank_star_exponential",
+    "memo_simrank_star_factorized",
+    "simrank_star",
+    "simrank_star_exponential",
+    "single_source",
+    "top_k",
+    "__version__",
+]

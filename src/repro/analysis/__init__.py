@@ -1,0 +1,46 @@
+"""Evaluation analytics: the machinery behind Figures 6(a)-(d).
+
+* :mod:`repro.analysis.ranking` — Kendall, Spearman, NDCG exactly as
+  the paper defines them (Effectiveness Metrics, Section 5).
+* :mod:`repro.analysis.ground_truth` — planted-topic relevance and the
+  paper's in-degree-stratified query sampling.
+* :mod:`repro.analysis.zero_similarity` — the Figure 6(d) census of
+  "completely dissimilar" and "partially missing" node-pairs.
+* :mod:`repro.analysis.roles` — the Figure 6(b)/(c) role analyses.
+"""
+
+from repro.analysis.ground_truth import (
+    query_ground_truth,
+    stratified_queries,
+    topic_cosine_matrix,
+)
+from repro.analysis.ranking import (
+    evaluate_ranking,
+    kendall_concordance,
+    ndcg,
+    ndcg_for_scores,
+    spearman_rho,
+)
+from repro.analysis.roles import (
+    grouped_similarity,
+    top_pair_attribute_difference,
+)
+from repro.analysis.zero_similarity import (
+    ZeroSimilarityCensus,
+    zero_similarity_census,
+)
+
+__all__ = [
+    "ZeroSimilarityCensus",
+    "evaluate_ranking",
+    "grouped_similarity",
+    "kendall_concordance",
+    "ndcg",
+    "ndcg_for_scores",
+    "query_ground_truth",
+    "spearman_rho",
+    "stratified_queries",
+    "top_pair_attribute_difference",
+    "topic_cosine_matrix",
+    "zero_similarity_census",
+]

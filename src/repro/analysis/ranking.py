@@ -1,0 +1,124 @@
+"""Ranking-quality metrics, as defined in the paper's Section 5.
+
+* Kendall's tau (the paper's form): the *fraction of concordant
+  pairs* ``2/(N(N-1)) * sum K_ij`` with ``K_ij = 1`` when elements i
+  and j appear in the same order in both rankings, else 0 — so it
+  lives in [0, 1], unlike the classic [-1, 1] statistic.
+* Spearman's rho: ``1 - 6 sum d_i^2 / (N (N^2 - 1))`` over rank
+  differences (average ranks on ties).
+* NDCG at ``p``: ``1/IDCG_p * sum_{i<=p} (2^{rel_i} - 1)/log2(1+i)``
+  with relevance taken from the ground truth in predicted order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats
+
+__all__ = [
+    "evaluate_ranking",
+    "kendall_concordance",
+    "ndcg",
+    "ndcg_for_scores",
+    "spearman_rho",
+]
+
+
+def _as_vector(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D score vector, got {arr.shape}")
+    return arr
+
+
+def kendall_concordance(
+    predicted, truth
+) -> float:
+    """The paper's Kendall metric: fraction of concordant pairs in [0, 1].
+
+    Tied pairs (in either list) count as concordant only when tied in
+    both; a random ranking scores ~0.5 against a total order.
+    """
+    a = _as_vector(predicted)
+    b = _as_vector(truth)
+    if a.shape != b.shape:
+        raise ValueError("score vectors must have equal length")
+    n = len(a)
+    if n < 2:
+        return 1.0
+    sign_a = np.sign(a[:, None] - a[None, :])
+    sign_b = np.sign(b[:, None] - b[None, :])
+    upper = np.triu_indices(n, k=1)
+    concordant = (sign_a[upper] == sign_b[upper]).sum()
+    return float(concordant) / (n * (n - 1) / 2)
+
+
+def spearman_rho(predicted, truth) -> float:
+    """Spearman's rho with average ranks on ties."""
+    a = _as_vector(predicted)
+    b = _as_vector(truth)
+    if a.shape != b.shape:
+        raise ValueError("score vectors must have equal length")
+    n = len(a)
+    if n < 2:
+        return 1.0
+    rank_a = scipy.stats.rankdata(a)
+    rank_b = scipy.stats.rankdata(b)
+    d2 = float(((rank_a - rank_b) ** 2).sum())
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def ndcg(relevance_in_rank_order, p: int | None = None) -> float:
+    """NDCG of a ranking given relevances in *predicted* order.
+
+    ``rel`` values should be bounded (the experiments use relevances
+    in [0, 1]); the ideal ordering normalises the score to [0, 1].
+    Returns 1.0 when all relevances are zero (nothing to get wrong).
+    """
+    rel = _as_vector(relevance_in_rank_order)
+    if p is not None:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        rel = rel[:p]
+    if len(rel) == 0:
+        return 1.0
+    discounts = 1.0 / np.log2(np.arange(2, len(rel) + 2))
+    dcg = float(((2.0 ** rel - 1.0) * discounts).sum())
+    ideal = np.sort(rel)[::-1]
+    # The ideal ranking re-sorts the SAME retrieved prefix; with p
+    # covering the full list this is the standard IDCG.
+    idcg = float(((2.0 ** ideal - 1.0) * discounts).sum())
+    return dcg / idcg if idcg > 0 else 1.0
+
+
+def ndcg_for_scores(predicted, truth, p: int | None = None) -> float:
+    """NDCG of ranking items by ``predicted`` against ``truth`` relevance.
+
+    Ideal normalisation uses the best ordering of the *whole* truth
+    vector, so retrieving low-relevance items into the top-``p`` is
+    penalised (the paper's IDCG "ensures the true NDCG ordering is 1").
+    """
+    a = _as_vector(predicted)
+    b = _as_vector(truth)
+    if a.shape != b.shape:
+        raise ValueError("score vectors must have equal length")
+    n = len(a)
+    if n == 0:
+        return 1.0
+    cutoff = n if p is None else min(p, n)
+    # stable by index for deterministic tie handling
+    order = np.lexsort((np.arange(n), -a))[:cutoff]
+    discounts = 1.0 / np.log2(np.arange(2, cutoff + 2))
+    dcg = float(((2.0 ** b[order] - 1.0) * discounts).sum())
+    ideal = np.sort(b)[::-1][:cutoff]
+    idcg = float(((2.0 ** ideal - 1.0) * discounts).sum())
+    return dcg / idcg if idcg > 0 else 1.0
+
+
+def evaluate_ranking(predicted, truth, p: int | None = None) -> dict:
+    """All three Section-5 metrics for one query."""
+    return {
+        "kendall": kendall_concordance(predicted, truth),
+        "spearman": spearman_rho(predicted, truth),
+        "ndcg": ndcg_for_scores(predicted, truth, p),
+    }

@@ -1,0 +1,56 @@
+"""Baseline similarity measures the paper compares SimRank* against.
+
+Every baseline is implemented from scratch here:
+
+* :mod:`repro.baselines.simrank` — SimRank (Jeh & Widom): naive
+  iterative form Eq. (2), matrix form Eq. (3), power series Eq. (4).
+* :mod:`repro.baselines.psum` — ``psum-SR``: SimRank with partial-sums
+  memoization (Lizorkin et al.), Eq. (16).
+* :mod:`repro.baselines.mtx` — ``mtx-SR``: SVD-based SimRank
+  (Li et al., EDBT 2010).
+* :mod:`repro.baselines.prank` — P-Rank (Zhao et al.): in- and
+  out-link recursion.
+* :mod:`repro.baselines.rwr` — Random Walk with Restart (Tong et al.)
+  and Personalized PageRank, Eq. (6).
+* :mod:`repro.baselines.cocitation` — co-citation (Small) and
+  bibliographic coupling (Kessler), the rudimentary ancestors.
+* :mod:`repro.baselines.evidence` — the SimRank++ evidence factor
+  (Antonellis et al.), provided as an extension.
+"""
+
+from repro.baselines.cocitation import (
+    cocitation,
+    cocitation_jaccard,
+    coupling,
+    coupling_jaccard,
+)
+from repro.baselines.evidence import evidence_matrix, simrank_plus_plus
+from repro.baselines.mtx import mtx_simrank
+from repro.baselines.prank import prank, prank_matrix
+from repro.baselines.psum import psum_simrank, psum_simrank_fast
+from repro.baselines.rwr import ppr, rwr, rwr_matrix
+from repro.baselines.simrank import (
+    simrank,
+    simrank_matrix,
+    simrank_series,
+)
+
+__all__ = [
+    "cocitation",
+    "cocitation_jaccard",
+    "coupling",
+    "coupling_jaccard",
+    "evidence_matrix",
+    "mtx_simrank",
+    "ppr",
+    "prank",
+    "prank_matrix",
+    "psum_simrank",
+    "psum_simrank_fast",
+    "rwr",
+    "rwr_matrix",
+    "simrank",
+    "simrank_matrix",
+    "simrank_series",
+    "simrank_plus_plus",
+]

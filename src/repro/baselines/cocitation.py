@@ -1,0 +1,64 @@
+"""Co-citation (Small 1973) and bibliographic coupling (Kessler 1963).
+
+The rudimentary one-hop ancestors of SimRank ("two nodes are similar if
+they have the same neighbours in common"). Counting forms::
+
+    cocitation(i, j) = |I(i) & I(j)| = [A^T A]_{ij}
+    coupling(i, j)   = |O(i) & O(j)| = [A A^T]_{ij}
+
+plus Jaccard-normalised variants mapping into [0, 1]. SimRank's first
+power-series term is exactly a degree-weighted co-citation, which the
+property tests exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.matrices import adjacency_matrix
+
+__all__ = [
+    "cocitation",
+    "cocitation_jaccard",
+    "coupling",
+    "coupling_jaccard",
+]
+
+
+def cocitation(graph: DiGraph) -> np.ndarray:
+    """Common in-neighbour counts ``[A^T A]_{ij}``."""
+    a = adjacency_matrix(graph)
+    return np.asarray((a.T @ a).todense())
+
+
+def coupling(graph: DiGraph) -> np.ndarray:
+    """Common out-neighbour counts ``[A A^T]_{ij}``."""
+    a = adjacency_matrix(graph)
+    return np.asarray((a @ a.T).todense())
+
+
+def _jaccard(counts: np.ndarray, degrees: np.ndarray) -> np.ndarray:
+    union = degrees[:, None] + degrees[None, :] - counts
+    return np.divide(
+        counts,
+        union,
+        out=np.zeros_like(counts, dtype=np.float64),
+        where=union != 0,
+    )
+
+
+def cocitation_jaccard(graph: DiGraph) -> np.ndarray:
+    """``|I(i) & I(j)| / |I(i) | I(j)|`` with 0/0 -> 0."""
+    return _jaccard(
+        cocitation(graph).astype(np.float64),
+        graph.in_degrees().astype(np.float64),
+    )
+
+
+def coupling_jaccard(graph: DiGraph) -> np.ndarray:
+    """``|O(i) & O(j)| / |O(i) | O(j)|`` with 0/0 -> 0."""
+    return _jaccard(
+        coupling(graph).astype(np.float64),
+        graph.out_degrees().astype(np.float64),
+    )

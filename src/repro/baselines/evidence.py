@@ -1,0 +1,40 @@
+"""SimRank++ evidence weighting (Antonellis et al., PVLDB 2008).
+
+SimRank++ compensates SimRank's unsatisfactory trait that similarity
+*decreases* as common in-neighbour count grows (Related Work, "Link-
+based Similarity"). The evidence factor::
+
+    evidence(a, b) = sum_{i=1}^{|I(a) & I(b)|} 2^{-i} = 1 - 2^{-k}
+
+grows towards 1 with the number ``k`` of common in-neighbours, and
+scales the SimRank score of each off-diagonal pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cocitation import cocitation
+from repro.baselines.simrank import simrank
+from repro.graph.digraph import DiGraph
+
+__all__ = ["evidence_matrix", "simrank_plus_plus"]
+
+
+def evidence_matrix(graph: DiGraph) -> np.ndarray:
+    """``evidence(a, b) = 1 - 2^{-|I(a) & I(b)|}`` (0 when disjoint).
+
+    The geometric sum ``sum_{i=1..k} 2^{-i}`` telescopes to
+    ``1 - 2^{-k}``, which is 0 exactly when ``k = 0``.
+    """
+    common = cocitation(graph).astype(np.float64)
+    return 1.0 - np.exp2(-common)
+
+
+def simrank_plus_plus(
+    graph: DiGraph, c: float = 0.6, num_iterations: int = 5
+) -> np.ndarray:
+    """Evidence-weighted SimRank; the diagonal stays pinned at 1."""
+    scores = evidence_matrix(graph) * simrank(graph, c, num_iterations)
+    np.fill_diagonal(scores, 1.0)
+    return scores

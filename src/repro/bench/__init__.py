@@ -1,0 +1,15 @@
+"""Benchmark support: timing, tables, memory accounting."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    format_table,
+    timed,
+)
+from repro.bench.memory import measure_peak_memory
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "measure_peak_memory",
+    "timed",
+]

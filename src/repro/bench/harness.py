@@ -1,0 +1,98 @@
+"""Experiment harness: result containers, table rendering, timing.
+
+Every experiment module in :mod:`repro.experiments` returns an
+:class:`ExperimentResult` — named tables (lists of dict rows, printed
+in the paper's layout) plus *shape checks*: boolean assertions of the
+paper's qualitative claims ("memo-gSR* beats psum-SR", "compression
+grows with density", ...). Benchmarks fail if any check fails, which
+is what "reproduced the figure" means here — absolute numbers differ
+by construction (scaled data, different hardware).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ExperimentResult", "format_table", "timed"]
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0])
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in cells
+    )
+    lines = [title, rule, header, rule, body, rule] if title else [
+        header, rule, body,
+    ]
+    return "\n".join(line for line in lines if line is not None)
+
+
+@dataclass
+class ExperimentResult:
+    """Tables + shape checks produced by one experiment."""
+
+    name: str
+    tables: dict[str, list[dict]] = field(default_factory=dict)
+    checks: list[tuple[str, bool]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_check(self, description: str, passed: bool) -> None:
+        """Record one qualitative claim and whether we reproduced it."""
+        self.checks.append((description, bool(passed)))
+
+    def failed_checks(self) -> list[str]:
+        return [desc for desc, ok in self.checks if not ok]
+
+    def assert_all_checks(self) -> None:
+        failed = self.failed_checks()
+        if failed:
+            raise AssertionError(
+                f"{self.name}: shape checks failed: {failed}"
+            )
+
+    def render(self) -> str:
+        """The full printable report."""
+        parts = [f"=== {self.name} ==="]
+        for title, rows in self.tables.items():
+            parts.append(format_table(rows, title=title))
+        if self.notes:
+            parts.append(
+                "\n".join(["Notes:"] + [f"  - {n}" for n in self.notes])
+            )
+        if self.checks:
+            lines = ["Shape checks (paper claims):"] + [
+                f"  [{'ok' if ok else 'FAIL'}] {desc}"
+                for desc, ok in self.checks
+            ]
+            parts.append("\n".join(lines))
+        return "\n\n".join(parts)
+
+
+def timed(fn: Callable, *args, **kwargs) -> tuple[Any, float]:
+    """``(result, elapsed_seconds)`` of one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

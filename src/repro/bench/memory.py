@@ -1,0 +1,34 @@
+"""Peak-memory measurement for the Figure 6(h) experiment.
+
+Uses :mod:`tracemalloc`, which numpy's allocator reports into, so the
+numbers cover the dense iterates, sparse operators, memoized partials
+and (for ``mtx-SR``) the SVD workspace — the allocations the paper's
+memory plot compares.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Any, Callable
+
+__all__ = ["measure_peak_memory"]
+
+
+def measure_peak_memory(fn: Callable, *args, **kwargs) -> tuple[Any, int]:
+    """Run ``fn`` and return ``(result, peak_bytes)``.
+
+    Peak is relative to the start of the call, so pre-existing
+    allocations (the input graph, cached datasets) are excluded.
+    Nesting is not supported — tracemalloc is process-global.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, peak

@@ -1,0 +1,24 @@
+"""Bipartite-compression substrate for fine-grained memoization.
+
+Section 4.3 of the paper: to share partial sums across overlapping
+in-neighbour sets, the graph's neighbourhood structure is viewed as an
+*induced bigraph* (Definition 2), dense blocks of which — *bicliques*
+(Definition 3) — are replaced by star-shaped *edge concentration*
+nodes. The exact optimisation is NP-hard (edge concentration, Lin
+2000), so :mod:`repro.bigraph.biclique` implements a frequent-itemset
+style heuristic in the spirit of Buehrer & Chellapilla (WSDM 2008).
+"""
+
+from repro.bigraph.biclique import Biclique, mine_bicliques
+from repro.bigraph.compressed import CompressedGraph
+from repro.bigraph.concentration import compress_graph
+from repro.bigraph.induced import InducedBigraph, induced_bigraph
+
+__all__ = [
+    "Biclique",
+    "CompressedGraph",
+    "InducedBigraph",
+    "compress_graph",
+    "induced_bigraph",
+    "mine_bicliques",
+]

@@ -1,0 +1,66 @@
+"""The induced bipartite graph of Definition 2.
+
+``G~ = (T u B, E~)`` where ``T`` holds every node of ``G`` with
+out-edges, ``B`` every node with in-edges, and ``(u, v)`` is an edge of
+the bigraph iff ``u -> v`` in ``G``. A node appearing in both ``T``
+and ``B`` is treated as two distinct bigraph nodes with the same label
+— here the two sides simply index the same integer ids from different
+dictionaries, so no relabelling is needed.
+
+The bigraph view makes in-neighbourhood overlap explicit: the nodes of
+``T`` connected to ``x in B`` are exactly ``I(x)`` in ``G``, and
+``|E~| = |E|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["InducedBigraph", "induced_bigraph"]
+
+
+@dataclass(frozen=True)
+class InducedBigraph:
+    """``G~ = (T u B, E~)`` for a digraph ``G``.
+
+    Attributes
+    ----------
+    top:
+        Sorted node ids with at least one out-edge (the paper's ``T``).
+    bottom:
+        Sorted node ids with at least one in-edge (the paper's ``B``).
+    in_sets:
+        ``x -> I(x)`` for every ``x`` in ``bottom``; every member of
+        ``I(x)`` belongs to ``top``.
+    """
+
+    top: tuple[int, ...]
+    bottom: tuple[int, ...]
+    in_sets: dict[int, frozenset[int]] = field(repr=False)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E~|``, always equal to ``|E|`` of the source graph."""
+        return sum(len(s) for s in self.in_sets.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"InducedBigraph(|T|={len(self.top)}, |B|={len(self.bottom)},"
+            f" |E|={self.num_edges})"
+        )
+
+
+def induced_bigraph(graph: DiGraph) -> InducedBigraph:
+    """Build the induced bigraph of ``graph`` (Definition 2)."""
+    top = tuple(
+        v for v in graph.nodes() if graph.out_degree(v) > 0
+    )
+    bottom = tuple(
+        v for v in graph.nodes() if graph.in_degree(v) > 0
+    )
+    in_sets = {
+        v: frozenset(graph.in_neighbors(v)) for v in bottom
+    }
+    return InducedBigraph(top=top, bottom=bottom, in_sets=in_sets)

@@ -1,0 +1,108 @@
+"""SimRank* — the paper's primary contribution.
+
+Public surface:
+
+* :func:`simrank_star` — geometric SimRank* by the Eq. (14) recursion
+  (``iter-gSR*``).
+* :func:`simrank_star_exponential` (+ ``_series`` / ``_closed``) — the
+  exponential variant, Eq. (11)/(15)/(19).
+* :func:`memo_simrank_star` / :func:`memo_simrank_star_factorized` /
+  :func:`memo_simrank_star_exponential` — fine-grained memoization over
+  the compressed graph (Algorithm 1, ``memo-gSR*`` / ``memo-eSR*``).
+* :func:`simrank_star_series` — truncated series forms for any weight
+  scheme; :mod:`repro.core.weights` defines the schemes.
+* :func:`single_source` / :func:`top_k` — query-time APIs.
+* :mod:`repro.core.paths` — in-link path semantics (Lemma 1 et al.).
+* :mod:`repro.core.convergence` — Lemma 3 / Eq. (12) bounds.
+"""
+
+from repro.core.convergence import (
+    exponential_error_bound,
+    geometric_error_bound,
+    iterations_for_accuracy,
+)
+from repro.core.exponential import (
+    simrank_star_exponential,
+    simrank_star_exponential_closed,
+    simrank_star_exponential_series,
+)
+from repro.core.iterative import (
+    simrank_star,
+    simrank_star_fixed_point_residual,
+)
+from repro.core.join import similarity_join, top_pairs
+from repro.core.memo import (
+    MemoRun,
+    memo_operation_count,
+    memo_simrank_star,
+    memo_simrank_star_exponential,
+    memo_simrank_star_factorized,
+    run_memo_esr,
+    run_memo_gsr,
+)
+from repro.core.paths import (
+    accommodated_path_shapes,
+    count_inlink_paths,
+    count_specific_paths,
+    dissymmetric_inlink_path_exists,
+    inlink_path_exists,
+    path_contribution,
+    reachability,
+    symmetric_inlink_path_exists,
+)
+from repro.core.queries import single_pair, single_source, top_k
+from repro.core.series import (
+    simrank_star_series,
+    simrank_star_series_bruteforce,
+    transition_polynomials,
+)
+from repro.core.sieve import clip_small, sieve_to_sparse, storage_savings
+from repro.core.weights import (
+    ExponentialWeights,
+    GeometricWeights,
+    HarmonicWeights,
+    WeightScheme,
+    symmetry_weights,
+)
+
+__all__ = [
+    "ExponentialWeights",
+    "GeometricWeights",
+    "HarmonicWeights",
+    "MemoRun",
+    "WeightScheme",
+    "accommodated_path_shapes",
+    "clip_small",
+    "count_inlink_paths",
+    "count_specific_paths",
+    "dissymmetric_inlink_path_exists",
+    "exponential_error_bound",
+    "geometric_error_bound",
+    "inlink_path_exists",
+    "iterations_for_accuracy",
+    "memo_operation_count",
+    "memo_simrank_star",
+    "memo_simrank_star_exponential",
+    "memo_simrank_star_factorized",
+    "path_contribution",
+    "reachability",
+    "run_memo_esr",
+    "run_memo_gsr",
+    "sieve_to_sparse",
+    "similarity_join",
+    "simrank_star",
+    "simrank_star_exponential",
+    "simrank_star_exponential_closed",
+    "simrank_star_exponential_series",
+    "simrank_star_fixed_point_residual",
+    "simrank_star_series",
+    "simrank_star_series_bruteforce",
+    "single_pair",
+    "single_source",
+    "storage_savings",
+    "symmetric_inlink_path_exists",
+    "symmetry_weights",
+    "top_k",
+    "top_pairs",
+    "transition_polynomials",
+]

@@ -1,0 +1,64 @@
+"""Convergence guarantees for SimRank* (Lemma 3 and Eq. (12)).
+
+The geometric form's k-term truncation error is bounded by ``C^{k+1}``;
+the exponential form's by ``C^{k+1} / (k+1)!``. The exponential bound
+is strictly smaller for every k, which is the formal reason
+``memo-eSR*`` reaches a target accuracy in fewer iterations — the
+effect the Figure 6(e)/(f) experiments observe as a ~3x wall-clock
+advantage in the "share sums" phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "exponential_error_bound",
+    "geometric_error_bound",
+    "iterations_for_accuracy",
+]
+
+
+def _check(c: float) -> None:
+    if not 0.0 < c < 1.0:
+        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
+
+
+def geometric_error_bound(c: float, num_terms: int) -> float:
+    """Lemma 3: ``||S^ - S^_k||_max <= C^{k+1}``."""
+    _check(c)
+    if num_terms < 0:
+        raise ValueError("num_terms must be >= 0")
+    return c ** (num_terms + 1)
+
+
+def exponential_error_bound(c: float, num_terms: int) -> float:
+    """Eq. (12): ``||S' - S'_k||_max <= C^{k+1} / (k+1)!``."""
+    _check(c)
+    if num_terms < 0:
+        raise ValueError("num_terms must be >= 0")
+    return c ** (num_terms + 1) / math.factorial(num_terms + 1)
+
+
+def iterations_for_accuracy(
+    c: float, epsilon: float, variant: str = "geometric"
+) -> int:
+    """Smallest ``K`` whose error bound is at most ``epsilon``.
+
+    For the geometric form this is the paper's ``K = ceil(log_C eps)``;
+    for the exponential form the factorial decay is searched directly
+    (it typically returns a far smaller K — the paper's ``K' << K``).
+    """
+    _check(c)
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if variant == "geometric":
+        return max(0, math.ceil(math.log(epsilon, c)) - 1)
+    if variant == "exponential":
+        k = 0
+        while exponential_error_bound(c, k) > epsilon:
+            k += 1
+        return k
+    raise ValueError(
+        f"variant must be 'geometric' or 'exponential', got {variant!r}"
+    )

@@ -1,0 +1,46 @@
+"""Threshold-sieved similarities — the one Lizorkin optimisation that
+ports to SimRank*.
+
+The paper (Section 4.3) notes that of the three classic SimRank
+optimisations, only *threshold-sieved similarities* carries over:
+node-pairs whose scores fall below a small threshold (the experiments
+use ``1e-4``) are dropped from storage "with minimal impact on
+accuracy". These helpers implement the sieve and quantify its effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["clip_small", "sieve_to_sparse", "storage_savings"]
+
+DEFAULT_THRESHOLD = 1e-4  # the paper's storage clip
+
+
+def clip_small(
+    scores: np.ndarray, threshold: float = DEFAULT_THRESHOLD
+) -> np.ndarray:
+    """Copy of ``scores`` with entries below ``threshold`` zeroed."""
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    clipped = scores.copy()
+    clipped[clipped < threshold] = 0.0
+    return clipped
+
+
+def sieve_to_sparse(
+    scores: np.ndarray, threshold: float = DEFAULT_THRESHOLD
+) -> sp.csr_array:
+    """Sieved scores as a CSR matrix — the sieve's storage payoff."""
+    return sp.csr_array(clip_small(scores, threshold))
+
+
+def storage_savings(
+    scores: np.ndarray, threshold: float = DEFAULT_THRESHOLD
+) -> float:
+    """Fraction of entries the sieve discards (0 = nothing, 1 = all)."""
+    if scores.size == 0:
+        return 0.0
+    kept = int((scores >= threshold).sum())
+    return 1.0 - kept / scores.size

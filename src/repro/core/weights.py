@@ -1,0 +1,150 @@
+"""Weight schemes for SimRank* (Section 3.2, "Weighted Factors").
+
+SimRank* combines two weights per in-link path:
+
+* a **length weight** ``w_l`` that discounts long paths. The paper
+  justifies two choices — geometric ``(1-C) C^l`` (Eq. (7)) and
+  exponential ``e^{-C} C^l / l!`` (Eq. (11)) — and discusses but
+  rejects the harmonic ``C^l / l`` because its series does not collapse
+  to a neat recurrence. All three are provided; the harmonic one feeds
+  the ablation benchmark.
+* a **symmetry weight** ``binom(l, alpha) / 2^l`` that favours paths
+  whose in-link "source" is near the centre (``alpha ~ l/2``) over
+  one-directional ones (``alpha`` = 0 or l).
+
+Each scheme also knows its truncation error bound (Lemma 3 and
+Eq. (12)), which drives :mod:`repro.core.convergence`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ExponentialWeights",
+    "GeometricWeights",
+    "HarmonicWeights",
+    "WeightScheme",
+    "symmetry_weights",
+]
+
+
+def symmetry_weights(length: int) -> np.ndarray:
+    """The binomial symmetry weights ``binom(l, a) / 2^l`` for a in 0..l.
+
+    Unimodal in ``a`` with the peak at the centre (symmetric source)
+    and minimum 1/2^l at the ends (one-directional path); sums to 1.
+    """
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    row = np.array(
+        [math.comb(length, a) for a in range(length + 1)],
+        dtype=np.float64,
+    )
+    return row / (2.0 ** length)
+
+
+@dataclass(frozen=True)
+class WeightScheme(abc.ABC):
+    """A normalised length-weight sequence ``w_l`` with its tail bound."""
+
+    c: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.c < 1.0:
+            raise ValueError(
+                f"damping factor C must lie in (0, 1), got {self.c}"
+            )
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used by benches and the CLI."""
+
+    @abc.abstractmethod
+    def length_weight(self, length: int) -> float:
+        """The normalised weight ``w_l`` of in-link paths of ``length``."""
+
+    @abc.abstractmethod
+    def error_bound(self, num_terms: int) -> float:
+        """Upper bound on ``||S - S_k||_max`` after ``k`` terms."""
+
+    def length_weights(self, num_terms: int) -> np.ndarray:
+        """``[w_0, ..., w_k]`` as a vector."""
+        return np.array(
+            [self.length_weight(l) for l in range(num_terms + 1)]
+        )
+
+
+class GeometricWeights(WeightScheme):
+    """``w_l = (1 - C) C^l`` — the geometric SimRank* of Eq. (7)."""
+
+    @property
+    def name(self) -> str:
+        return "geometric"
+
+    def length_weight(self, length: int) -> float:
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        return (1.0 - self.c) * self.c ** length
+
+    def error_bound(self, num_terms: int) -> float:
+        # Lemma 3: ||S - S_k||_max <= C^{k+1}
+        return self.c ** (num_terms + 1)
+
+
+class ExponentialWeights(WeightScheme):
+    """``w_l = e^{-C} C^l / l!`` — the exponential SimRank* of Eq. (11).
+
+    Converges much faster: the tail bound ``C^{k+1} / (k+1)!`` of
+    Eq. (12) beats the geometric ``C^{k+1}`` for every k, which is why
+    ``memo-eSR*`` needs fewer iterations for the same accuracy.
+    """
+
+    @property
+    def name(self) -> str:
+        return "exponential"
+
+    def length_weight(self, length: int) -> float:
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        return (
+            math.exp(-self.c) * self.c ** length / math.factorial(length)
+        )
+
+    def error_bound(self, num_terms: int) -> float:
+        # Eq. (12): ||S' - S'_k||_max <= C^{k+1} / (k+1)!
+        return self.c ** (num_terms + 1) / math.factorial(num_terms + 1)
+
+
+class HarmonicWeights(WeightScheme):
+    """``w_l = C^l / (l ln(1/(1-C)))`` for l >= 1 — the rejected option.
+
+    The paper notes this candidate has a simple normaliser
+    (``sum C^l / l = ln 1/(1-C)``) but no neat recursive form; it
+    exists here so the ablation bench can quantify what is lost.
+    There is no ``l = 0`` term, so self-pairs draw no base weight.
+    """
+
+    @property
+    def name(self) -> str:
+        return "harmonic"
+
+    def length_weight(self, length: int) -> float:
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        if length == 0:
+            return 0.0
+        normalizer = math.log(1.0 / (1.0 - self.c))
+        return self.c ** length / (length * normalizer)
+
+    def error_bound(self, num_terms: int) -> float:
+        # tail sum_{l>k} C^l/l <= C^{k+1} / ((k+1)(1-C)), normalised.
+        normalizer = math.log(1.0 / (1.0 - self.c))
+        return self.c ** (num_terms + 1) / (
+            (num_terms + 1) * (1.0 - self.c) * normalizer
+        )

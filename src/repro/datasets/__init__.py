@@ -1,0 +1,37 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The original corpora (CitHepTh, DBLP, Web-Google, CitPatent) are not
+redistributable here, so each is replaced by a generator that matches
+the *relevant* structure at laptop scale — DAG-ness and heavy-tailed
+citations for the bibliographic graphs, symmetric edges and H-index
+ground truth for the co-authorship graphs, R-MAT skew for the web
+graph — with densities matched to the paper's Figure 5. DESIGN.md
+documents each substitution and why it preserves the experiment.
+
+Latent *topics* planted by the generators provide the relevance ground
+truth that the paper obtained from human experts: nodes link mostly
+within topics, and the "true" relevance of a pair is the cosine of
+their topic mixtures (:mod:`repro.analysis.ground_truth`).
+"""
+
+from repro.datasets.citation import CitationNetwork, citation_network
+from repro.datasets.coauthor import CoauthorNetwork, coauthor_network
+from repro.datasets.registry import (
+    Dataset,
+    dataset_names,
+    figure5_rows,
+    load_dataset,
+)
+from repro.datasets.web import web_graph
+
+__all__ = [
+    "CitationNetwork",
+    "CoauthorNetwork",
+    "Dataset",
+    "citation_network",
+    "coauthor_network",
+    "dataset_names",
+    "figure5_rows",
+    "load_dataset",
+    "web_graph",
+]

@@ -1,0 +1,195 @@
+"""Named datasets mirroring the paper's Figure 5 roster.
+
+Each entry builds a scaled-down synthetic stand-in whose *density*
+matches the paper's (the structural knob its experiments vary) while
+node counts shrink to laptop scale. Sizes are chosen so the all-pairs
+experiments complete in seconds; the D05 < D08 < D11 growth pattern
+and the relative dataset ordering are preserved.
+
+``load_dataset`` caches instances per name so benches and tests reuse
+the same graphs.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.citation import citation_network
+from repro.datasets.coauthor import coauthor_network
+from repro.datasets.web import web_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.stats import graph_stats
+
+__all__ = ["Dataset", "dataset_names", "figure5_rows", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named graph with optional ground-truth attributes.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"cit-hepth"``).
+    graph:
+        The graph itself (symmetric digraph for undirected datasets).
+    directed:
+        False for co-authorship datasets; affects edge accounting.
+    topics:
+        Planted topic mixtures (relevance ground truth), or ``None``.
+    node_attribute:
+        Per-node role proxy — citation counts on citation graphs,
+        H-index on co-authorship graphs — or ``None``.
+    attribute_name:
+        Human name of ``node_attribute`` (``"#-citation"``/``"H-index"``).
+    paper_size:
+        The original corpus size ``(|V|, |E|)`` this stands in for.
+    """
+
+    name: str
+    graph: DiGraph
+    directed: bool = True
+    topics: np.ndarray | None = field(default=None, repr=False)
+    node_attribute: np.ndarray | None = field(default=None, repr=False)
+    attribute_name: str = ""
+    paper_size: tuple[int, int] | None = None
+
+    @property
+    def num_edges_reported(self) -> int:
+        """Edge count in the paper's convention (undirected = pairs)."""
+        m = self.graph.num_edges
+        return m if self.directed else m // 2
+
+    @property
+    def density(self) -> float:
+        """``|E| / |V|`` in the paper's convention."""
+        n = self.graph.num_nodes
+        return self.num_edges_reported / n if n else 0.0
+
+
+def _cit_hepth() -> Dataset:
+    net = citation_network(
+        num_papers=1200, avg_out_degree=12.6, num_topics=10, seed=41
+    )
+    return Dataset(
+        name="cit-hepth",
+        graph=net.graph,
+        directed=True,
+        topics=net.topics,
+        node_attribute=net.citation_counts,
+        attribute_name="#-citation",
+        paper_size=(33_000, 418_000),
+    )
+
+
+def _dblp() -> Dataset:
+    net = coauthor_network(
+        num_authors=800, papers_per_author=2.2, num_topics=10, seed=42
+    )
+    return Dataset(
+        name="dblp",
+        graph=net.graph,
+        directed=False,
+        topics=net.topics,
+        node_attribute=net.h_indices,
+        attribute_name="H-index",
+        paper_size=(15_000, 87_000),
+    )
+
+
+def _dblp_snapshot(name: str, authors: int, ppa: float, seed: int,
+                   paper_size: tuple[int, int]) -> Dataset:
+    net = coauthor_network(
+        num_authors=authors, papers_per_author=ppa, num_topics=10,
+        seed=seed,
+    )
+    return Dataset(
+        name=name,
+        graph=net.graph,
+        directed=False,
+        topics=net.topics,
+        node_attribute=net.h_indices,
+        attribute_name="H-index",
+        paper_size=paper_size,
+    )
+
+
+def _web_google() -> Dataset:
+    return Dataset(
+        name="web-google",
+        graph=web_graph(11, density=5.6, seed=44),  # 2048 nodes
+        directed=True,
+        paper_size=(873_000, 4_900_000),
+    )
+
+
+def _cit_patent() -> Dataset:
+    net = citation_network(
+        num_papers=3000, avg_out_degree=4.5, num_topics=12, seed=45
+    )
+    return Dataset(
+        name="cit-patent",
+        graph=net.graph,
+        directed=True,
+        topics=net.topics,
+        node_attribute=net.citation_counts,
+        attribute_name="#-citation",
+        paper_size=(3_600_000, 16_200_000),
+    )
+
+
+_BUILDERS = {
+    "cit-hepth": _cit_hepth,
+    "dblp": _dblp,
+    # growing DBLP snapshots (paper densities 4.3 / 5.5 / 6.3)
+    "d05": lambda: _dblp_snapshot("d05", 300, 1.5, 46, (4_000, 17_000)),
+    "d08": lambda: _dblp_snapshot("d08", 550, 2.0, 47, (13_000, 72_000)),
+    "d11": lambda: _dblp_snapshot("d11", 800, 2.4, 48, (14_000, 89_000)),
+    "web-google": _web_google,
+    "cit-patent": _cit_patent,
+}
+
+
+def dataset_names() -> list[str]:
+    """All registry keys, in the paper's Figure 5 order."""
+    return list(_BUILDERS)
+
+
+@functools.lru_cache(maxsize=None)
+def load_dataset(name: str) -> Dataset:
+    """Build (or fetch the cached) dataset called ``name``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None
+    return builder()
+
+
+def figure5_rows() -> list[dict]:
+    """The Figure 5 table over the stand-in datasets.
+
+    Adds the original corpus sizes for side-by-side comparison.
+    """
+    rows = []
+    for name in dataset_names():
+        ds = load_dataset(name)
+        stats = graph_stats(ds.graph)
+        rows.append(
+            {
+                "Dataset": name,
+                "|V|": stats.num_nodes,
+                "|E|": ds.num_edges_reported,
+                "Density": round(ds.density, 1),
+                "paper |V|": ds.paper_size[0],
+                "paper |E|": ds.paper_size[1],
+                "paper density": round(
+                    ds.paper_size[1] / ds.paper_size[0], 1
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,91 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(fast: bool = False) -> ExperimentResult``;
+``fast=True`` trims query counts and sweep lengths for CI. The CLI
+(``python -m repro.experiments <id>`` or ``repro-experiments <id>``)
+prints the paper-style tables and the shape-check verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+
+def _lazy(module_name: str) -> Callable[[bool], ExperimentResult]:
+    def runner(fast: bool = False) -> ExperimentResult:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        return module.run(fast=fast)
+
+    return runner
+
+
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "fig1": _lazy("fig1"),
+    "fig5": _lazy("fig5"),
+    "fig6a": _lazy("fig6a"),
+    "fig6b": _lazy("fig6b"),
+    "fig6c": _lazy("fig6c"),
+    "fig6d": _lazy("fig6d"),
+    "fig6e": _lazy("fig6e"),
+    "fig6f": _lazy("fig6f"),
+    "fig6g": _lazy("fig6g"),
+    "fig6h": _lazy("fig6h"),
+    "abl-weights": _lazy("ablation_weights"),
+    "abl-biclique": _lazy("ablation_biclique"),
+}
+
+
+def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
+    """Run the experiment registered as ``name``."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}"
+        ) from None
+    return runner(fast)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``repro-experiments fig6a [--fast]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id(s), or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced query counts / sweep sizes",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        list(EXPERIMENTS)
+        if "all" in args.experiment
+        else args.experiment
+    )
+    exit_code = 0
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        print(result.render())
+        print()
+        if result.failed_checks():
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

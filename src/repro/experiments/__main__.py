@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` dispatch."""
+
+import sys
+
+from repro.experiments import main
+
+if __name__ == "__main__":
+    sys.exit(main())

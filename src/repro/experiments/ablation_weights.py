@@ -1,0 +1,102 @@
+"""Ablation: length-weight schemes (Section 3.2's design discussion).
+
+The paper argues for the geometric ``C^l`` and exponential
+``C^l / l!`` length weights and *against* the harmonic ``C^l / l``
+(no neat closed form). This ablation quantifies the choices:
+
+* convergence: terms needed for eps = 1e-4 (exponential << geometric
+  << harmonic is the bound ordering at C = 0.8... harmonic decays
+  like geometric with a 1/l bonus, so it sits between);
+* semantics: all three schemes rank node-pairs almost identically
+  (Kendall vs the geometric reference), i.e. the length weight is a
+  convergence/efficiency knob, not a semantics knob — supporting the
+  paper's "no sanctity of the earlier choices" remark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ranking import kendall_concordance
+from repro.bench.harness import ExperimentResult
+from repro.core import (
+    ExponentialWeights,
+    GeometricWeights,
+    HarmonicWeights,
+    simrank_star_series,
+)
+from repro.datasets import load_dataset
+
+C = 0.8
+EPSILON = 1e-4
+NUM_TERMS = 15
+
+
+def _terms_for_epsilon(scheme) -> int:
+    k = 0
+    while scheme.error_bound(k) > EPSILON and k < 500:
+        k += 1
+    return k
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Compare the three length-weight schemes end to end."""
+    graph = load_dataset("d05").graph
+    schemes = {
+        "geometric": GeometricWeights(C),
+        "exponential": ExponentialWeights(C),
+        "harmonic": HarmonicWeights(C),
+    }
+    result = ExperimentResult(
+        name="Ablation: length-weight schemes (Section 3.2)"
+    )
+    scores = {
+        name: simrank_star_series(graph, C, NUM_TERMS, weights=scheme)
+        for name, scheme in schemes.items()
+    }
+    iu, ju = np.triu_indices(graph.num_nodes, k=1)
+    reference = scores["geometric"][iu, ju]
+    rng = np.random.default_rng(11)
+    sample = rng.choice(len(reference), size=min(4000, len(reference)),
+                        replace=False)
+    rows = []
+    agreement = {}
+    terms_needed = {}
+    for name, scheme in schemes.items():
+        terms_needed[name] = _terms_for_epsilon(scheme)
+        agreement[name] = kendall_concordance(
+            scores[name][iu, ju][sample], reference[sample]
+        )
+        rows.append(
+            {
+                "scheme": name,
+                f"terms for eps={EPSILON}": terms_needed[name],
+                "error bound @ 5 terms": float(scheme.error_bound(5)),
+                "kendall vs geometric": round(agreement[name], 4),
+                "has closed form": name != "harmonic",
+            }
+        )
+    result.tables[f"Weight schemes at C = {C} (d05 graph)"] = rows
+
+    result.add_check(
+        "exponential converges far faster than geometric "
+        "(Eq. (12) vs Lemma 3)",
+        terms_needed["exponential"] < terms_needed["geometric"] / 3,
+    )
+    result.add_check(
+        "harmonic sits between exponential and geometric",
+        terms_needed["exponential"]
+        < terms_needed["harmonic"]
+        <= terms_needed["geometric"],
+    )
+    result.add_check(
+        "all schemes agree with geometric ranking (Kendall > 0.9)",
+        min(agreement.values()) > 0.9,
+    )
+    result.notes.append(
+        "The harmonic scheme is the paper's rejected candidate: "
+        "competitive semantics but no closed/recursive form, so no "
+        "O(Knm) iteration exists for it — each term must be summed "
+        "explicitly."
+    )
+    return result

@@ -1,0 +1,127 @@
+"""Figure 6(b): role difference of top-ranked node-pairs.
+
+If a similarity measure is meaningful, its most-similar node-pairs
+should play similar roles: close citation counts on the citation
+graph, close H-indices on the co-authorship graph. The paper sweeps
+the "top x% most similar pairs" cutoff and plots the average
+attribute difference against the random-pair baseline (RAN).
+
+Claims checked (scaled-data versions of the paper's):
+
+* SimRank* top pairs are far below RAN at tight cutoffs, and
+  gSR* stays below RAN out to the 2% cutoff on the citation graph;
+* RWR's top pairs have *above-random* differences on the citation
+  graph (the paper's Figure 6(b) shows RWR at 43 vs RAN 38) — it
+  retrieves (paper, famous-reference) pairs;
+* on DBLP, SimRank's difference climbs monotonically towards RAN as
+  the cutoff loosens ("SimRank converges to random scoring"), while
+  SimRank* stays within a narrow band of RAN that RWR breaks out of.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import top_pair_attribute_difference
+from repro.bench.harness import ExperimentResult
+from repro.datasets import load_dataset
+from repro.measures import SEMANTIC_MEASURES
+
+C = 0.6
+ITERATIONS = 10
+
+FRACTIONS = {
+    # the paper's x-axes: 0.02..20 % on CitHepTh, 0.1..10 % on DBLP
+    "cit-hepth": (0.0002, 0.002, 0.02, 0.2),
+    "dblp": (0.001, 0.005, 0.01, 0.05, 0.1),
+}
+
+
+def _tables(result: ExperimentResult) -> dict[str, dict[str, dict]]:
+    all_diffs: dict[str, dict[str, dict]] = {}
+    for dataset_name, fractions in FRACTIONS.items():
+        ds = load_dataset(dataset_name)
+        diffs: dict[str, dict] = {}
+        for label, fn in SEMANTIC_MEASURES.items():
+            scores = fn(ds.graph, C, ITERATIONS)
+            diffs[label] = top_pair_attribute_difference(
+                scores, ds.node_attribute, fractions=fractions
+            )
+        all_diffs[dataset_name] = diffs
+        random_gap = next(iter(diffs.values()))["random"]
+        rows = [
+            {
+                "Measure": label,
+                **{f"top {100 * f:g}%": round(g[f], 2) for f in fractions},
+            }
+            for label, g in diffs.items()
+        ]
+        rows.append(
+            {
+                "Measure": "RAN",
+                **{
+                    f"top {100 * f:g}%": round(random_gap, 2)
+                    for f in fractions
+                },
+            }
+        )
+        result.tables[
+            f"{dataset_name}: avg |{ds.attribute_name}| difference"
+        ] = rows
+    return all_diffs
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 6(b) on both role-labelled datasets."""
+    result = ExperimentResult(
+        name="Figure 6(b): role difference of top-ranked pairs"
+    )
+    diffs = _tables(result)
+
+    # --- citation graph ------------------------------------------------
+    cit = diffs["cit-hepth"]
+    ran_cit = cit["gSR*"]["random"]
+    for ours in ("gSR*", "eSR*"):
+        for frac in (0.0002, 0.002):
+            result.add_check(
+                f"cit-hepth: {ours} top-{100 * frac:g}% below random",
+                cit[ours][frac] < ran_cit,
+            )
+    result.add_check(
+        "cit-hepth: gSR* still below random at the 2% cutoff",
+        cit["gSR*"][0.02] < ran_cit,
+    )
+    result.add_check(
+        "cit-hepth: RWR top pairs above random (as in the paper)",
+        cit["RWR"][0.002] > ran_cit,
+    )
+
+    # --- co-authorship graph -------------------------------------------
+    dblp = diffs["dblp"]
+    ran_dblp = dblp["SR"]["random"]
+    fractions = FRACTIONS["dblp"]
+    sr_values = [dblp["SR"][f] for f in fractions]
+    result.add_check(
+        "dblp: SR difference climbs monotonically towards random",
+        sr_values == sorted(sr_values) and sr_values[-1] < ran_dblp * 1.02,
+    )
+    result.add_check(
+        "dblp: gSR* stays within 25% of random at every cutoff",
+        all(abs(dblp["gSR*"][f] - ran_dblp) <= 0.25 * ran_dblp
+            for f in fractions),
+    )
+    result.add_check(
+        "dblp: RWR breaks out of that band at some cutoff",
+        any(abs(dblp["RWR"][f] - ran_dblp) > 0.25 * ran_dblp
+            for f in fractions),
+    )
+    result.notes.append(
+        "Lower = more role-consistent retrieval. RAN is the all-pairs "
+        "mean attribute difference (the paper's random baseline)."
+    )
+    result.notes.append(
+        "Deviation: at the loosest cutoffs our top-similar sets "
+        "over-represent hub nodes (the scaled generator's citation "
+        "tail is much shorter than arXiv's), so absolute gaps exceed "
+        "RAN earlier than in the paper; the tight-cutoff ordering and "
+        "the RWR pathology match."
+    )
+    return result

@@ -1,0 +1,124 @@
+"""Figure 6(c): average similarity of role-grouped node-pairs.
+
+Nodes are ranked by role proxy (#-citation / H-index) and cut into
+ten deciles; averages run over *stored* pairs (score >= the paper's
+1e-4 storage clip). The paper's claims:
+
+* *within* a decile, SimRank*'s average similarity is **stable**
+  across deciles, while SimRank's fluctuates;
+* *across* deciles on the citation graph, SimRank*'s average
+  similarity **decreases** as the decile gap grows, while SimRank's
+  stays flat — "approaching random scoring".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats
+
+from repro.analysis import grouped_similarity
+from repro.bench.harness import ExperimentResult
+from repro.core.sieve import DEFAULT_THRESHOLD
+from repro.datasets import load_dataset
+from repro.measures import SEMANTIC_MEASURES
+
+C = 0.6
+ITERATIONS = 10
+NUM_GROUPS = 10
+MEASURE_SUBSET = ("eSR*", "RWR", "SR")  # the measures Figure 6(c) plots
+MIN_DELTA = 3  # the paper's x-axis starts at decile (gap) 3
+
+
+def _stability(values: dict) -> float:
+    """Coefficient of variation — low = the 'stable line' claim."""
+    arr = np.array(list(values.values()))
+    mean = arr.mean()
+    return float(arr.std() / mean) if mean > 0 else float("inf")
+
+
+def _trend(cross: dict) -> float:
+    """Spearman correlation of cross-average vs decile gap."""
+    if len(cross) < 3:
+        return float("nan")
+    deltas = sorted(cross)
+    return float(
+        scipy.stats.spearmanr(deltas, [cross[d] for d in deltas]).statistic
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 6(c) on both role-labelled datasets."""
+    result = ExperimentResult(
+        name="Figure 6(c): grouped within/cross-role similarity"
+    )
+    grouped_all: dict[str, dict[str, tuple[dict, dict]]] = {}
+    for dataset_name in ("cit-hepth", "dblp"):
+        ds = load_dataset(dataset_name)
+        grouped: dict[str, tuple[dict, dict]] = {}
+        for label in MEASURE_SUBSET:
+            scores = SEMANTIC_MEASURES[label](ds.graph, C, ITERATIONS)
+            grouped[label] = grouped_similarity(
+                scores,
+                ds.node_attribute,
+                num_groups=NUM_GROUPS,
+                min_score=DEFAULT_THRESHOLD,
+            )
+        grouped_all[dataset_name] = grouped
+        rows = []
+        for label, (within, cross) in grouped.items():
+            rows.append(
+                {
+                    "Measure": f"{label} (within)",
+                    **{
+                        str(g): round(v, 4)
+                        for g, v in within.items()
+                        if g >= MIN_DELTA
+                    },
+                }
+            )
+            rows.append(
+                {
+                    "Measure": f"{label} (cross)",
+                    **{
+                        str(d): round(v, 4)
+                        for d, v in cross.items()
+                        if d >= MIN_DELTA
+                    },
+                }
+            )
+        result.tables[
+            f"{dataset_name}: avg similarity by decile "
+            f"({ds.attribute_name}, stored pairs)"
+        ] = rows
+
+    cit = grouped_all["cit-hepth"]
+    result.add_check(
+        "cit-hepth: eSR* within-role averages more stable than SR's",
+        _stability(cit["eSR*"][0]) < _stability(cit["SR"][0]),
+    )
+    result.add_check(
+        "cit-hepth: eSR* cross-role similarity decreases with gap",
+        _trend(cit["eSR*"][1]) <= -0.5,
+    )
+    result.add_check(
+        "cit-hepth: SR's cross-role trend is flatter (near random)",
+        _trend(cit["SR"][1]) > _trend(cit["eSR*"][1]),
+    )
+    dblp = grouped_all["dblp"]
+    result.add_check(
+        "dblp: eSR* within-role averages more stable than RWR's",
+        _stability(dblp["eSR*"][0]) < _stability(dblp["RWR"][0]),
+    )
+    result.notes.append(
+        "Averages run over stored pairs (>= 1e-4), matching the "
+        "paper's storage clip; columns start at decile/gap 3 as in "
+        "its plot."
+    )
+    result.notes.append(
+        "Deviation: on the DBLP stand-in the cross-role trend is not "
+        "decreasing — the scaled collaboration model is "
+        "degree-disassortative (leads team with arbitrary topical "
+        "partners), unlike real DBLP where prominent authors "
+        "co-publish with prominent authors."
+    )
+    return result

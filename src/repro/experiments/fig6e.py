@@ -1,0 +1,206 @@
+"""Figure 6(e): time efficiency of the five implementations.
+
+Three panels, as in the paper: the growing DBLP snapshots at fixed
+accuracy eps = 0.001, and iteration sweeps on the Web-Google and
+CitPatent stand-ins. Two cost columns are reported:
+
+* wall-clock seconds (scipy sparse kernels), and
+* the machine-independent operation count of the paper's cost model
+  (additions + assignments: ``2 K n m`` for psum-SR, ``K n m`` for
+  iter-gSR*, ``K n m~`` for the memo variants).
+
+Checks target the right column for each claim: the eSR*-vs-baseline
+wall-clock speedups reproduce at this scale (the paper's 2.6x / 3.1x
+over psum-SR on Web-Google / CitPatent), while memo-gSR*'s advantage
+over iter-gSR* shows in the operation counts — at laptop scale its
+1-17% edge-count saving is smaller than sparse-kernel call overhead
+(the paper's graphs compress 30-50%), a deviation noted in the
+output.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, timed
+from repro.bigraph import compress_graph
+from repro.baselines.psum import psum_operation_count
+from repro.core import iterations_for_accuracy, memo_operation_count
+from repro.datasets import load_dataset
+from repro.measures import TIMED_ALGORITHMS
+
+C = 0.6
+EPSILON = 1e-3
+
+
+def _iterations(label: str, epsilon: float = EPSILON) -> int:
+    variant = "exponential" if "eSR" in label else "geometric"
+    return iterations_for_accuracy(C, epsilon, variant)
+
+
+def _operation_count(label: str, graph, k: int) -> int | None:
+    if label == "psum-SR":
+        return psum_operation_count(graph, k)
+    if label == "iter-gSR*":
+        return k * graph.num_nodes * graph.num_edges
+    if label.startswith("memo"):
+        return memo_operation_count(compress_graph(graph), k)
+    return None  # mtx-SR has no comparable additive cost model
+
+
+def _panel_fixed_epsilon(result: ExperimentResult) -> dict:
+    times: dict[str, dict[str, float]] = {}
+    rows = []
+    for name in ("d05", "d08", "d11"):
+        graph = load_dataset(name).graph
+        row: dict = {"Dataset": name}
+        times[name] = {}
+        for label, fn in TIMED_ALGORITHMS.items():
+            k = _iterations(label)
+            _, seconds = timed(fn, graph, C, k)
+            times[name][label] = seconds
+            row[label + " (s)"] = round(seconds, 3)
+            ops = _operation_count(label, graph, k)
+            if ops is not None:
+                row[label + " ops"] = ops
+        rows.append(row)
+    result.tables[
+        f"DBLP snapshots at eps = {EPSILON} (K_geo = "
+        f"{_iterations('iter-gSR*')}, K_exp = {_iterations('memo-eSR*')})"
+    ] = rows
+    return times
+
+
+def _panel_k_sweep(
+    result: ExperimentResult, dataset: str, k_values: tuple[int, ...]
+) -> dict:
+    graph = load_dataset(dataset).graph
+    labels = [l for l in TIMED_ALGORITHMS if l != "mtx-SR"]
+    times: dict[int, dict[str, float]] = {}
+    rows = []
+    for k in k_values:
+        row: dict = {"K": k}
+        times[k] = {}
+        for label in labels:
+            _, seconds = timed(TIMED_ALGORITHMS[label], graph, C, k)
+            times[k][label] = seconds
+            row[label + " (s)"] = round(seconds, 3)
+        rows.append(row)
+    result.tables[f"{dataset}: elapsed time vs K"] = rows
+    return times
+
+
+def _panel_epsilon_matched(result: ExperimentResult) -> dict:
+    """Accuracy-matched comparison on the two large stand-ins.
+
+    The exponential variant's factorial convergence means far fewer
+    iterations for the same eps — this is where the paper's headline
+    speedups (2.6x / 3.1x over psum-SR) come from.
+    """
+    labels = [l for l in TIMED_ALGORITHMS if l != "mtx-SR"]
+    times: dict[str, dict[str, float]] = {}
+    rows = []
+    for name in ("web-google", "cit-patent"):
+        graph = load_dataset(name).graph
+        times[name] = {}
+        row: dict = {"Dataset": name}
+        for label in labels:
+            k = _iterations(label)
+            _, seconds = timed(TIMED_ALGORITHMS[label], graph, C, k)
+            times[name][label] = seconds
+            row[f"{label} (s, K={k})"] = round(seconds, 3)
+        rows.append(row)
+    result.tables[f"Accuracy-matched runs at eps = {EPSILON}"] = rows
+    return times
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate the three Figure 6(e) panels."""
+    result = ExperimentResult(name="Figure 6(e): time efficiency")
+    dblp_times = _panel_fixed_epsilon(result)
+    web_ks = (5, 10) if fast else (5, 10, 15, 20)
+    pat_ks = (3, 6) if fast else (3, 6, 9, 12)
+    web_times = _panel_k_sweep(result, "web-google", web_ks)
+    pat_times = _panel_k_sweep(result, "cit-patent", pat_ks)
+    eps_times = _panel_epsilon_matched(result)
+
+    # --- wall-clock claims that reproduce at laptop scale ------------
+    for name in ("d05", "d08", "d11"):
+        result.add_check(
+            f"{name}: psum-SR slower than iter-gSR* (double vs single "
+            "summation)",
+            dblp_times[name]["psum-SR"] > dblp_times[name]["iter-gSR*"],
+        )
+    result.add_check(
+        "d11: mtx-SR is the slowest SimRank solver (costly SVD)",
+        dblp_times["d11"]["mtx-SR"]
+        > max(
+            dblp_times["d11"]["psum-SR"], dblp_times["d11"]["iter-gSR*"]
+        ),
+    )
+    for sweep_name, sweep in (
+        ("web-google", web_times),
+        ("cit-patent", pat_times),
+    ):
+        ks = sorted(sweep)
+        for algo in ("memo-eSR*", "memo-gSR*", "iter-gSR*", "psum-SR"):
+            # endpoint comparison with slack: per-point wall clock is
+            # noisy, but a linear-in-K iteration must cost clearly
+            # more at 3-4x the iterations.
+            result.add_check(
+                f"{sweep_name} {algo}: time grows from K={ks[0]} to "
+                f"K={ks[-1]} (linear-in-K iteration)",
+                sweep[ks[-1]][algo] > 1.2 * sweep[ks[0]][algo],
+            )
+    for k in sorted(web_times):
+        result.add_check(
+            f"web-google K={k}: psum-SR slower than iter-gSR* "
+            "(two products vs one)",
+            web_times[k]["psum-SR"] > web_times[k]["iter-gSR*"],
+        )
+    for name in ("web-google", "cit-patent"):
+        result.add_check(
+            f"{name} (eps-matched): memo-eSR* is the fastest variant",
+            eps_times[name]["memo-eSR*"] == min(eps_times[name].values()),
+        )
+    speedup_web = (
+        eps_times["web-google"]["psum-SR"]
+        / eps_times["web-google"]["memo-eSR*"]
+    )
+    result.add_check(
+        "web-google: memo-eSR* at least 2x faster than psum-SR "
+        "(paper: 2.6x)",
+        speedup_web >= 2.0,
+    )
+    speedup_pat = (
+        eps_times["cit-patent"]["psum-SR"]
+        / eps_times["cit-patent"]["memo-eSR*"]
+    )
+    result.add_check(
+        "cit-patent: memo-eSR* at least 2x faster than psum-SR "
+        "(paper: 3.1x)",
+        speedup_pat >= 2.0,
+    )
+
+    # --- operation-count claims (machine independent) -----------------
+    for name in ("d05", "d08", "d11"):
+        graph = load_dataset(name).graph
+        k = _iterations("iter-gSR*")
+        memo_ops = _operation_count("memo-gSR*", graph, k)
+        iter_ops = _operation_count("iter-gSR*", graph, k)
+        psum_ops = _operation_count("psum-SR", graph, k)
+        result.add_check(
+            f"{name}: operation counts memo-gSR* < iter-gSR* < psum-SR",
+            memo_ops < iter_ops < psum_ops,
+        )
+    result.notes.append(
+        f"measured speedups: memo-eSR* vs psum-SR = {speedup_web:.1f}x "
+        f"on web-google (paper 2.6x), {speedup_pat:.1f}x on cit-patent "
+        "(paper 3.1x)."
+    )
+    result.notes.append(
+        "Deviation: memo-gSR*'s wall-clock advantage over iter-gSR* "
+        "does not materialise at this scale — the stand-ins compress "
+        "only 1-17% (the paper's corpora reach 30-50%), which sparse-"
+        "kernel call overhead absorbs; the operation-count column "
+        "shows the per-iteration saving the paper reports."
+    )
+    return result

@@ -1,0 +1,82 @@
+"""Figure 6(f): amortized time of the two memo-SR* phases.
+
+Splits each memoized run into its "Compress Bigraph" (preprocessing,
+Algorithm 1 lines 1-2) and "Share Sums" (iterations) phases on the
+two large stand-ins. The paper's claims:
+
+* preprocessing is much cheaper than iterating (an order of magnitude
+  on Web-Google, ~2.5 orders on CitPatent);
+* the compress phase takes a *larger share* of memo-eSR*'s total than
+  of memo-gSR*'s (same preprocessing, fewer iterations), because
+  eSR*'s "Share Sums" phase is ~3-4x shorter.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.core import run_memo_esr, run_memo_gsr
+from repro.datasets import load_dataset
+
+C = 0.6
+EPSILON = 1e-3
+DATASETS = ("web-google", "cit-patent")
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 6(f) phase splits."""
+    result = ExperimentResult(
+        name="Figure 6(f): amortized time per phase"
+    )
+    runs: dict[tuple[str, str], object] = {}
+    rows = []
+    for dataset in DATASETS:
+        graph = load_dataset(dataset).graph
+        for label, runner in (
+            ("memo-eSR*", run_memo_esr),
+            ("memo-gSR*", run_memo_gsr),
+        ):
+            outcome = runner(graph, C, num_iterations=None, epsilon=EPSILON)
+            runs[(dataset, label)] = outcome
+            share = outcome.compress_seconds / outcome.total_seconds
+            rows.append(
+                {
+                    "Dataset": dataset,
+                    "Algorithm": label,
+                    "Compress Bigraph (s)": round(
+                        outcome.compress_seconds, 3
+                    ),
+                    "Share Sums (s)": round(outcome.iterate_seconds, 3),
+                    "compress share %": round(100 * share, 1),
+                }
+            )
+    result.tables[f"Phase split at eps = {EPSILON}"] = rows
+
+    for dataset in DATASETS:
+        esr = runs[(dataset, "memo-eSR*")]
+        gsr = runs[(dataset, "memo-gSR*")]
+        result.add_check(
+            f"{dataset}: compressing is cheaper than iterating "
+            "(both variants)",
+            esr.compress_seconds < esr.iterate_seconds
+            and gsr.compress_seconds < gsr.iterate_seconds,
+        )
+        result.add_check(
+            f"{dataset}: compress phase is a larger share of "
+            "memo-eSR* than of memo-gSR*",
+            esr.compress_seconds / esr.total_seconds
+            > gsr.compress_seconds / gsr.total_seconds,
+        )
+        result.add_check(
+            f"{dataset}: memo-eSR* 'Share Sums' at least 2x shorter "
+            "than memo-gSR*'s (paper: 3.5-3.8x)",
+            gsr.iterate_seconds >= 2.0 * esr.iterate_seconds,
+        )
+    result.add_check(
+        "compress share smaller on cit-patent than web-google "
+        "(paper: 0.1-0.3% vs 4-13%)",
+        runs[("cit-patent", "memo-gSR*")].compress_seconds
+        / runs[("cit-patent", "memo-gSR*")].total_seconds
+        < runs[("web-google", "memo-gSR*")].compress_seconds
+        / runs[("web-google", "memo-gSR*")].total_seconds,
+    )
+    return result

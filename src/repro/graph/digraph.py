@@ -1,0 +1,294 @@
+"""A plain directed graph with dense integer node ids.
+
+This is the single graph substrate used throughout the package. It is
+deliberately minimal: nodes are the integers ``0 .. n-1``, parallel edges
+collapse, and optional string labels map user-facing names to ids (the
+paper's Figure 1 uses letters ``a .. k``).
+
+The similarity algorithms consume graphs through two views:
+
+* neighbour lists (``in_neighbors`` / ``out_neighbors``) for the
+  node-at-a-time algorithms (naive SimRank, Algorithm 1 memoization);
+* sparse matrices built by :mod:`repro.graph.matrices` for the
+  vectorised iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """Directed graph on nodes ``0 .. num_nodes - 1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes. Must be non-negative.
+    edges:
+        Optional iterable of ``(u, v)`` pairs meaning an edge ``u -> v``.
+        Duplicates collapse silently; self-loops are allowed (cycles are
+        permitted by the paper's path definition).
+    labels:
+        Optional sequence of ``num_nodes`` distinct hashable labels.
+
+    Examples
+    --------
+    >>> g = DiGraph(3, edges=[(0, 1), (1, 2)])
+    >>> g.out_neighbors(0)
+    (1,)
+    >>> g.in_neighbors(2)
+    (1,)
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]] = (),
+        labels: Sequence | None = None,
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._n = int(num_nodes)
+        self._out: list[set[int]] = [set() for _ in range(self._n)]
+        self._in: list[set[int]] = [set() for _ in range(self._n)]
+        self._m = 0
+        self._labels: list | None = None
+        self._label_to_node: dict = {}
+        if labels is not None:
+            self.set_labels(labels)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]],
+        num_nodes: int | None = None,
+        labels: Sequence | None = None,
+    ) -> "DiGraph":
+        """Build a graph from integer edge pairs.
+
+        When ``num_nodes`` is omitted it is inferred as ``max id + 1``.
+        """
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        if num_nodes is None:
+            num_nodes = 1 + max(
+                (max(u, v) for u, v in edge_list), default=-1
+            )
+        return cls(num_nodes, edges=edge_list, labels=labels)
+
+    @classmethod
+    def from_label_edges(cls, edges: Iterable[tuple]) -> "DiGraph":
+        """Build a graph from labelled edge pairs, assigning dense ids.
+
+        Node ids are assigned in first-appearance order, which keeps
+        small hand-written examples (like the paper's Figure 1 graph)
+        stable and readable.
+
+        >>> g = DiGraph.from_label_edges([("a", "b"), ("b", "c")])
+        >>> g.node_of("c")
+        2
+        """
+        label_order: list = []
+        seen: dict = {}
+        int_edges: list[tuple[int, int]] = []
+        for u, v in edges:
+            for x in (u, v):
+                if x not in seen:
+                    seen[x] = len(label_order)
+                    label_order.append(x)
+            int_edges.append((seen[u], seen[v]))
+        return cls(len(label_order), edges=int_edges, labels=label_order)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``u -> v`` (no-op if it already exists)."""
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._out[u]:
+            self._out[u].add(v)
+            self._in[v].add(u)
+            self._m += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``u -> v``; raises ``KeyError`` if absent."""
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._out[u]:
+            raise KeyError(f"edge {u} -> {v} not in graph")
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._m -= 1
+
+    def set_labels(self, labels: Sequence) -> None:
+        """Attach one distinct hashable label per node."""
+        labels = list(labels)
+        if len(labels) != self._n:
+            raise ValueError(
+                f"expected {self._n} labels, got {len(labels)}"
+            )
+        if len(set(labels)) != len(labels):
+            raise ValueError("labels must be distinct")
+        self._labels = labels
+        self._label_to_node = {lab: i for i, lab in enumerate(labels)}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m``."""
+        return self._m
+
+    @property
+    def density(self) -> float:
+        """Average degree ``m / n`` (the paper's Figure 5 density)."""
+        return self._m / self._n if self._n else 0.0
+
+    @property
+    def labels(self) -> list | None:
+        """Node labels in id order, or ``None`` if unlabelled."""
+        return list(self._labels) if self._labels is not None else None
+
+    def nodes(self) -> range:
+        """Iterate node ids ``0 .. n-1``."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges as ``(u, v)`` pairs in sorted order."""
+        for u in range(self._n):
+            for v in sorted(self._out[u]):
+                yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff edge ``u -> v`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._out[u]
+
+    def in_neighbors(self, v: int) -> tuple[int, ...]:
+        """The in-neighbour set ``I(v)`` as a sorted tuple."""
+        self._check_node(v)
+        return tuple(sorted(self._in[v]))
+
+    def out_neighbors(self, v: int) -> tuple[int, ...]:
+        """The out-neighbour set ``O(v)`` as a sorted tuple."""
+        self._check_node(v)
+        return tuple(sorted(self._out[v]))
+
+    def in_degree(self, v: int) -> int:
+        """``|I(v)|``."""
+        self._check_node(v)
+        return len(self._in[v])
+
+    def out_degree(self, v: int) -> int:
+        """``|O(v)|``."""
+        self._check_node(v)
+        return len(self._out[v])
+
+    def in_degrees(self) -> np.ndarray:
+        """All in-degrees as an ``int64`` vector."""
+        return np.array([len(s) for s in self._in], dtype=np.int64)
+
+    def out_degrees(self) -> np.ndarray:
+        """All out-degrees as an ``int64`` vector."""
+        return np.array([len(s) for s in self._out], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def label_of(self, v: int):
+        """Label of node ``v`` (the id itself when unlabelled)."""
+        self._check_node(v)
+        return self._labels[v] if self._labels is not None else v
+
+    def node_of(self, label) -> int:
+        """Node id carrying ``label``."""
+        if self._labels is None:
+            raise KeyError("graph has no labels")
+        try:
+            return self._label_to_node[label]
+        except KeyError:
+            raise KeyError(f"no node labelled {label!r}") from None
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "DiGraph":
+        """The graph with every edge direction flipped."""
+        rev = DiGraph(self._n, labels=self._labels)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def to_undirected(self) -> "DiGraph":
+        """Symmetric closure: each edge doubled into both directions.
+
+        This is how the paper treats the undirected DBLP graph — an
+        undirected edge is a pair of opposing directed edges, so all
+        directed-graph algorithms apply unchanged.
+        """
+        sym = DiGraph(self._n, labels=self._labels)
+        for u, v in self.edges():
+            sym.add_edge(u, v)
+            sym.add_edge(v, u)
+        return sym
+
+    def copy(self) -> "DiGraph":
+        """An independent structural copy."""
+        return DiGraph(self._n, edges=self.edges(), labels=self._labels)
+
+    def is_symmetric(self) -> bool:
+        """True iff every edge has its reverse (i.e. undirected)."""
+        return all(u in self._out[v] for u, v in self.edges())
+
+    def has_self_loops(self) -> bool:
+        """True iff some node links to itself."""
+        return any(v in self._out[v] for v in range(self._n))
+
+    def sources(self) -> list[int]:
+        """Nodes with no in-edges (``I(v) = {}``) — zero SimRank rows."""
+        return [v for v in range(self._n) if not self._in[v]]
+
+    def sinks(self) -> list[int]:
+        """Nodes with no out-edges (``O(v) = {}``)."""
+        return [v for v in range(self._n) if not self._out[v]]
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._out == other._out
+            and self._labels == other._labels
+        )
+
+    def __hash__(self):  # mutable container
+        raise TypeError("DiGraph is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self._n}, m={self._m})"
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise IndexError(
+                f"node {v} out of range for graph with {self._n} nodes"
+            )

@@ -1,0 +1,53 @@
+"""Plain-text edge-list IO.
+
+Format: one ``u v`` pair per line (whitespace separated, ``#`` comments
+allowed). An optional header line ``# nodes: N`` pins the node count so
+isolated trailing nodes survive a round-trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+_NODES_HEADER = "# nodes:"
+
+
+def write_edge_list(graph: DiGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"{_NODES_HEADER} {graph.num_nodes}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: str | Path) -> DiGraph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Files without the ``# nodes:`` header infer the node count from the
+    largest id seen.
+    """
+    path = Path(path)
+    num_nodes: int | None = None
+    edges: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(_NODES_HEADER):
+                num_nodes = int(line[len(_NODES_HEADER):])
+                continue
+            if line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 'u v', got {line!r}"
+                )
+            edges.append((int(parts[0]), int(parts[1])))
+    return DiGraph.from_edges(edges, num_nodes=num_nodes)

@@ -1,0 +1,76 @@
+"""Sparse linear-algebra views of a :class:`~repro.graph.DiGraph`.
+
+Matrix conventions follow the paper (Section 2):
+
+* ``A`` — adjacency matrix, ``[A]_{ij} = 1`` iff there is an edge
+  ``i -> j``.
+* ``Q`` — *backward* transition matrix, the row-normalised ``A^T``:
+  ``[Q]_{ij} = 1 / |I(i)|`` iff there is an edge ``j -> i``. Rows of
+  nodes with no in-edges are all zero.
+* ``W`` — *forward* transition matrix, the row-normalised ``A`` used by
+  RWR / Personalized PageRank: ``[W]_{ij} = 1 / |O(i)|`` iff ``i -> j``.
+
+All builders return ``scipy.sparse.csr_array`` in ``float64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "adjacency_matrix",
+    "backward_transition_matrix",
+    "forward_transition_matrix",
+    "row_normalize",
+]
+
+
+def adjacency_matrix(graph: DiGraph) -> sp.csr_array:
+    """The 0/1 adjacency matrix ``A`` with ``[A]_{ij} = 1`` iff ``i -> j``."""
+    n = graph.num_nodes
+    rows, cols = [], []
+    for u, v in graph.edges():
+        rows.append(u)
+        cols.append(v)
+    data = np.ones(len(rows), dtype=np.float64)
+    return sp.csr_array((data, (rows, cols)), shape=(n, n))
+
+
+def row_normalize(matrix: sp.sparray) -> sp.csr_array:
+    """Divide each row by its sum; all-zero rows stay zero.
+
+    The zero-row convention matches the paper's handling of nodes with
+    no in-neighbours: SimRank (and SimRank*) propagate nothing *into*
+    such nodes, which the zero row of ``Q`` encodes exactly.
+    """
+    csr = sp.csr_array(matrix, dtype=np.float64, copy=True)
+    row_sums = np.asarray(csr.sum(axis=1)).ravel()
+    scale = np.divide(
+        1.0,
+        row_sums,
+        out=np.zeros_like(row_sums, dtype=np.float64),
+        where=row_sums != 0,
+    )
+    diag = sp.dia_array(
+        (scale[np.newaxis, :], [0]), shape=(len(scale), len(scale))
+    )
+    return sp.csr_array(diag @ csr)
+
+
+def backward_transition_matrix(graph: DiGraph) -> sp.csr_array:
+    """The paper's ``Q``: row-normalised transpose of the adjacency.
+
+    ``[Q]_{ij} = 1 / |I(i)|`` when ``j in I(i)``, else 0.
+    """
+    return row_normalize(adjacency_matrix(graph).T)
+
+
+def forward_transition_matrix(graph: DiGraph) -> sp.csr_array:
+    """The RWR transition ``W``: row-normalised adjacency.
+
+    ``[W]_{ij} = 1 / |O(i)|`` when ``j in O(i)``, else 0.
+    """
+    return row_normalize(adjacency_matrix(graph))

@@ -1,0 +1,69 @@
+"""Summary statistics for graphs (drives the Figure 5 dataset table)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphStats", "degree_histogram", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The quantities the paper's Figure 5 reports per dataset."""
+
+    num_nodes: int
+    num_edges: int
+    density: float  # |E| / |V|, the paper's "Density" column
+    max_in_degree: int
+    max_out_degree: int
+    mean_in_degree: float
+    num_sources: int  # nodes with no in-edges (zero SimRank rows)
+    num_sinks: int  # nodes with no out-edges
+    is_symmetric: bool  # True for undirected datasets such as DBLP
+
+    def as_row(self) -> dict:
+        """Figure-5-style table row."""
+        return {
+            "|G|": self.num_nodes + self.num_edges,
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "Density": round(self.density, 1),
+        }
+
+
+def graph_stats(graph: DiGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    in_deg = graph.in_degrees()
+    out_deg = graph.out_degrees()
+    n = graph.num_nodes
+    return GraphStats(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        density=graph.density,
+        max_in_degree=int(in_deg.max()) if n else 0,
+        max_out_degree=int(out_deg.max()) if n else 0,
+        mean_in_degree=float(in_deg.mean()) if n else 0.0,
+        num_sources=int((in_deg == 0).sum()),
+        num_sinks=int((out_deg == 0).sum()),
+        is_symmetric=graph.is_symmetric(),
+    )
+
+
+def degree_histogram(graph: DiGraph, direction: str = "in") -> np.ndarray:
+    """Histogram ``h[d] = #nodes with degree d``.
+
+    ``direction`` is ``"in"`` or ``"out"``.
+    """
+    if direction == "in":
+        degrees = graph.in_degrees()
+    elif direction == "out":
+        degrees = graph.out_degrees()
+    else:
+        raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
+    if len(degrees) == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)

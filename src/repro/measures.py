@@ -1,0 +1,97 @@
+"""Uniform registry of all similarity measures under comparison.
+
+Maps the paper's algorithm labels to callables with a single
+signature, so the experiment harness and benchmarks can sweep them::
+
+    compute_measure("gSR*", graph, c=0.6)   # -> (n, n) score matrix
+
+Labels follow Figure 6: ``eSR*``, ``gSR*`` (our algorithms), ``SR``,
+``PR``, ``RWR`` (baselines), plus the implementation variants used by
+the efficiency experiments (``memo-gSR*``, ``memo-eSR*``,
+``iter-gSR*``, ``psum-SR``, ``mtx-SR``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    mtx_simrank,
+    prank_matrix,
+    psum_simrank_fast,
+    rwr,
+    simrank_matrix,
+)
+from repro.core import (
+    iterations_for_accuracy,
+    memo_simrank_star_exponential,
+    memo_simrank_star_factorized,
+    simrank_star,
+    simrank_star_exponential,
+)
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "MEASURES",
+    "MTX_BENCH_RANK",
+    "SEMANTIC_MEASURES",
+    "TIMED_ALGORITHMS",
+    "compute_measure",
+]
+
+
+def _esr(graph: DiGraph, c: float, num_iterations: int) -> np.ndarray:
+    # match geometric accuracy: the exponential variant converges
+    # factorially, so its K for the same epsilon is smaller.
+    epsilon = max(c ** (num_iterations + 1), 1e-12)
+    k = iterations_for_accuracy(c, epsilon, "exponential")
+    return simrank_star_exponential(graph, c, num_iterations=max(k, 2))
+
+
+# Semantic measures, keyed by the labels of Figure 6(a)-(c).
+SEMANTIC_MEASURES: dict[str, Callable] = {
+    "eSR*": _esr,
+    "gSR*": lambda g, c, k: simrank_star(g, c, k),
+    "SR": lambda g, c, k: simrank_matrix(g, c, k),
+    "PR": lambda g, c, k: prank_matrix(g, c, 0.5, k),
+    "RWR": lambda g, c, k: rwr(g, c, k),
+}
+
+# Implementation variants timed by Figure 6(e)-(h). All evaluate at
+# the same abstraction level (sparse-dense products), so wall-clock
+# ratios reflect per-iteration operator cost: psum-SR two m-nnz
+# products, iter-gSR* one, memo-gSR* one of m~ nnz, memo-eSR* fewer
+# iterations. mtx-SR's rank is capped at 48 — large enough that its
+# r^2 x r^2 inner solve dominates both time and memory (the scaling
+# failure the paper reports), small enough to terminate; full rank is
+# infeasible.
+MTX_BENCH_RANK = 48
+
+TIMED_ALGORITHMS: dict[str, Callable] = {
+    "memo-eSR*": lambda g, c, k: memo_simrank_star_exponential(g, c, k),
+    "memo-gSR*": lambda g, c, k: memo_simrank_star_factorized(g, c, k),
+    "iter-gSR*": lambda g, c, k: simrank_star(g, c, k),
+    "psum-SR": lambda g, c, k: psum_simrank_fast(g, c, k),
+    "mtx-SR": lambda g, c, k: mtx_simrank(g, c, rank=MTX_BENCH_RANK),
+}
+
+MEASURES: dict[str, Callable] = {**SEMANTIC_MEASURES, **TIMED_ALGORITHMS}
+
+
+def compute_measure(
+    name: str, graph: DiGraph, c: float = 0.6, num_iterations: int = 5
+) -> np.ndarray:
+    """Run the measure registered under ``name``.
+
+    ``num_iterations`` is interpreted per measure (the exponential
+    variants translate it into an equivalent accuracy target).
+    """
+    try:
+        fn = MEASURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown measure {name!r}; choose from {sorted(MEASURES)}"
+        ) from None
+    return fn(graph, c, num_iterations)

@@ -1,0 +1,272 @@
+"""Tests for ranking metrics, ground truth, zero-similarity census,
+and role analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    evaluate_ranking,
+    grouped_similarity,
+    kendall_concordance,
+    ndcg,
+    ndcg_for_scores,
+    query_ground_truth,
+    spearman_rho,
+    stratified_queries,
+    top_pair_attribute_difference,
+    topic_cosine_matrix,
+    zero_similarity_census,
+)
+from repro.graph import (
+    DiGraph,
+    figure1_citation_graph,
+    path_graph,
+    random_digraph,
+    two_ray_path,
+)
+
+
+class TestKendall:
+    def test_identical_rankings(self):
+        assert kendall_concordance([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert kendall_concordance([1, 2, 3], [30, 20, 10]) == 0.0
+
+    def test_half_concordant(self):
+        # one of three pairs concordant... [2,1,3]: pairs (0,1) disc,
+        # (0,2) conc, (1,2) conc -> 2/3
+        assert kendall_concordance([1, 2, 3], [2, 1, 3]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_ties_concordant_only_when_tied_in_both(self):
+        assert kendall_concordance([1, 1], [2, 2]) == 1.0
+        assert kendall_concordance([1, 1], [1, 2]) == 0.0
+
+    def test_single_element(self):
+        assert kendall_concordance([5], [7]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_concordance([1, 2], [1, 2, 3])
+
+
+class TestSpearman:
+    def test_perfect(self):
+        assert spearman_rho([1, 2, 3, 4], [2, 4, 6, 8]) == 1.0
+
+    def test_reversed(self):
+        assert spearman_rho([1, 2, 3, 4], [8, 6, 4, 2]) == -1.0
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(50), rng.random(50)
+        import scipy.stats
+
+        assert spearman_rho(a, b) == pytest.approx(
+            scipy.stats.spearmanr(a, b).statistic
+        )
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            spearman_rho(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestNDCG:
+    def test_perfect_order(self):
+        assert ndcg([1.0, 0.8, 0.2]) == 1.0
+
+    def test_worst_order_below_one(self):
+        assert ndcg([0.0, 0.1, 1.0]) < 1.0
+
+    def test_cutoff(self):
+        full = ndcg([0.2, 1.0, 0.8])
+        top2 = ndcg([0.2, 1.0, 0.8], p=2)
+        assert 0 < top2 <= 1 and 0 < full <= 1
+
+    def test_all_zero_relevance(self):
+        assert ndcg([0.0, 0.0]) == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            ndcg([1.0], p=0)
+
+    def test_ndcg_for_scores_perfect(self):
+        truth = np.array([0.9, 0.1, 0.5])
+        assert ndcg_for_scores(truth, truth) == pytest.approx(1.0)
+
+    def test_ndcg_for_scores_penalises_bad_retrieval(self):
+        truth = np.array([1.0, 0.9, 0.0, 0.0])
+        good = ndcg_for_scores(np.array([10, 9, 1, 0]), truth, p=2)
+        bad = ndcg_for_scores(np.array([0, 1, 9, 10]), truth, p=2)
+        assert good == pytest.approx(1.0)
+        assert bad < 0.1
+
+    def test_evaluate_ranking_keys(self):
+        out = evaluate_ranking([1, 2, 3], [1, 2, 3])
+        assert set(out) == {"kendall", "spearman", "ndcg"}
+        assert all(v == 1.0 for v in out.values())
+
+
+class TestGroundTruth:
+    def test_cosine_matrix_properties(self):
+        rng = np.random.default_rng(1)
+        topics = rng.dirichlet(np.ones(5), size=20)
+        cos = topic_cosine_matrix(topics)
+        np.testing.assert_allclose(np.diag(cos), 1.0)
+        np.testing.assert_allclose(cos, cos.T)
+        assert cos.min() >= 0.0 and cos.max() <= 1.0 + 1e-12
+
+    def test_query_vector_matches_matrix_column(self):
+        rng = np.random.default_rng(2)
+        topics = rng.dirichlet(np.ones(4), size=10)
+        cos = topic_cosine_matrix(topics)
+        np.testing.assert_allclose(
+            query_ground_truth(topics, 3), cos[:, 3]
+        )
+
+    def test_query_out_of_range(self):
+        with pytest.raises(IndexError):
+            query_ground_truth(np.ones((3, 2)), 5)
+
+    def test_rejects_1d_topics(self):
+        with pytest.raises(ValueError):
+            topic_cosine_matrix(np.ones(5))
+
+    def test_stratified_queries_cover_degree_spectrum(self):
+        g = random_digraph(200, 900, seed=3)
+        queries = stratified_queries(g, 50, num_groups=5, seed=0)
+        assert len(queries) == 50
+        assert len(set(queries)) == 50  # no duplicates within groups
+        degrees = g.in_degrees()[queries]
+        # queries must include both low- and high-degree nodes
+        assert degrees.min() <= np.percentile(g.in_degrees(), 25)
+        assert degrees.max() >= np.percentile(g.in_degrees(), 75)
+
+    def test_stratified_queries_validation(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            stratified_queries(g, 0)
+        with pytest.raises(ValueError):
+            stratified_queries(DiGraph(0), 5)
+
+
+class TestZeroSimilarityCensus:
+    def test_figure1_graph(self):
+        census = zero_similarity_census(figure1_citation_graph())
+        # (h, d) is an SR issue; plenty more exist on this DAG-ish graph
+        assert census.simrank_issue > 0.3
+        assert (
+            census.simrank_completely_dissimilar
+            + census.simrank_partially_missing
+            == pytest.approx(census.simrank_issue)
+        )
+        assert (
+            census.rwr_completely_dissimilar
+            + census.rwr_partially_missing
+            == pytest.approx(census.rwr_issue)
+        )
+
+    def test_two_ray_path_counts(self):
+        # On the paper's path example, SimRank misses contributions for
+        # every cross pair of unequal depth plus every same-ray pair.
+        g = two_ray_path(2)  # 5 nodes
+        census = zero_similarity_census(g)
+        # all 20 ordered pairs share the root, so every pair has an
+        # in-link path; the only symmetric-only pairs are the
+        # equal-depth cross pairs (1,3) and (2,4) in both orders —
+        # each is reached solely via the root at equal distance.
+        assert census.simrank_issue == pytest.approx(16 / 20)
+
+    def test_cycle_has_no_completely_dissimilar(self):
+        from repro.graph import cycle_graph
+
+        census = zero_similarity_census(cycle_graph(4))
+        # on a cycle everything reaches everything both ways
+        assert census.rwr_completely_dissimilar == 0.0
+
+    def test_empty_and_single(self):
+        census = zero_similarity_census(DiGraph(1))
+        assert census.simrank_issue == 0.0
+
+    def test_percent_view(self):
+        rows = zero_similarity_census(
+            figure1_citation_graph()
+        ).as_percentages()
+        assert rows["zero-SR issue %"] == pytest.approx(
+            rows["SR completely dissimilar %"]
+            + rows["SR partially missing %"]
+        )
+
+    def test_matches_measure_zero_patterns(self):
+        # census's "completely dissimilar" fraction == fraction of
+        # zero entries in the actual converged measures
+        from repro.baselines import rwr, simrank_matrix
+        from repro.core import simrank_star
+
+        g = random_digraph(15, 45, seed=4)
+        n = g.num_nodes
+        off = ~np.eye(n, dtype=bool)
+        census = zero_similarity_census(g)
+        sr = simrank_matrix(g, 0.6, 60)
+        srs = simrank_star(g, 0.6, 60)
+        sr_zero_with_evidence = ((sr < 1e-13) & (srs > 1e-13) & off).sum()
+        assert census.simrank_completely_dissimilar == pytest.approx(
+            sr_zero_with_evidence / (n * (n - 1))
+        )
+
+
+class TestRoles:
+    def test_top_pairs_have_small_gaps_for_good_measure(self):
+        # build a measure that scores pairs by attribute closeness:
+        # its top pairs must have smaller gaps than random
+        rng = np.random.default_rng(5)
+        attr = rng.integers(0, 100, size=60).astype(float)
+        scores = -np.abs(attr[:, None] - attr[None, :])
+        out = top_pair_attribute_difference(
+            scores, attr, fractions=(0.02, 0.2)
+        )
+        assert out[0.02] <= out[0.2] <= out["random"]
+
+    def test_random_matches_mean_gap(self):
+        rng = np.random.default_rng(6)
+        attr = rng.random(30)
+        scores = rng.random((30, 30))
+        out = top_pair_attribute_difference(scores, attr, fractions=(0.5,))
+        iu, ju = np.triu_indices(30, k=1)
+        assert out["random"] == pytest.approx(
+            np.abs(attr[iu] - attr[ju]).mean()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_pair_attribute_difference(
+                np.ones((3, 3)), np.ones(3), fractions=(0.0,)
+            )
+        with pytest.raises(ValueError):
+            top_pair_attribute_difference(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            top_pair_attribute_difference(np.ones((1, 1)), np.ones(1))
+
+    def test_grouped_similarity_structure(self):
+        rng = np.random.default_rng(7)
+        attr = np.arange(40, dtype=float)
+        scores = rng.random((40, 40))
+        scores = 0.5 * (scores + scores.T)
+        within, cross = grouped_similarity(scores, attr, num_groups=4)
+        assert set(within) <= {1, 2, 3, 4}
+        assert set(cross) <= {1, 2, 3}
+
+    def test_grouped_similarity_detects_role_structure(self):
+        # scores correlated with attribute closeness -> cross decays
+        attr = np.arange(50, dtype=float)
+        scores = 1.0 / (1.0 + np.abs(attr[:, None] - attr[None, :]))
+        within, cross = grouped_similarity(scores, attr, num_groups=5)
+        values = [cross[d] for d in sorted(cross)]
+        assert values == sorted(values, reverse=True)
+        assert min(within.values()) > max(cross.values())
+
+    def test_grouped_similarity_validation(self):
+        with pytest.raises(ValueError):
+            grouped_similarity(np.ones((3, 3)), np.ones(3), num_groups=0)

@@ -1,0 +1,174 @@
+"""Tests for the induced bigraph, biclique mining, edge concentration."""
+
+import numpy as np
+import pytest
+
+from repro.bigraph import (
+    Biclique,
+    compress_graph,
+    induced_bigraph,
+    mine_bicliques,
+)
+from repro.graph import (
+    DiGraph,
+    figure1_citation_graph,
+    path_graph,
+    random_digraph,
+    rmat,
+)
+
+
+class TestInducedBigraph:
+    def test_figure4_structure(self):
+        # Figure 4: T = {a,b,d,e,f,h,j,k}, B = {b,c,d,e,f,g,h,i},
+        # |E~| = |E| = 18.
+        g = figure1_citation_graph()
+        bg = induced_bigraph(g)
+        assert {g.label_of(v) for v in bg.top} == set("abdefhjk")
+        assert {g.label_of(v) for v in bg.bottom} == set("bcdefghi")
+        assert bg.num_edges == g.num_edges == 18
+
+    def test_in_sets_match_graph(self):
+        g = random_digraph(20, 60, seed=0)
+        bg = induced_bigraph(g)
+        for v in bg.bottom:
+            assert bg.in_sets[v] == frozenset(g.in_neighbors(v))
+
+    def test_edgeless_graph(self):
+        bg = induced_bigraph(DiGraph(3))
+        assert bg.top == ()
+        assert bg.bottom == ()
+        assert bg.num_edges == 0
+
+    def test_repr(self):
+        bg = induced_bigraph(path_graph(3))
+        assert "|T|=2" in repr(bg)
+
+
+class TestBicliqueMining:
+    def test_figure4_bicliques_found(self):
+        # The paper's two bicliques: ({b,d}, {c,g,i}) and
+        # ({e,j,k}, {h,i}).
+        g = figure1_citation_graph()
+        found = mine_bicliques(induced_bigraph(g))
+        as_labels = {
+            (
+                frozenset(g.label_of(t) for t in b.tops),
+                frozenset(g.label_of(t) for t in b.bottoms),
+            )
+            for b in found
+        }
+        assert (frozenset("bd"), frozenset("cgi")) in as_labels
+        assert (frozenset("ejk"), frozenset("hi")) in as_labels
+
+    def test_savings_positive_and_disjoint(self):
+        g = rmat(8, 1200, seed=1)
+        found = mine_bicliques(induced_bigraph(g))
+        seen_edges: set[tuple[int, int]] = set()
+        for b in found:
+            assert b.saving > 0
+            assert len(b.tops) >= 2 and len(b.bottoms) >= 2
+            for t in b.tops:
+                for y in b.bottoms:
+                    assert (t, y) not in seen_edges  # edge-disjoint
+                    seen_edges.add((t, y))
+                    assert g.has_edge(t, y)  # real edges only
+
+    def test_biclique_covers_complete_block(self):
+        # Every (top, bottom) pair of a mined biclique must be an edge.
+        g = random_digraph(30, 200, seed=2)
+        for b in mine_bicliques(induced_bigraph(g)):
+            for t in b.tops:
+                for y in b.bottoms:
+                    assert g.has_edge(t, y)
+
+    def test_max_bicliques_cap(self):
+        g = rmat(8, 1200, seed=3)
+        found = mine_bicliques(induced_bigraph(g), max_bicliques=2)
+        assert len(found) <= 2
+
+    def test_no_bicliques_on_path(self):
+        # a path graph has all in-degrees 1: nothing to share
+        assert mine_bicliques(induced_bigraph(path_graph(10))) == []
+
+    def test_biclique_dataclass(self):
+        b = Biclique(frozenset({1, 2}), frozenset({3, 4, 5}))
+        assert b.num_edges == 6
+        assert b.saving == 1
+        assert "X=[1, 2]" in repr(b)
+
+    def test_deterministic(self):
+        g = rmat(7, 500, seed=4)
+        a = mine_bicliques(induced_bigraph(g))
+        b = mine_bicliques(induced_bigraph(g))
+        assert a == b
+
+
+class TestCompression:
+    def test_figure4_edge_reduction(self):
+        # "the number of edges in G^ is decreased by 2": 18 -> 16.
+        g = figure1_citation_graph()
+        compressed = compress_graph(g)
+        assert compressed.num_edges == 16
+        assert compressed.num_concentration_nodes == 2
+        assert compressed.compression_ratio == pytest.approx(2 / 18)
+
+    def test_factorization_reconstructs_adjacency(self):
+        for seed in range(3):
+            g = rmat(7, 600, seed=seed)
+            compress_graph(g).validate()
+
+    def test_factorization_on_figure1(self):
+        compress_graph(figure1_citation_graph()).validate()
+
+    def test_example2_partial_sum_structure(self):
+        # Example 2: Partial_{I(i)} = Partial_{v1} + Partial_{v2} + s(h, .)
+        # and Partial_{I(h)} = Partial_{v2}: after concentration, h's
+        # direct tops are empty and i's are {h}.
+        g = figure1_citation_graph()
+        compressed = compress_graph(g)
+        h, i = g.node_of("h"), g.node_of("i")
+        assert compressed.direct_tops[h] == frozenset()
+        assert compressed.direct_tops[i] == frozenset({h})
+        assert len(compressed.hub_memberships[h]) == 1
+        assert len(compressed.hub_memberships[i]) == 2
+
+    def test_mtilde_never_exceeds_m(self):
+        for seed in range(4):
+            g = random_digraph(40, 300, seed=seed)
+            compressed = compress_graph(g)
+            assert compressed.num_edges <= g.num_edges
+            expected = g.num_edges - sum(
+                b.saving for b in compressed.bicliques
+            )
+            assert compressed.num_edges == expected
+
+    def test_incompressible_graph_unchanged(self):
+        g = path_graph(8)
+        compressed = compress_graph(g)
+        assert compressed.num_edges == g.num_edges
+        assert compressed.num_concentration_nodes == 0
+        assert compressed.compression_ratio == 0.0
+
+    def test_fan_in_out_accessors(self):
+        g = figure1_citation_graph()
+        compressed = compress_graph(g)
+        labels_of = lambda nodes: {g.label_of(v) for v in nodes}
+        fans = {
+            (
+                frozenset(labels_of(compressed.fan_in(v))),
+                frozenset(labels_of(compressed.fan_out(v))),
+            )
+            for v in range(compressed.num_concentration_nodes)
+        }
+        assert (frozenset("bd"), frozenset("cgi")) in fans
+        assert (frozenset("ejk"), frozenset("hi")) in fans
+
+    def test_denser_graphs_compress_better(self):
+        # the Figure 6(g) premise: density boosts neighbourhood
+        # overlap, hence compression.
+        sparse = rmat(8, 700, seed=5)
+        dense = rmat(8, 2800, seed=5)
+        ratio_sparse = compress_graph(sparse).compression_ratio
+        ratio_dense = compress_graph(dense).compression_ratio
+        assert ratio_dense > ratio_sparse

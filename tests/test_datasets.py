@@ -1,0 +1,172 @@
+"""Tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    citation_network,
+    coauthor_network,
+    dataset_names,
+    figure5_rows,
+    load_dataset,
+    web_graph,
+)
+from repro.datasets.coauthor import h_index
+
+
+class TestCitationNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return citation_network(300, avg_out_degree=5.0, seed=0)
+
+    def test_is_dag(self, net):
+        assert all(u > v for u, v in net.graph.edges())
+
+    def test_topics_row_stochastic(self, net):
+        np.testing.assert_allclose(net.topics.sum(axis=1), 1.0)
+        assert net.topics.min() >= 0.0
+
+    def test_citation_counts_heavy_tailed(self, net):
+        counts = net.citation_counts
+        assert counts.max() > 4 * max(counts.mean(), 1.0)
+
+    def test_density_tracks_request(self):
+        net = citation_network(400, avg_out_degree=8.0, seed=1)
+        assert 6.0 <= net.graph.density <= 9.0
+
+    def test_topical_homophily(self, net):
+        # cited papers should be topically closer than random pairs
+        from repro.analysis import topic_cosine_matrix
+
+        cos = topic_cosine_matrix(net.topics)
+        edges = list(net.graph.edges())
+        edge_sim = np.mean([cos[u, v] for u, v in edges])
+        rng = np.random.default_rng(0)
+        n = net.graph.num_nodes
+        rand_sim = np.mean(
+            [
+                cos[rng.integers(n), rng.integers(n)]
+                for _ in range(2000)
+            ]
+        )
+        assert edge_sim > rand_sim * 1.5
+
+    def test_reproducible(self):
+        a = citation_network(100, 4.0, seed=7)
+        b = citation_network(100, 4.0, seed=7)
+        assert a.graph == b.graph
+        np.testing.assert_array_equal(a.topics, b.topics)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            citation_network(0, 4.0)
+        with pytest.raises(ValueError):
+            citation_network(10, 4.0, num_topics=0)
+
+
+class TestCoauthorNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return coauthor_network(200, papers_per_author=2.0, seed=0)
+
+    def test_graph_is_symmetric(self, net):
+        assert net.graph.is_symmetric()
+
+    def test_papers_induce_edges(self, net):
+        for members in net.papers:
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    assert net.graph.has_edge(u, v)
+                    assert net.graph.has_edge(v, u)
+
+    def test_h_indices_plausible(self, net):
+        assert net.h_indices.min() >= 0
+        assert net.h_indices.max() >= 2
+        # authors on no papers (if any) have h-index 0; authors with
+        # papers have h <= paper count
+        paper_count = np.zeros(200, dtype=int)
+        for members in net.papers:
+            for a in members:
+                paper_count[a] += 1
+        assert (net.h_indices <= np.maximum(paper_count, 0)).all()
+
+    def test_undirected_edge_count(self, net):
+        assert net.num_undirected_edges * 2 == net.graph.num_edges
+
+    def test_reproducible(self):
+        a = coauthor_network(80, 2.0, seed=3)
+        b = coauthor_network(80, 2.0, seed=3)
+        assert a.graph == b.graph
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coauthor_network(1)
+
+
+class TestHIndex:
+    def test_classic_example(self):
+        assert h_index(np.array([10, 8, 5, 4, 3])) == 4
+
+    def test_all_zero(self):
+        assert h_index(np.array([0, 0, 0])) == 0
+
+    def test_single_paper(self):
+        assert h_index(np.array([100])) == 1
+
+    def test_empty(self):
+        assert h_index(np.array([])) == 0
+
+
+class TestRegistry:
+    def test_names_match_figure5(self):
+        assert dataset_names() == [
+            "cit-hepth", "dblp", "d05", "d08", "d11",
+            "web-google", "cit-patent",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("citeseer")
+
+    def test_caching(self):
+        assert load_dataset("d05") is load_dataset("d05")
+
+    def test_directed_flags(self):
+        assert load_dataset("cit-hepth").directed
+        assert not load_dataset("dblp").directed
+        assert load_dataset("dblp").graph.is_symmetric()
+
+    def test_densities_roughly_match_paper(self):
+        # |E|/|V| within 45% of Figure 5 for every stand-in
+        for row in figure5_rows():
+            measured = row["Density"]
+            target = row["paper density"]
+            assert measured == pytest.approx(target, rel=0.45), row[
+                "Dataset"
+            ]
+
+    def test_dblp_snapshots_grow(self):
+        sizes = [
+            load_dataset(n).graph.num_nodes for n in ("d05", "d08", "d11")
+        ]
+        assert sizes == sorted(sizes)
+        edges = [
+            load_dataset(n).graph.num_edges for n in ("d05", "d08", "d11")
+        ]
+        assert edges == sorted(edges)
+
+    def test_attributes_present_where_needed(self):
+        for name in ("cit-hepth", "dblp"):
+            ds = load_dataset(name)
+            assert ds.topics is not None
+            assert ds.node_attribute is not None
+            assert len(ds.node_attribute) == ds.graph.num_nodes
+
+    def test_web_graph_size(self):
+        g = web_graph(8, density=5.0, seed=0)
+        assert g.num_nodes == 256
+        assert g.num_edges <= 5 * 256
+
+    def test_web_graph_validation(self):
+        with pytest.raises(ValueError):
+            web_graph(0)

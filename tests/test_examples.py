@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs clean against the public API."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_five_scripts():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_demonstrates_the_fix(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    # the zero-SimRank pair and its SimRank* repair both appear
+    assert "SimRank (h, d) = 0.000" in out
+    assert "SimRank*(h, d) = 0.010" in out

@@ -1,0 +1,62 @@
+"""Integration tests for the experiments registry and CLI.
+
+The heavy experiments are exercised by ``benchmarks/``; here we cover
+registry dispatch, the CLI plumbing, and the cheapest two experiments
+end to end.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.experiments import EXPERIMENTS, main, run_experiment
+
+
+class TestRegistry:
+    def test_all_twelve_exhibits_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d",
+            "fig6e", "fig6f", "fig6g", "fig6h",
+            "abl-weights", "abl-biclique",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_fig1_end_to_end(self):
+        result = run_experiment("fig1", fast=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.failed_checks() == []
+        # 7 pairs x 4 measures = 28 checks
+        assert len(result.checks) == 28
+        assert "Figure 1 (C = 0.8)" in result.tables
+
+    def test_fig5_end_to_end(self):
+        result = run_experiment("fig5", fast=True)
+        assert result.failed_checks() == []
+        rows = result.tables["Datasets (stand-ins vs paper)"]
+        assert [r["Dataset"] for r in rows] == [
+            "cit-hepth", "dblp", "d05", "d08", "d11",
+            "web-google", "cit-patent",
+        ]
+
+
+class TestCli:
+    def test_cli_runs_fig1(self, capsys):
+        exit_code = main(["fig1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "=== Figure 1" in out
+        assert "[ok]" in out
+
+    def test_cli_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_cli_fast_flag(self, capsys):
+        assert main(["fig5", "--fast"]) == 0
+
+    def test_cli_multiple_ids(self, capsys):
+        assert main(["fig1", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 5" in out

@@ -1,0 +1,145 @@
+"""Failure injection: corrupted structures must be detected, and the
+public API must reject inconsistent inputs loudly."""
+
+import numpy as np
+import pytest
+
+from repro.bigraph import (
+    Biclique,
+    CompressedGraph,
+    compress_graph,
+    mine_bicliques,
+)
+from repro.bigraph.induced import InducedBigraph, induced_bigraph
+from repro.core import simrank_star_fixed_point_residual, simrank_star
+from repro.graph import DiGraph, figure1_citation_graph, random_digraph
+
+
+class TestCompressedGraphValidation:
+    def test_validate_catches_phantom_biclique(self):
+        # a biclique claiming edges the graph does not have
+        g = DiGraph(4, edges=[(0, 2), (0, 3), (1, 2)])  # (1,3) missing
+        phantom = Biclique(frozenset({0, 1}), frozenset({2, 3}))
+        corrupted = CompressedGraph(
+            graph=g,
+            bicliques=(phantom,),
+            direct_tops={2: frozenset(), 3: frozenset()},
+            hub_memberships={2: frozenset({0}), 3: frozenset({0})},
+        )
+        with pytest.raises(AssertionError):
+            corrupted.validate()
+
+    def test_validate_catches_dropped_edge(self):
+        g = DiGraph(3, edges=[(0, 2), (1, 2)])
+        corrupted = CompressedGraph(
+            graph=g,
+            bicliques=(),
+            direct_tops={2: frozenset({0})},  # edge (1, 2) lost
+            hub_memberships={2: frozenset()},
+        )
+        with pytest.raises(AssertionError):
+            corrupted.validate()
+
+    def test_validate_catches_double_counted_edge(self):
+        g = figure1_citation_graph()
+        good = compress_graph(g)
+        # re-add a concentrated edge as a direct edge
+        biclique = good.bicliques[0]
+        victim = next(iter(biclique.bottoms))
+        extra = next(iter(biclique.tops))
+        tampered_direct = dict(good.direct_tops)
+        tampered_direct[victim] = tampered_direct[victim] | {extra}
+        corrupted = CompressedGraph(
+            graph=g,
+            bicliques=good.bicliques,
+            direct_tops=tampered_direct,
+            hub_memberships=good.hub_memberships,
+        )
+        with pytest.raises(AssertionError):
+            corrupted.validate()
+
+
+class TestResidualDiagnostic:
+    def test_residual_flags_wrong_matrix(self):
+        g = random_digraph(10, 30, seed=0)
+        wrong = np.eye(10)  # not the fixed point
+        assert simrank_star_fixed_point_residual(g, wrong, 0.6) > 0.1
+
+    def test_residual_accepts_right_matrix(self):
+        g = random_digraph(10, 30, seed=1)
+        s = simrank_star(g, 0.6, 150)
+        assert simrank_star_fixed_point_residual(g, s, 0.6) < 1e-12
+
+
+class TestMinerRobustness:
+    def test_empty_bigraph(self):
+        assert mine_bicliques(induced_bigraph(DiGraph(5))) == []
+
+    def test_single_bottom_node_cannot_form_biclique(self):
+        g = DiGraph(4, edges=[(0, 3), (1, 3), (2, 3)])
+        assert mine_bicliques(induced_bigraph(g)) == []
+
+    def test_hand_built_bigraph(self):
+        # two bottoms sharing three tops: one obvious biclique
+        bigraph = InducedBigraph(
+            top=(0, 1, 2),
+            bottom=(3, 4),
+            in_sets={3: frozenset({0, 1, 2}), 4: frozenset({0, 1, 2})},
+        )
+        found = mine_bicliques(bigraph)
+        assert len(found) == 1
+        assert found[0].tops == frozenset({0, 1, 2})
+        assert found[0].bottoms == frozenset({3, 4})
+        assert found[0].saving == 1
+
+    def test_zero_saving_block_rejected(self):
+        # a 2x2 block saves nothing (4 edges -> 4 edges): must be skipped
+        bigraph = InducedBigraph(
+            top=(0, 1),
+            bottom=(2, 3),
+            in_sets={2: frozenset({0, 1}), 3: frozenset({0, 1})},
+        )
+        assert mine_bicliques(bigraph) == []
+
+    def test_tiny_seeding_cap_still_correct(self):
+        g = figure1_citation_graph()
+        compressed = compress_graph(g, max_set_size_for_seeding=2)
+        compressed.validate()
+        assert compressed.num_edges <= g.num_edges
+
+
+class TestApiInputRejection:
+    def test_square_matrix_required(self):
+        from repro.analysis import grouped_similarity
+
+        with pytest.raises(ValueError, match="square"):
+            grouped_similarity(np.ones((2, 3)), np.ones(2))
+
+    def test_attribute_length_checked(self):
+        from repro.analysis import top_pair_attribute_difference
+
+        with pytest.raises(ValueError, match="length"):
+            top_pair_attribute_difference(np.ones((3, 3)), np.ones(5))
+
+    def test_memo_rejects_foreign_compressed_graph(self):
+        # a compressed graph built for another topology produces
+        # wrong results; the factorization check catches the mismatch
+        g1 = random_digraph(10, 30, seed=2)
+        g2 = random_digraph(10, 30, seed=3)
+        foreign = compress_graph(g2)
+        from repro.core import memo_simrank_star_factorized
+
+        ours = memo_simrank_star_factorized(g1, 0.6, 5)
+        theirs = memo_simrank_star_factorized(
+            g1, 0.6, 5, compressed=foreign
+        )
+        # the API trusts the caller here; this documents the hazard —
+        # results differ, and validate() exposes it
+        assert not np.allclose(ours, theirs)
+        with pytest.raises(AssertionError):
+            CompressedGraph(
+                graph=g1,
+                bicliques=foreign.bicliques,
+                direct_tops=foreign.direct_tops,
+                hub_memberships=foreign.hub_memberships,
+            ).validate()

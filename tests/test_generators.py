@@ -1,0 +1,207 @@
+"""Tests for graph generators, including the paper's worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    citation_dag,
+    complete_digraph,
+    cycle_graph,
+    erdos_renyi,
+    family_tree,
+    figure1_citation_graph,
+    path_graph,
+    random_digraph,
+    rmat,
+    star_graph,
+    two_ray_path,
+)
+
+
+class TestFigure1Graph:
+    """The reconstruction must satisfy every structural statement the
+    paper makes about its Figure 1 / Figure 4 examples."""
+
+    @pytest.fixture
+    def g(self):
+        return figure1_citation_graph()
+
+    def test_size(self, g):
+        assert g.num_nodes == 11
+        assert g.num_edges == 18
+
+    def test_a_has_no_in_links(self, g):
+        # "s(a, g) = 0 as a has no in-neighbors"
+        assert g.in_degree(g.node_of("a")) == 0
+
+    def test_path_h_e_a_d_exists(self, g):
+        # "h <- e <- a -> d": edges a->e, e->h, a->d
+        a, d, e, h = (g.node_of(x) for x in "adeh")
+        assert g.has_edge(a, e)
+        assert g.has_edge(e, h)
+        assert g.has_edge(a, d)
+
+    def test_path_through_b_f_exists(self, g):
+        # "h <- e <- a -> b -> f -> d"
+        a, b, d, f = (g.node_of(x) for x in "abdf")
+        assert g.has_edge(a, b)
+        assert g.has_edge(b, f)
+        assert g.has_edge(f, d)
+
+    def test_g_i_common_sources(self, g):
+        # "s(g, i) > 0 as there is an in-link source b (resp. d) in the
+        #  center of g <- b -> i (resp. g <- d -> i)"
+        b, d, gg, i = (g.node_of(x) for x in "bdgi")
+        assert g.has_edge(b, gg) and g.has_edge(b, i)
+        assert g.has_edge(d, gg) and g.has_edge(d, i)
+
+    def test_biclique_bd_cgi(self, g):
+        # "(({b,d}, {c,g,i})) ... c, g, i all have two in-neighbors
+        #  {b, d} in common"
+        b, d = g.node_of("b"), g.node_of("d")
+        for target in "cgi":
+            t = g.node_of(target)
+            assert set(g.in_neighbors(t)) >= {b, d}
+
+    def test_biclique_ejk_hi(self, g):
+        # "I(h) and I(i) have three nodes {e,j,k} in common"
+        e, j, k = (g.node_of(x) for x in "ejk")
+        h, i = g.node_of("h"), g.node_of("i")
+        assert set(g.in_neighbors(h)) == {e, j, k}
+        assert {e, j, k} <= set(g.in_neighbors(i))
+
+    def test_in_neighbor_sets_match_example2(self, g):
+        # Example 2: I(i) = {b, d} + {e, j, k} + {h}
+        i = g.node_of("i")
+        expected = {g.node_of(x) for x in "bdejkh"}
+        assert set(g.in_neighbors(i)) == expected
+
+    def test_bigraph_node_sets(self, g):
+        # Figure 4: T = {a,b,d,e,f,h,j,k}, B = {b,c,d,e,f,g,h,i}
+        t = {g.label_of(v) for v in g.nodes() if g.out_degree(v) > 0}
+        b = {g.label_of(v) for v in g.nodes() if g.in_degree(v) > 0}
+        assert t == set("abdefhjk")
+        assert b == set("bcdefghi")
+
+
+class TestFamilyTree:
+    def test_structure(self):
+        g = family_tree()
+        assert g.num_nodes == 7
+        gp = g.node_of("Grandpa")
+        me = g.node_of("Me")
+        assert g.has_edge(gp, g.node_of("Father"))
+        assert g.has_edge(gp, g.node_of("Uncle"))
+        assert g.has_edge(me, g.node_of("Son"))
+
+    def test_grandpa_is_root(self):
+        g = family_tree()
+        assert g.in_degree(g.node_of("Grandpa")) == 0
+
+
+class TestDeterministicShapes:
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert list(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_two_ray_path(self):
+        g = two_ray_path(2)  # a_{-2} <- a_{-1} <- a_0 -> a_1 -> a_2
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 0
+        # every non-root has exactly one in-edge
+        assert all(g.in_degree(v) == 1 for v in range(1, 5))
+
+    def test_two_ray_path_rejects_zero(self):
+        with pytest.raises(ValueError):
+            two_ray_path(0)
+
+    def test_star_outward(self):
+        g = star_graph(4)
+        assert g.out_degree(0) == 3
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = star_graph(4, inward=True)
+        assert g.in_degree(0) == 3
+        assert g.out_degree(0) == 0
+
+    def test_cycle(self):
+        g = cycle_graph(3)
+        assert g.has_edge(2, 0)
+        assert g.num_edges == 3
+
+    def test_cycle_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+
+    def test_complete(self):
+        g = complete_digraph(4)
+        assert g.num_edges == 12
+        assert not g.has_self_loops()
+
+
+class TestRandomGenerators:
+    def test_random_digraph_exact_edge_count(self):
+        g = random_digraph(50, 200, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 200
+        assert not g.has_self_loops()
+
+    def test_random_digraph_dense_request(self):
+        g = random_digraph(10, 80, seed=2)  # 80 of 90 possible
+        assert g.num_edges == 80
+
+    def test_random_digraph_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            random_digraph(3, 7)
+
+    def test_random_digraph_reproducible(self):
+        assert random_digraph(30, 90, seed=7) == random_digraph(
+            30, 90, seed=7
+        )
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(5, 0.0).num_edges == 0
+        assert erdos_renyi(5, 1.0).num_edges == 20
+
+    def test_rmat_size_and_skew(self):
+        g = rmat(7, 600, seed=3)  # 128 nodes
+        assert g.num_nodes == 128
+        assert g.num_edges <= 600
+        assert g.num_edges > 400  # duplicates shouldn't dominate
+        # power-law-ish: max in-degree well above the mean
+        in_deg = g.in_degrees()
+        assert in_deg.max() > 3 * max(in_deg.mean(), 1.0)
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, 10, a=0.9, b=0.9, c=0.9)
+
+    def test_citation_dag_acyclic_by_construction(self):
+        g = citation_dag(100, 4.0, seed=5)
+        # every edge points from a newer to an older node
+        assert all(u > v for u, v in g.edges())
+
+    def test_citation_dag_density_close_to_request(self):
+        g = citation_dag(400, 5.0, seed=6)
+        assert 3.5 <= g.density <= 6.5
+
+    def test_citation_dag_preferential_skew(self):
+        pref = citation_dag(500, 5.0, seed=8, preferential=True)
+        unif = citation_dag(500, 5.0, seed=8, preferential=False)
+        assert pref.in_degrees().max() > unif.in_degrees().max()
+
+    def test_citation_dag_rejects_empty(self):
+        with pytest.raises(ValueError):
+            citation_dag(0, 2.0)
+
+    def test_citation_dag_reproducible(self):
+        assert citation_dag(50, 3.0, seed=9) == citation_dag(
+            50, 3.0, seed=9
+        )

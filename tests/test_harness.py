@@ -1,0 +1,132 @@
+"""Tests for the bench harness, memory measurement, and measures
+registry."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    format_table,
+    measure_peak_memory,
+    timed,
+)
+from repro.graph import figure1_citation_graph, path_graph
+from repro.measures import (
+    MEASURES,
+    SEMANTIC_MEASURES,
+    TIMED_ALGORITHMS,
+    compute_measure,
+)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        out = format_table(
+            [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in out and "bb" in out
+        # all body lines equal width
+        widths = {len(line) for line in lines[2:5]}
+        assert len(widths) == 1
+
+    def test_missing_keys_filled_blank(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_table([], title="nothing")
+
+    def test_floats_compact(self):
+        out = format_table([{"x": 0.123456789}])
+        assert "0.1235" in out
+
+
+class TestExperimentResult:
+    def test_checks_lifecycle(self):
+        result = ExperimentResult(name="demo")
+        result.add_check("good", True)
+        result.add_check("bad", False)
+        assert result.failed_checks() == ["bad"]
+        with pytest.raises(AssertionError, match="bad"):
+            result.assert_all_checks()
+
+    def test_all_pass(self):
+        result = ExperimentResult(name="demo")
+        result.add_check("good", True)
+        result.assert_all_checks()  # no raise
+
+    def test_render_contains_everything(self):
+        result = ExperimentResult(name="demo")
+        result.tables["t1"] = [{"col": 1}]
+        result.notes.append("a note")
+        result.add_check("claim", True)
+        out = result.render()
+        assert "=== demo ===" in out
+        assert "t1" in out
+        assert "a note" in out
+        assert "[ok] claim" in out
+
+    def test_render_marks_failures(self):
+        result = ExperimentResult(name="demo")
+        result.add_check("claim", False)
+        assert "[FAIL] claim" in result.render()
+
+
+class TestTimedAndMemory:
+    def test_timed_returns_result_and_duration(self):
+        value, seconds = timed(sum, [1, 2, 3])
+        assert value == 6
+        assert seconds >= 0
+
+    def test_measure_peak_memory_sees_numpy(self):
+        def allocate():
+            return np.zeros((256, 256))  # 512 KiB
+
+        result, peak = measure_peak_memory(allocate)
+        assert result.shape == (256, 256)
+        assert peak >= 256 * 256 * 8
+
+    def test_measure_peak_memory_propagates_errors(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            measure_peak_memory(boom)
+
+
+class TestMeasuresRegistry:
+    def test_registry_labels(self):
+        assert set(SEMANTIC_MEASURES) == {"eSR*", "gSR*", "SR", "PR", "RWR"}
+        assert set(TIMED_ALGORITHMS) == {
+            "memo-eSR*", "memo-gSR*", "iter-gSR*", "psum-SR", "mtx-SR",
+        }
+        assert set(MEASURES) == set(SEMANTIC_MEASURES) | set(
+            TIMED_ALGORITHMS
+        )
+
+    def test_compute_measure_dispatch(self):
+        g = figure1_citation_graph()
+        s = compute_measure("gSR*", g, c=0.8, num_iterations=10)
+        assert s.shape == (11, 11)
+
+    def test_unknown_measure(self):
+        with pytest.raises(KeyError, match="unknown measure"):
+            compute_measure("PageRank", path_graph(3))
+
+    def test_gsr_variants_agree(self):
+        # iter-gSR* and memo-gSR* are the same measure
+        g = figure1_citation_graph()
+        a = compute_measure("iter-gSR*", g, 0.6, 8)
+        b = compute_measure("memo-gSR*", g, 0.6, 8)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_esr_accuracy_matched_to_geometric(self):
+        # the eSR* wrapper translates K into an equivalent epsilon
+        g = figure1_citation_graph()
+        from repro.core import simrank_star_exponential_closed
+
+        approx = compute_measure("eSR*", g, 0.6, 10)
+        exact = simrank_star_exponential_closed(g, 0.6)
+        assert np.abs(approx - exact).max() < 0.6 ** 11 + 1e-9

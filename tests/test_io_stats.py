@@ -1,0 +1,92 @@
+"""Tests for edge-list IO and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    degree_histogram,
+    figure1_citation_graph,
+    graph_stats,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        g = figure1_citation_graph()
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.num_nodes == g.num_nodes
+        assert list(g2.edges()) == list(g.edges())
+
+    def test_roundtrip_preserves_isolated_nodes(self, tmp_path):
+        g = DiGraph(5, edges=[(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).num_nodes == 5
+
+    def test_read_without_header_infers_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 3\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 4
+        assert g.has_edge(0, 3)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError, match="g.txt:1"):
+            read_edge_list(path)
+
+
+class TestStats:
+    def test_figure1_stats(self):
+        s = graph_stats(figure1_citation_graph())
+        assert s.num_nodes == 11
+        assert s.num_edges == 18
+        assert s.density == pytest.approx(18 / 11)
+        assert s.num_sources == 3  # a, j, k have no in-edges
+        assert s.num_sinks == 3  # c, g, i have no out-edges
+        assert not s.is_symmetric
+
+    def test_as_row_matches_figure5_format(self):
+        row = graph_stats(figure1_citation_graph()).as_row()
+        assert row["|V|"] == 11
+        assert row["|E|"] == 18
+        assert row["|G|"] == 29
+        assert row["Density"] == 1.6
+
+    def test_empty_graph_stats(self):
+        s = graph_stats(DiGraph(0))
+        assert s.num_nodes == 0
+        assert s.density == 0.0
+
+    def test_degree_histogram_in(self):
+        g = DiGraph(4, edges=[(0, 1), (0, 2), (1, 2)])
+        # in-degrees: 0,1,2,0 -> histogram [2, 1, 1]
+        np.testing.assert_array_equal(
+            degree_histogram(g, "in"), np.array([2, 1, 1])
+        )
+
+    def test_degree_histogram_out(self):
+        g = DiGraph(4, edges=[(0, 1), (0, 2), (1, 2)])
+        np.testing.assert_array_equal(
+            degree_histogram(g, "out"), np.array([2, 1, 1])
+        )
+
+    def test_degree_histogram_bad_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(DiGraph(1), "sideways")
+
+    def test_degree_histogram_empty(self):
+        np.testing.assert_array_equal(
+            degree_histogram(DiGraph(0)), np.array([0])
+        )

@@ -1,0 +1,76 @@
+"""Tests for similarity joins and global top-k pairs."""
+
+import numpy as np
+import pytest
+
+from repro.core import simrank_star
+from repro.core.join import similarity_join, top_pairs
+from repro.graph import figure1_citation_graph, path_graph, random_digraph
+
+
+class TestSimilarityJoin:
+    def test_matches_matrix_threshold(self):
+        g = random_digraph(15, 60, seed=0)
+        scores = simrank_star(g, 0.6, 10)
+        joined = similarity_join(g, threshold=0.01, scores=scores)
+        expected = {
+            (u, v)
+            for u in range(15)
+            for v in range(u + 1, 15)
+            if scores[u, v] >= 0.01
+        }
+        assert {(u, v) for u, v, _ in joined} == expected
+
+    def test_sorted_descending(self):
+        g = random_digraph(15, 60, seed=1)
+        joined = similarity_join(g, threshold=0.0)
+        values = [s for _, _, s in joined]
+        assert values == sorted(values, reverse=True)
+
+    def test_unordered_pairs_only(self):
+        g = figure1_citation_graph()
+        joined = similarity_join(g, threshold=1e-4, c=0.8)
+        assert all(u < v for u, v, _ in joined)
+
+    def test_reuses_precomputed_scores(self):
+        g = random_digraph(10, 30, seed=2)
+        scores = simrank_star(g, 0.6, 10)
+        a = similarity_join(g, threshold=0.005, scores=scores)
+        b = similarity_join(g, threshold=0.005)
+        assert a == b
+
+    def test_threshold_one_plus_returns_empty(self):
+        g = path_graph(4)
+        assert similarity_join(g, threshold=1.01) == []
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            similarity_join(g, threshold=-0.1)
+        with pytest.raises(ValueError):
+            similarity_join(g, scores=np.ones((2, 2)))
+
+
+class TestTopPairs:
+    def test_figure1_top_pair_is_gb(self):
+        # (g, b) = .075 is the highest off-diagonal SR* among the
+        # non-trivially-related pairs; verify top pairs are sensible.
+        g = figure1_citation_graph()
+        scores = simrank_star(g, 0.8, 100)
+        pairs = top_pairs(g, k=3, scores=scores)
+        assert len(pairs) == 3
+        best = pairs[0]
+        # best pair's score equals the matrix maximum off-diagonal
+        iu, ju = np.triu_indices(11, k=1)
+        assert best[2] == pytest.approx(scores[iu, ju].max())
+
+    def test_k_bounds(self):
+        g = path_graph(4)
+        assert top_pairs(g, k=0) == []
+        assert len(top_pairs(g, k=100)) == 6  # all pairs
+        with pytest.raises(ValueError):
+            top_pairs(g, k=-1)
+
+    def test_deterministic_ties(self):
+        g = path_graph(5)
+        assert top_pairs(g, k=4) == top_pairs(g, k=4)

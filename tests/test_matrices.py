@@ -1,0 +1,99 @@
+"""Tests for the sparse matrix views (A, Q, W)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    adjacency_matrix,
+    backward_transition_matrix,
+    figure1_citation_graph,
+    forward_transition_matrix,
+    row_normalize,
+)
+
+
+@pytest.fixture
+def diamond():
+    return DiGraph(4, edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestAdjacency:
+    def test_entries_follow_paper_convention(self, diamond):
+        a = adjacency_matrix(diamond).toarray()
+        # [A]_{ij} = 1 iff edge i -> j
+        expected = np.array(
+            [
+                [0, 1, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 1],
+                [0, 0, 0, 0],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(a, expected)
+
+    def test_power_counts_paths(self, diamond):
+        # [A^2]_{0,3} = 2: the two length-2 paths 0->1->3 and 0->2->3.
+        a = adjacency_matrix(diamond)
+        a2 = (a @ a).toarray()
+        assert a2[0, 3] == 2
+
+    def test_empty_graph(self):
+        a = adjacency_matrix(DiGraph(3))
+        assert a.shape == (3, 3)
+        assert a.nnz == 0
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one_or_zero(self, diamond):
+        q = row_normalize(adjacency_matrix(diamond))
+        sums = np.asarray(q.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, [1.0, 1.0, 1.0, 0.0])
+
+    def test_zero_rows_preserved(self):
+        g = DiGraph(2, edges=[(0, 1)])
+        w = row_normalize(adjacency_matrix(g))
+        assert w.toarray()[1].sum() == 0.0
+
+    def test_does_not_mutate_input(self, diamond):
+        a = adjacency_matrix(diamond)
+        before = a.toarray().copy()
+        row_normalize(a)
+        np.testing.assert_array_equal(a.toarray(), before)
+
+
+class TestBackwardTransition:
+    def test_entries(self, diamond):
+        q = backward_transition_matrix(diamond).toarray()
+        # [Q]_{ij} = 1/|I(i)| iff j -> i.  I(3) = {1, 2}.
+        assert q[3, 1] == 0.5
+        assert q[3, 2] == 0.5
+        assert q[1, 0] == 1.0
+        # node 0 has no in-edges -> zero row
+        assert q[0].sum() == 0.0
+
+    def test_rows_stochastic_where_in_edges_exist(self):
+        g = figure1_citation_graph()
+        q = backward_transition_matrix(g).toarray()
+        in_deg = g.in_degrees()
+        sums = q.sum(axis=1)
+        for v in g.nodes():
+            if in_deg[v] > 0:
+                assert sums[v] == pytest.approx(1.0)
+            else:
+                assert sums[v] == 0.0
+
+
+class TestForwardTransition:
+    def test_entries(self, diamond):
+        w = forward_transition_matrix(diamond).toarray()
+        # O(0) = {1, 2}
+        assert w[0, 1] == 0.5
+        assert w[0, 2] == 0.5
+        assert w[3].sum() == 0.0  # sink
+
+    def test_w_is_q_of_reverse(self, diamond):
+        w = forward_transition_matrix(diamond).toarray()
+        q_rev = backward_transition_matrix(diamond.reverse()).toarray()
+        np.testing.assert_allclose(w, q_rev)

@@ -1,0 +1,162 @@
+"""Tests for memo-gSR* / memo-eSR* (Algorithm 1 and factorised form)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.psum import psum_operation_count
+from repro.bigraph import compress_graph
+from repro.core import (
+    MemoRun,
+    memo_operation_count,
+    memo_simrank_star,
+    memo_simrank_star_exponential,
+    memo_simrank_star_factorized,
+    run_memo_esr,
+    run_memo_gsr,
+    simrank_star,
+    simrank_star_exponential,
+)
+from repro.graph import (
+    DiGraph,
+    figure1_citation_graph,
+    path_graph,
+    random_digraph,
+    rmat,
+)
+
+
+class TestMemoGSRStarEquality:
+    """memo-gSR* must compute exactly what iter-gSR* computes."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_algorithm1_equals_iterative(self, seed):
+        g = random_digraph(25, 120, seed=seed)
+        np.testing.assert_allclose(
+            memo_simrank_star(g, 0.6, 5),
+            simrank_star(g, 0.6, 5),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_factorized_equals_iterative(self, seed):
+        g = rmat(6, 250, seed=seed)
+        np.testing.assert_allclose(
+            memo_simrank_star_factorized(g, 0.8, 6),
+            simrank_star(g, 0.8, 6),
+            atol=1e-12,
+        )
+
+    def test_on_figure1_graph(self):
+        g = figure1_citation_graph()
+        expected = simrank_star(g, 0.8, 15)
+        np.testing.assert_allclose(
+            memo_simrank_star(g, 0.8, 15), expected, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            memo_simrank_star_factorized(g, 0.8, 15), expected, atol=1e-12
+        )
+
+    def test_reusing_compressed_graph(self):
+        g = random_digraph(20, 100, seed=3)
+        compressed = compress_graph(g)
+        a = memo_simrank_star(g, 0.6, 4, compressed=compressed)
+        b = memo_simrank_star(g, 0.6, 4)
+        np.testing.assert_allclose(a, b, atol=1e-14)
+
+    def test_incompressible_graph_still_works(self):
+        g = path_graph(10)
+        np.testing.assert_allclose(
+            memo_simrank_star(g, 0.6, 5),
+            simrank_star(g, 0.6, 5),
+            atol=1e-14,
+        )
+
+    def test_epsilon_mode(self):
+        g = random_digraph(15, 60, seed=4)
+        exact = simrank_star(g, 0.6, 200)
+        approx = memo_simrank_star_factorized(
+            g, 0.6, num_iterations=None, epsilon=1e-4
+        )
+        assert np.abs(exact - approx).max() <= 1e-4
+
+    def test_parameter_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            memo_simrank_star(g, 1.1)
+        with pytest.raises(ValueError):
+            memo_simrank_star(g, 0.6, num_iterations=2, epsilon=1e-2)
+        with pytest.raises(ValueError):
+            memo_simrank_star_factorized(g, 0.6, num_iterations=-1)
+
+
+class TestMemoESRStar:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_equals_plain_exponential(self, seed):
+        g = rmat(6, 250, seed=seed)
+        np.testing.assert_allclose(
+            memo_simrank_star_exponential(g, 0.8, 12),
+            simrank_star_exponential(g, 0.8, 12),
+            atol=1e-12,
+        )
+
+    def test_epsilon_mode_uses_factorial_bound(self):
+        g = random_digraph(15, 60, seed=5)
+        from repro.core import simrank_star_exponential_closed
+
+        exact = simrank_star_exponential_closed(g, 0.6)
+        approx = memo_simrank_star_exponential(
+            g, 0.6, num_iterations=None, epsilon=1e-3
+        )
+        assert np.abs(exact - approx).max() <= 2e-3
+
+
+class TestOperationCounts:
+    def test_memo_beats_psum_on_compressible_graph(self):
+        g = rmat(7, 900, seed=6)
+        compressed = compress_graph(g)
+        k = 5
+        assert memo_operation_count(compressed, k) < psum_operation_count(
+            g, k
+        )
+
+    def test_memo_count_uses_mtilde(self):
+        g = figure1_citation_graph()
+        compressed = compress_graph(g)
+        assert memo_operation_count(compressed, 3) == 3 * 11 * 16
+
+    def test_psum_count_formula(self):
+        g = figure1_citation_graph()
+        assert psum_operation_count(g, 3) == 3 * 2 * 11 * 18
+
+
+class TestTimedRuns:
+    def test_run_memo_gsr_structure(self):
+        g = rmat(6, 250, seed=7)
+        run = run_memo_gsr(g, 0.6, 5)
+        assert isinstance(run, MemoRun)
+        np.testing.assert_allclose(
+            run.scores, simrank_star(g, 0.6, 5), atol=1e-12
+        )
+        assert run.compress_seconds >= 0
+        assert run.iterate_seconds > 0
+        assert run.total_seconds == pytest.approx(
+            run.compress_seconds + run.iterate_seconds
+        )
+        assert run.operation_count == memo_operation_count(
+            run.compressed, 5
+        )
+
+    def test_run_memo_esr_accuracy_mode(self):
+        g = rmat(6, 250, seed=8)
+        run = run_memo_esr(g, 0.6, num_iterations=None, epsilon=1e-3)
+        from repro.core import simrank_star_exponential_closed
+
+        exact = simrank_star_exponential_closed(g, 0.6)
+        assert np.abs(run.scores - exact).max() <= 2e-3
+
+    def test_esr_fewer_iterations_than_gsr_for_same_epsilon(self):
+        # the operation-count reflection of eSR*'s faster convergence
+        g = rmat(6, 250, seed=9)
+        gsr = run_memo_gsr(g, 0.8, num_iterations=None, epsilon=1e-3)
+        esr = run_memo_esr(g, 0.8, num_iterations=None, epsilon=1e-3)
+        assert esr.operation_count < gsr.operation_count

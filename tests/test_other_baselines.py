@@ -1,0 +1,242 @@
+"""Tests for P-Rank, RWR/PPR, co-citation/coupling, SimRank++."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    cocitation,
+    cocitation_jaccard,
+    coupling,
+    coupling_jaccard,
+    evidence_matrix,
+    ppr,
+    prank,
+    prank_matrix,
+    rwr,
+    rwr_matrix,
+    simrank,
+    simrank_matrix,
+    simrank_plus_plus,
+)
+from repro.graph import (
+    DiGraph,
+    family_tree,
+    figure1_citation_graph,
+    path_graph,
+    random_digraph,
+)
+
+
+class TestPRank:
+    def test_lambda_one_recovers_simrank(self):
+        g = random_digraph(12, 40, seed=0)
+        np.testing.assert_allclose(
+            prank(g, 0.6, in_weight=1.0, num_iterations=5),
+            simrank(g, 0.6, 5),
+            atol=1e-12,
+        )
+
+    def test_symmetry_and_range(self):
+        g = random_digraph(12, 40, seed=1)
+        s = prank(g, 0.8, 0.5, 5)
+        np.testing.assert_allclose(s, s.T)
+        assert s.min() >= 0.0 and s.max() <= 1.0 + 1e-12
+
+    def test_figure1_hd_nonzero(self):
+        # P-Rank finds (h, d) similar via the out-link source i in the
+        # centre of h -> i <- d (the paper's motivating contrast).
+        g = figure1_citation_graph()
+        s = prank(g, 0.8, 0.5, 20)
+        assert s[g.node_of("h"), g.node_of("d")] > 0.0
+
+    def test_figure1_pr_column_values(self):
+        # The paper's 'PR' column comes from the matrix-form P-Rank
+        # (lambda = 0.5, C = 0.8), printed to 3 decimals: .049, .075,
+        # 0, 0, 0, 0, .041. (g, b) is 0.0002 — it prints as zero.
+        g = figure1_citation_graph()
+        s = prank_matrix(g, 0.8, 0.5, 60)
+        node = g.node_of
+        expected = {
+            ("h", "d"): 0.049,
+            ("a", "f"): 0.075,
+            ("a", "c"): 0.0,
+            ("g", "a"): 0.0,
+            ("g", "b"): 0.0,
+            ("i", "a"): 0.0,
+            ("i", "h"): 0.041,
+        }
+        for (x, y), want in expected.items():
+            assert s[node(x), node(y)] == pytest.approx(
+                want, abs=5e-4
+            ), (x, y)
+
+    def test_figure1_nonzero_pattern(self):
+        g = figure1_citation_graph()
+        s = prank(g, 0.8, 0.5, 20)
+        node = g.node_of
+        for x, y in [("h", "d"), ("a", "f"), ("i", "h")]:
+            assert s[node(x), node(y)] > 0.0, (x, y)
+
+    def test_inserted_node_rebreaks_prank(self):
+        # The paper: replace h -> i by h -> l -> i and P-Rank(h, d)
+        # returns to zero — P-Rank does not cure zero-similarity.
+        g = figure1_citation_graph()
+        edges = [(g.label_of(u), g.label_of(v)) for u, v in g.edges()]
+        edges.remove(("h", "i"))
+        edges += [("h", "l"), ("l", "i")]
+        g2 = DiGraph.from_label_edges(edges)
+        s = prank(g2, 0.8, 0.5, 30)
+        assert s[g2.node_of("h"), g2.node_of("d")] == 0.0
+
+    def test_matrix_form_soft_diagonal(self):
+        g = random_digraph(10, 30, seed=2)
+        s = prank_matrix(g, 0.6, 0.5, 30)
+        assert np.all(np.diag(s) <= 1.0)
+        np.testing.assert_allclose(s, s.T, atol=1e-12)
+
+    def test_matrix_lambda_one_is_simrank_matrix(self):
+        g = random_digraph(10, 30, seed=3)
+        np.testing.assert_allclose(
+            prank_matrix(g, 0.6, 1.0, 6),
+            simrank_matrix(g, 0.6, 6),
+            atol=1e-12,
+        )
+
+    def test_parameter_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            prank(g, 0.6, in_weight=1.5)
+        with pytest.raises(ValueError):
+            prank(g, 2.0)
+        with pytest.raises(ValueError):
+            prank(g, 0.6, 0.5, -1)
+        with pytest.raises(ValueError):
+            prank_matrix(g, 0.6, -0.1)
+
+
+class TestRWR:
+    def test_truncated_series_matches_definition(self):
+        # S_K = (1-C) sum_{k<=K} C^k W^k, checked directly.
+        g = random_digraph(10, 30, seed=4)
+        c, k = 0.6, 4
+        from repro.graph import forward_transition_matrix
+
+        w = forward_transition_matrix(g).toarray()
+        expected = np.zeros((10, 10))
+        power = np.eye(10)
+        for level in range(k + 1):
+            expected += (c ** level) * power
+            power = w @ power
+        expected *= 1 - c
+        np.testing.assert_allclose(rwr(g, c, k), expected, atol=1e-12)
+
+    def test_converges_to_closed_form(self):
+        g = random_digraph(10, 30, seed=5)
+        np.testing.assert_allclose(
+            rwr(g, 0.6, 200), rwr_matrix(g, 0.6), atol=1e-10
+        )
+
+    def test_zero_iff_no_directed_path(self):
+        # RWR's own zero-similarity issue (Section 3.1).
+        g = figure1_citation_graph()
+        s = rwr(g, 0.8, 30)
+        node = g.node_of
+        # no directed path h ~> d, g is a sink, i is a sink
+        for x, y in [("h", "d"), ("g", "a"), ("g", "b"), ("i", "a"),
+                     ("i", "h")]:
+            assert s[node(x), node(y)] == 0.0, (x, y)
+        # directed paths exist: a -> b -> f, a -> b/d -> c
+        assert s[node("a"), node("f")] > 0.0
+        assert s[node("a"), node("c")] > 0.0
+
+    def test_asymmetric_on_family_tree(self):
+        # "Since there is no path directed from Me to Father, RWR
+        #  alleges Me and Father being dissimilar" — but Father -> Me
+        #  scores positive. RWR similarity is not symmetric.
+        g = family_tree()
+        s = rwr(g, 0.8, 20)
+        me, father = g.node_of("Me"), g.node_of("Father")
+        assert s[father, me] > 0.0
+        assert s[me, father] == 0.0
+
+    def test_rows_bounded(self):
+        g = random_digraph(15, 60, seed=6)
+        s = rwr(g, 0.9, 100)
+        assert s.min() >= 0.0
+        # row sums of (1-C)(I-CW)^{-1} are <= 1 (equality iff no sinks
+        # reachable); entries certainly bounded by 1.
+        assert s.max() <= 1.0 + 1e-12
+
+    def test_ppr_is_row_of_rwr(self):
+        g = random_digraph(12, 50, seed=7)
+        full = rwr(g, 0.6, 300)
+        vec = ppr(g, source=3, c=0.6, num_iterations=300)
+        np.testing.assert_allclose(vec, full[3], atol=1e-10)
+
+    def test_ppr_validates_source(self):
+        with pytest.raises(IndexError):
+            ppr(path_graph(3), source=5)
+
+    def test_parameter_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            rwr(g, 0.0)
+        with pytest.raises(ValueError):
+            rwr(g, 0.6, -1)
+        with pytest.raises(ValueError):
+            ppr(g, 0, 0.6, -1)
+
+
+class TestCocitationCoupling:
+    @pytest.fixture
+    def g(self):
+        return figure1_citation_graph()
+
+    def test_cocitation_counts(self, g):
+        cc = cocitation(g)
+        h, i = g.node_of("h"), g.node_of("i")
+        # I(h) = {e,j,k}, I(i) = {b,d,e,j,k,h} -> 3 in common
+        assert cc[h, i] == 3
+        assert cc[h, h] == 3  # |I(h)|
+
+    def test_coupling_counts(self, g):
+        bc = coupling(g)
+        b, d = g.node_of("b"), g.node_of("d")
+        # O(b) = {c,f,g,i}, O(d) = {c,g,i} -> 3 in common
+        assert bc[b, d] == 3
+
+    def test_jaccard_range_and_diagonal(self, g):
+        jac = cocitation_jaccard(g)
+        assert jac.min() >= 0.0 and jac.max() <= 1.0
+        for v in g.nodes():
+            expected = 1.0 if g.in_degree(v) > 0 else 0.0
+            assert jac[v, v] == expected
+
+    def test_coupling_jaccard_zero_denominator(self):
+        g = DiGraph(3, edges=[(0, 1)])
+        jac = coupling_jaccard(g)
+        assert jac[1, 2] == 0.0  # both have no out-edges: 0/0 -> 0
+
+    def test_symmetry(self, g):
+        np.testing.assert_array_equal(cocitation(g), cocitation(g).T)
+        np.testing.assert_array_equal(coupling(g), coupling(g).T)
+
+
+class TestEvidence:
+    def test_evidence_values(self):
+        g = figure1_citation_graph()
+        ev = evidence_matrix(g)
+        h, i = g.node_of("h"), g.node_of("i")
+        # 3 common in-neighbours -> 1/2 + 1/4 + 1/8 = 0.875
+        assert ev[h, i] == pytest.approx(0.875)
+        # no common in-neighbours -> 0
+        a = g.node_of("a")
+        assert ev[a, h] == 0.0
+
+    def test_simrank_plus_plus_bounded_by_simrank(self):
+        g = random_digraph(12, 40, seed=8)
+        spp = simrank_plus_plus(g, 0.6, 5)
+        s = simrank(g, 0.6, 5)
+        off = ~np.eye(12, dtype=bool)
+        assert np.all(spp[off] <= s[off] + 1e-12)
+        np.testing.assert_allclose(np.diag(spp), 1.0)

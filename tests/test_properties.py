@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Random small digraphs probe the algebraic identities the paper proves:
+symmetry, boundedness, monotone partial sums, Theorem 1's zero
+pattern, form equivalences, and compression exactness.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import psum_simrank, simrank, simrank_matrix
+from repro.bigraph import compress_graph
+from repro.core import (
+    inlink_path_exists,
+    memo_simrank_star_factorized,
+    simrank_star,
+    simrank_star_exponential,
+    simrank_star_exponential_closed,
+    simrank_star_series,
+    single_source,
+    symmetric_inlink_path_exists,
+)
+from repro.graph import DiGraph
+
+MAX_NODES = 9
+
+
+@st.composite
+def digraphs(draw):
+    """Random digraphs with 1..MAX_NODES nodes, arbitrary density."""
+    n = draw(st.integers(min_value=1, max_value=MAX_NODES))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=3 * n, unique=True)
+        if possible
+        else st.just([])
+    )
+    return DiGraph(n, edges=edges)
+
+
+@st.composite
+def damping(draw):
+    return draw(
+        st.floats(min_value=0.1, max_value=0.9, allow_nan=False)
+    )
+
+
+class TestSimRankStarInvariants:
+    @given(digraphs(), damping())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_and_bounded(self, g, c):
+        s = simrank_star(g, c, 8)
+        np.testing.assert_allclose(s, s.T, atol=1e-12)
+        assert s.min() >= -1e-12
+        assert s.max() <= 1.0 + 1e-9
+
+    @given(digraphs(), damping())
+    @settings(max_examples=40, deadline=None)
+    def test_partial_sums_monotone(self, g, c):
+        # every series term is non-negative, so iterates only grow
+        prev = simrank_star(g, c, 0)
+        for k in (1, 2, 4):
+            nxt = simrank_star(g, c, k)
+            assert (nxt >= prev - 1e-12).all()
+            prev = nxt
+
+    @given(digraphs(), damping())
+    @settings(max_examples=40, deadline=None)
+    def test_iterate_equals_series(self, g, c):
+        np.testing.assert_allclose(
+            simrank_star(g, c, 5),
+            simrank_star_series(g, c, 5),
+            atol=1e-10,
+        )
+
+    @given(digraphs(), damping())
+    @settings(max_examples=40, deadline=None)
+    def test_memo_equals_iterative(self, g, c):
+        np.testing.assert_allclose(
+            memo_simrank_star_factorized(g, c, 5),
+            simrank_star(g, c, 5),
+            atol=1e-10,
+        )
+
+    @given(digraphs(), damping())
+    @settings(max_examples=30, deadline=None)
+    def test_exponential_iteration_matches_closed_form(self, g, c):
+        np.testing.assert_allclose(
+            simrank_star_exponential(g, c, 30),
+            simrank_star_exponential_closed(g, c),
+            atol=1e-9,
+        )
+
+    @given(digraphs(), damping(), st.integers(0, MAX_NODES - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_source_matches_series_column(self, g, c, query):
+        if query >= g.num_nodes:
+            query = g.num_nodes - 1
+        full = simrank_star_series(g, c, 6)
+        vec = single_source(g, query, c, 6)
+        np.testing.assert_allclose(vec, full[:, query], atol=1e-10)
+
+    @given(digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_nonzero_pattern_is_inlink_path_existence(self, g):
+        s = simrank_star(g, 0.6, 4 * g.num_nodes)
+        np.testing.assert_array_equal(s > 1e-13, inlink_path_exists(g))
+
+    @given(digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_simrank_star_dominates_simrank_zero_pattern(self, g):
+        # wherever SimRank is positive, SimRank* must be too
+        sr = simrank_matrix(g, 0.6, 4 * g.num_nodes)
+        srs = simrank_star(g, 0.6, 4 * g.num_nodes)
+        assert ((sr > 1e-13) <= (srs > 1e-13)).all()
+
+
+class TestSimRankInvariants:
+    @given(digraphs(), damping())
+    @settings(max_examples=40, deadline=None)
+    def test_psum_equals_naive(self, g, c):
+        np.testing.assert_allclose(
+            psum_simrank(g, c, 4), simrank(g, c, 4), atol=1e-10
+        )
+
+    @given(digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_theorem1_zero_pattern(self, g):
+        s = simrank_matrix(g, 0.6, 4 * g.num_nodes)
+        np.testing.assert_array_equal(
+            s > 1e-13, symmetric_inlink_path_exists(g)
+        )
+
+
+class TestCompressionInvariants:
+    @given(digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_factorization_exact(self, g):
+        compress_graph(g).validate()
+
+    @given(digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_mtilde_at_most_m(self, g):
+        compressed = compress_graph(g)
+        assert compressed.num_edges <= g.num_edges
+        saving = sum(b.saving for b in compressed.bicliques)
+        assert compressed.num_edges == g.num_edges - saving

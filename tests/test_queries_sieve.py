@@ -1,0 +1,203 @@
+"""Tests for single-source queries, top-k, threshold sieving,
+weight schemes and convergence bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExponentialWeights,
+    GeometricWeights,
+    HarmonicWeights,
+    clip_small,
+    exponential_error_bound,
+    geometric_error_bound,
+    iterations_for_accuracy,
+    sieve_to_sparse,
+    simrank_star_series,
+    single_pair,
+    single_source,
+    storage_savings,
+    top_k,
+)
+from repro.graph import figure1_citation_graph, path_graph, random_digraph
+
+
+class TestSingleSource:
+    @pytest.mark.parametrize("query", [0, 3, 7])
+    def test_matches_full_series_column(self, query):
+        g = random_digraph(15, 60, seed=0)
+        full = simrank_star_series(g, 0.6, 8)
+        vec = single_source(g, query, 0.6, 8)
+        np.testing.assert_allclose(vec, full[:, query], atol=1e-12)
+
+    def test_exponential_weights_column(self):
+        g = random_digraph(15, 60, seed=1)
+        w = ExponentialWeights(0.6)
+        full = simrank_star_series(g, 0.6, 8, weights=w)
+        vec = single_source(g, 2, 0.6, 8, weights=w)
+        np.testing.assert_allclose(vec, full[:, 2], atol=1e-12)
+
+    def test_single_pair(self):
+        g = figure1_citation_graph()
+        h, d = g.node_of("h"), g.node_of("d")
+        value = single_pair(g, h, d, 0.8, num_terms=40)
+        assert value == pytest.approx(0.0098, abs=1e-3)
+
+    def test_validates_inputs(self):
+        g = path_graph(4)
+        with pytest.raises(IndexError):
+            single_source(g, 9)
+        with pytest.raises(ValueError):
+            single_source(g, 0, num_terms=-1)
+        with pytest.raises(ValueError):
+            single_source(g, 0, 0.6, 5, weights=GeometricWeights(0.7))
+
+
+class TestTopK:
+    def test_orders_by_score(self):
+        g = random_digraph(20, 90, seed=2)
+        ranked = top_k(g, 4, k=5, num_terms=8)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranked) == 5
+
+    def test_excludes_query_by_default(self):
+        g = random_digraph(20, 90, seed=3)
+        assert all(node != 4 for node, _ in top_k(g, 4, k=19))
+
+    def test_include_query_puts_query_first_usually(self):
+        # the self-pair carries the l=0 weight; on most graphs it tops
+        g = figure1_citation_graph()
+        a = g.node_of("a")
+        ranked = top_k(g, a, k=1, c=0.8, include_query=True)
+        assert ranked[0][0] == a
+
+    def test_deterministic_tie_break(self):
+        g = path_graph(6)  # plenty of zero ties
+        first = top_k(g, 0, k=5)
+        second = top_k(g, 0, k=5)
+        assert first == second
+
+    def test_k_zero(self):
+        assert top_k(path_graph(3), 0, k=0) == []
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            top_k(path_graph(3), 0, k=-1)
+
+
+class TestSieve:
+    def test_clip_zeroes_small_entries(self):
+        s = np.array([[0.5, 1e-5], [2e-4, 0.0]])
+        clipped = clip_small(s, 1e-4)
+        np.testing.assert_array_equal(
+            clipped, np.array([[0.5, 0.0], [2e-4, 0.0]])
+        )
+
+    def test_clip_copies(self):
+        s = np.array([[1e-6]])
+        clip_small(s)
+        assert s[0, 0] == 1e-6
+
+    def test_sparse_conversion(self):
+        s = np.array([[0.5, 1e-6], [0.0, 0.2]])
+        sparse = sieve_to_sparse(s, 1e-4)
+        assert sparse.nnz == 2
+
+    def test_storage_savings(self):
+        s = np.array([[0.5, 1e-6], [1e-7, 0.2]])
+        assert storage_savings(s, 1e-4) == pytest.approx(0.5)
+        assert storage_savings(np.zeros((0, 0))) == 0.0
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            clip_small(np.ones((1, 1)), -1.0)
+
+
+class TestWeightSchemes:
+    def test_geometric_normalised(self):
+        w = GeometricWeights(0.6)
+        total = sum(w.length_weight(l) for l in range(200))
+        assert total == pytest.approx(1.0)
+
+    def test_exponential_normalised(self):
+        w = ExponentialWeights(0.6)
+        total = sum(w.length_weight(l) for l in range(40))
+        assert total == pytest.approx(1.0)
+
+    def test_harmonic_normalised(self):
+        w = HarmonicWeights(0.6)
+        total = sum(w.length_weight(l) for l in range(500))
+        assert total == pytest.approx(1.0)
+        assert w.length_weight(0) == 0.0
+
+    def test_all_decreasing_for_length_ge_one(self):
+        for scheme in (
+            GeometricWeights(0.8),
+            ExponentialWeights(0.8),
+            HarmonicWeights(0.8),
+        ):
+            values = [scheme.length_weight(l) for l in range(1, 12)]
+            assert all(a > b for a, b in zip(values, values[1:])), (
+                scheme.name
+            )
+
+    def test_invalid_damping_rejected(self):
+        for cls in (GeometricWeights, ExponentialWeights, HarmonicWeights):
+            with pytest.raises(ValueError):
+                cls(0.0)
+            with pytest.raises(ValueError):
+                cls(1.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricWeights(0.5).length_weight(-1)
+
+    def test_names(self):
+        assert GeometricWeights(0.5).name == "geometric"
+        assert ExponentialWeights(0.5).name == "exponential"
+        assert HarmonicWeights(0.5).name == "harmonic"
+
+
+class TestConvergenceBounds:
+    def test_bound_values(self):
+        assert geometric_error_bound(0.8, 4) == pytest.approx(0.8 ** 5)
+        assert exponential_error_bound(0.8, 4) == pytest.approx(
+            0.8 ** 5 / math.factorial(5)
+        )
+
+    def test_exponential_always_tighter(self):
+        for k in range(10):
+            assert exponential_error_bound(0.6, k) <= geometric_error_bound(
+                0.6, k
+            )
+
+    def test_iterations_for_accuracy_geometric(self):
+        k = iterations_for_accuracy(0.8, 1e-3, "geometric")
+        assert geometric_error_bound(0.8, k) <= 1e-3
+        assert k == 0 or geometric_error_bound(0.8, k - 1) > 1e-3
+
+    def test_iterations_for_accuracy_exponential(self):
+        k = iterations_for_accuracy(0.8, 1e-3, "exponential")
+        assert exponential_error_bound(0.8, k) <= 1e-3
+        assert k == 0 or exponential_error_bound(0.8, k - 1) > 1e-3
+
+    def test_weight_scheme_bounds_agree(self):
+        assert GeometricWeights(0.7).error_bound(3) == pytest.approx(
+            geometric_error_bound(0.7, 3)
+        )
+        assert ExponentialWeights(0.7).error_bound(3) == pytest.approx(
+            exponential_error_bound(0.7, 3)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            geometric_error_bound(1.5, 2)
+        with pytest.raises(ValueError):
+            geometric_error_bound(0.5, -1)
+        with pytest.raises(ValueError):
+            iterations_for_accuracy(0.5, 2.0)
+        with pytest.raises(ValueError):
+            iterations_for_accuracy(0.5, 1e-3, "sideways")

@@ -1,0 +1,256 @@
+"""Tests for SimRank baselines: iterative, matrix, series, psum, mtx.
+
+networkx is used as an independent oracle for the Jeh–Widom recursion.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    mtx_simrank,
+    psum_simrank,
+    simrank,
+    simrank_matrix,
+    simrank_series,
+)
+from repro.graph import (
+    DiGraph,
+    backward_transition_matrix,
+    cycle_graph,
+    figure1_citation_graph,
+    path_graph,
+    random_digraph,
+    two_ray_path,
+)
+
+
+def networkx_simrank(graph, c):
+    """Independent oracle: networkx's converged Jeh–Widom SimRank."""
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    result = nx.simrank_similarity(
+        g, importance_factor=c, max_iterations=2000, tolerance=1e-10
+    )
+    n = graph.num_nodes
+    out = np.zeros((n, n))
+    for i, row in result.items():
+        for j, val in row.items():
+            out[i, j] = val
+    return out
+
+
+class TestIterativeSimRank:
+    def test_identity_at_zero_iterations(self):
+        g = random_digraph(10, 30, seed=0)
+        np.testing.assert_array_equal(simrank(g, 0.8, 0), np.eye(10))
+
+    def test_diagonal_pinned_to_one(self):
+        g = random_digraph(15, 60, seed=1)
+        s = simrank(g, 0.6, 4)
+        np.testing.assert_allclose(np.diag(s), 1.0)
+
+    def test_symmetry(self):
+        g = random_digraph(15, 60, seed=2)
+        s = simrank(g, 0.6, 4)
+        np.testing.assert_allclose(s, s.T)
+
+    def test_range(self):
+        g = random_digraph(15, 60, seed=3)
+        s = simrank(g, 0.8, 5)
+        assert s.min() >= 0.0
+        assert s.max() <= 1.0 + 1e-12
+
+    def test_source_nodes_score_zero(self):
+        # pairs involving a node with no in-edges score 0 (a != b)
+        g = figure1_citation_graph()
+        s = simrank(g, 0.8, 8)
+        a = g.node_of("a")
+        for v in g.nodes():
+            if v != a:
+                assert s[a, v] == 0.0
+
+    def test_matches_networkx_oracle(self):
+        g = random_digraph(12, 40, seed=4)
+        ours = simrank(g, 0.7, 60)  # converged
+        theirs = networkx_simrank(g, 0.7)
+        np.testing.assert_allclose(ours, theirs, atol=1e-6)
+
+    def test_matches_networkx_on_figure1(self):
+        g = figure1_citation_graph()
+        ours = simrank(g, 0.8, 120)
+        theirs = networkx_simrank(g, 0.8)
+        np.testing.assert_allclose(ours, theirs, atol=1e-6)
+
+    def test_figure1_table_zero_pattern(self):
+        # Column 'SR' of Figure 1: these pairs have zero SimRank.
+        g = figure1_citation_graph()
+        s = simrank(g, 0.8, 20)
+        node = g.node_of
+        for pair in [("h", "d"), ("a", "f"), ("a", "c"), ("g", "a"),
+                     ("g", "b"), ("i", "a")]:
+            assert s[node(pair[0]), node(pair[1])] == 0.0, pair
+
+    def test_figure1_table_nonzero_value(self):
+        # s(i, h) = .044 at C = 0.8. The paper computes SimRank through
+        # the matrix form Eq. (3) (its power series Eq. (4)), whose
+        # diagonal is (1-C)-normalised — the value confirms that.
+        g = figure1_citation_graph()
+        s = simrank_matrix(g, 0.8, 60)
+        val = s[g.node_of("i"), g.node_of("h")]
+        assert val == pytest.approx(0.044, abs=5e-4)
+
+    def test_rejects_bad_damping(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            simrank(g, 0.0)
+        with pytest.raises(ValueError):
+            simrank(g, 1.0)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            simrank(path_graph(3), 0.6, -1)
+
+
+class TestZeroSimRankTheorem:
+    """Theorem 1: s(a,b) = 0 without a symmetric in-link path."""
+
+    def test_two_ray_path_zero_structure(self):
+        # a_{-n} <- ... <- a_0 -> ... -> a_n: SimRank(a_i, a_j) = 0
+        # whenever |i| != |j| (no common source at equal distance).
+        n = 3
+        g = two_ray_path(n)
+        s = simrank(g, 0.8, 30)
+        # right ray nodes 1..n at depth 1..n; left ray n+1..2n
+        def depth(v):
+            return v if 1 <= v <= n else v - n
+        for u in range(1, 2 * n + 1):
+            for v in range(1, 2 * n + 1):
+                if u == v:
+                    continue
+                same_side = (u <= n) == (v <= n)
+                if depth(u) != depth(v) or same_side:
+                    assert s[u, v] == 0.0, (u, v)
+                else:
+                    assert s[u, v] > 0.0, (u, v)
+
+    def test_directed_path_all_zero(self):
+        # On a simple path every distinct pair has no symmetric in-link
+        # path, hence SimRank = 0 off the diagonal.
+        g = path_graph(6)
+        s = simrank(g, 0.8, 30)
+        off_diag = s - np.diag(np.diag(s))
+        np.testing.assert_array_equal(off_diag, 0.0)
+
+
+class TestMatrixAndSeriesForms:
+    def test_matrix_equals_series(self):
+        g = random_digraph(20, 80, seed=5)
+        np.testing.assert_allclose(
+            simrank_matrix(g, 0.6, 7), simrank_series(g, 0.6, 7),
+            atol=1e-12,
+        )
+
+    def test_series_term_zero(self):
+        g = random_digraph(8, 20, seed=6)
+        np.testing.assert_allclose(
+            simrank_series(g, 0.6, 0), (1 - 0.6) * np.eye(8)
+        )
+
+    def test_matrix_form_fixed_point(self):
+        # The converged iterate satisfies S = C Q S Q^T + (1-C) I.
+        g = random_digraph(15, 50, seed=7)
+        c = 0.6
+        s = simrank_matrix(g, c, 60)
+        q = backward_transition_matrix(g).toarray()
+        residual = c * q @ s @ q.T + (1 - c) * np.eye(15) - s
+        assert np.abs(residual).max() < 1e-10
+
+    def test_matrix_diagonal_not_pinned(self):
+        # Eq. (3)'s fixed point has diag <= 1 with equality only for
+        # nodes with no in-edges... (those rows are (1-C) e_v).
+        g = cycle_graph(4)
+        s = simrank_matrix(g, 0.6, 50)
+        assert np.all(np.diag(s) <= 1.0)
+        assert np.diag(s).max() < 1.0
+
+    def test_iterative_vs_matrix_close_when_damping_small(self):
+        # The two forms differ only in diagonal handling; for small C
+        # the difference is second-order.
+        g = random_digraph(12, 40, seed=8)
+        a = simrank(g, 0.2, 20)
+        b = simrank_matrix(g, 0.2, 20)
+        off = ~np.eye(12, dtype=bool)
+        assert np.abs(a - b)[off].max() < 0.05
+
+    def test_zero_pattern_agrees_between_forms(self):
+        g = figure1_citation_graph()
+        a = simrank(g, 0.8, 20)
+        b = simrank_matrix(g, 0.8, 20)
+        np.testing.assert_array_equal(a == 0.0, b == 0.0)
+
+
+class TestPsumSimRank:
+    def test_equals_naive_simrank(self):
+        g = random_digraph(15, 60, seed=9)
+        np.testing.assert_allclose(
+            psum_simrank(g, 0.6, 5), simrank(g, 0.6, 5), atol=1e-12
+        )
+
+    def test_equals_naive_on_figure1(self):
+        g = figure1_citation_graph()
+        np.testing.assert_allclose(
+            psum_simrank(g, 0.8, 10), simrank(g, 0.8, 10), atol=1e-12
+        )
+
+    def test_handles_isolated_nodes(self):
+        g = DiGraph(4, edges=[(0, 1)])
+        s = psum_simrank(g, 0.6, 3)
+        np.testing.assert_allclose(np.diag(s), 1.0)
+        assert s[2, 3] == 0.0
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            psum_simrank(path_graph(3), 1.5)
+        with pytest.raises(ValueError):
+            psum_simrank(path_graph(3), 0.6, -2)
+
+
+class TestMtxSimRank:
+    def test_full_rank_matches_matrix_form(self):
+        g = random_digraph(12, 40, seed=10)
+        exact = simrank_matrix(g, 0.6, 80)
+        svd = mtx_simrank(g, 0.6)
+        np.testing.assert_allclose(svd, exact, atol=1e-8)
+
+    def test_full_rank_matches_kron_solve(self):
+        # Independent closed form: vec(S) = (1-C)(I - C Q (x) Q)^{-1} vec(I)
+        g = random_digraph(8, 25, seed=11)
+        c = 0.7
+        q = backward_transition_matrix(g).toarray()
+        n = g.num_nodes
+        lhs = np.eye(n * n) - c * np.kron(q, q)
+        vec_s = (1 - c) * np.linalg.solve(
+            lhs, np.eye(n).reshape(-1, order="F")
+        )
+        expected = vec_s.reshape((n, n), order="F")
+        np.testing.assert_allclose(mtx_simrank(g, c), expected, atol=1e-8)
+
+    def test_low_rank_approximation_degrades_gracefully(self):
+        g = random_digraph(15, 50, seed=12)
+        exact = mtx_simrank(g, 0.6)
+        approx = mtx_simrank(g, 0.6, rank=8)
+        # still symmetric-ish and in a sane range
+        assert np.abs(approx - exact).max() < 1.0
+
+    def test_edgeless_graph(self):
+        s = mtx_simrank(DiGraph(4), 0.6)
+        np.testing.assert_allclose(s, 0.4 * np.eye(4))
+
+    def test_empty_graph(self):
+        assert mtx_simrank(DiGraph(0), 0.6).shape == (0, 0)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            mtx_simrank(path_graph(3), 0.6, rank=0)
