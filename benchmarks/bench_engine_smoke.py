@@ -1,0 +1,59 @@
+"""Engine precomputation-reuse smoke benchmark (the CI gate).
+
+Asserts the whole point of :class:`repro.engine.SimilarityEngine`:
+the first query pays for the shared precomputation (transition
+matrices, series walk), and every subsequent query is served from the
+memo — strictly faster, with zero artifact rebuilds. Plain pytest, no
+pytest-benchmark dependency, so it runs anywhere the tier-1 suite
+runs.
+"""
+
+import time
+
+from repro import SimilarityEngine
+from repro.graph import random_digraph
+
+
+def _clock(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_second_query_is_faster_than_first():
+    graph = random_digraph(400, 2400, seed=7)
+    engine = SimilarityEngine(graph, measure="gSR*", c=0.6,
+                              num_iterations=10)
+    first = _clock(lambda: engine.top_k(3, k=10))
+    second = _clock(lambda: engine.top_k(3, k=10))
+    # the first call built Q and walked the series; the second is a
+    # memo lookup — orders of magnitude apart, so a strict comparison
+    # is safe even on noisy CI runners.
+    assert second < first, (
+        f"expected the cached query to be faster: "
+        f"first={first:.6f}s second={second:.6f}s"
+    )
+    assert engine.stats.transition_builds == 1
+    assert engine.stats.column_computes == 1
+    assert engine.stats.hits == 1
+
+
+def test_fresh_queries_never_rebuild_artifacts():
+    graph = random_digraph(300, 1800, seed=11)
+    engine = SimilarityEngine(graph, measure="gSR*", c=0.6,
+                              num_iterations=8)
+    for query in range(20):
+        engine.top_k(query, k=5)
+    assert engine.stats.transition_builds == 1
+    assert engine.stats.column_computes == 20
+
+
+def test_memo_measure_compresses_bicliques_once():
+    graph = random_digraph(150, 1200, seed=13)
+    engine = SimilarityEngine(graph, measure="memo-gSR*", c=0.6,
+                              num_iterations=6)
+    first = _clock(engine.matrix)
+    again = _clock(engine.matrix)
+    assert again < first
+    assert engine.stats.compression_builds == 1
+    assert engine.stats.matrix_builds == 1

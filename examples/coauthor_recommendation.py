@@ -10,7 +10,7 @@ Run:  python examples/coauthor_recommendation.py
 
 import numpy as np
 
-from repro import simrank_star
+from repro import SimilarityEngine
 from repro.analysis import top_pair_attribute_difference
 from repro.datasets import coauthor_network
 
@@ -25,24 +25,24 @@ def main() -> None:
         f"{net.num_undirected_edges} collaborations"
     )
 
-    scores = simrank_star(graph, c=0.6, num_iterations=10)
+    engine = SimilarityEngine(graph, measure="gSR*", c=0.6,
+                              num_iterations=10)
 
-    # recommend for the most prolific author
+    # recommend for the most prolific author; existing co-authors are
+    # excluded directly by the engine's top-k
     author = int(np.argmax(net.h_indices))
-    existing = set(graph.out_neighbors(author))
-    ranked = np.argsort(-scores[author])
-    recommendations = [
-        int(v)
-        for v in ranked
-        if v != author and v not in existing
-    ][:5]
+    recommendations = engine.top_k(
+        author, k=5, exclude=graph.out_neighbors(author)
+    )
     print(f"\nauthor {author} (H-index {net.h_indices[author]})")
     print("top-5 recommended new collaborators (id, score, H-index):")
-    for v in recommendations:
+    for entry in recommendations:
         print(
-            f"  {v:4d}  score={scores[author, v]:.4f}  "
-            f"H-index={net.h_indices[v]}"
+            f"  {entry.node:4d}  score={entry.score:.4f}  "
+            f"H-index={net.h_indices[entry.node]}"
         )
+
+    scores = np.asarray(engine.matrix())
 
     # are highly similar pairs role-consistent?
     gaps = top_pair_attribute_difference(

@@ -4,14 +4,60 @@ Efficiently Assessing Node-Pair Similarities Based on Hyperlinks"
 
 Quickstart
 ----------
->>> from repro import DiGraph, simrank_star
->>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
->>> s = simrank_star(g, c=0.8, num_iterations=10)
->>> s[1, 2] > 0          # siblings are similar
+Build a :class:`SimilarityEngine` once, then serve queries — the
+expensive structure (transition matrices, biclique compression,
+truncation length) is built lazily on first use and reused by every
+subsequent query:
+
+>>> from repro import DiGraph, SimilarityEngine
+>>> g = DiGraph(3, edges=[(0, 1), (0, 2)], labels=["a", "b", "c"])
+>>> engine = SimilarityEngine(g, measure="gSR*", c=0.8,
+...                           num_iterations=10)
+>>> engine.score("b", "c") > 0       # siblings are similar
 True
+>>> engine.top_k("b", k=2).labels    # rankings carry labels
+['a', 'c']
+>>> engine.matrix().score("b", "c") > 0   # same cached artifacts
+True
+
+Measures are pluggable: every algorithm under comparison is registered
+in :mod:`repro.engine.registry` with metadata, so
+``SimilarityEngine(g, measure="SR")`` (or ``"RWR"``, ``"memo-gSR*"``,
+...) serves any of them behind the same five methods — ``score``,
+``single_source``, ``top_k``, ``batch_top_k``, ``matrix``.
+
+Migration from the functional API
+---------------------------------
+The one-shot functions below still work (they are thin wrappers and
+remain the easiest way to compute a single matrix), but repeated
+queries should move to the engine, which amortises precomputation:
+
+====================================  =================================
+old functional call                   engine equivalent
+====================================  =================================
+``simrank_star(g, c, k)``             ``SimilarityEngine(g, measure="gSR*", c=c, num_iterations=k).matrix()``
+``compute_measure(name, g, c, k)``    ``SimilarityEngine(g, measure=name, c=c, num_iterations=k).matrix()``
+``single_source(g, q, c, L)``         ``engine.single_source(q)``
+``single_pair(g, u, v, c, L)``        ``engine.score(u, v)``
+``top_k(g, q, k=K)``                  ``engine.top_k(q, k=K)``
+``[top_k(g, q) for q in qs]``         ``engine.batch_top_k(qs)``
+====================================  =================================
+
+Mind the defaults when migrating: with neither ``num_iterations`` nor
+``epsilon`` configured, the engine uses the *measure's* default
+truncation (5 for ``gSR*``, matching ``simrank_star``), while the
+functional query helpers (``single_source`` / ``single_pair`` /
+``top_k``) default to ``num_terms=10`` — pass ``num_iterations=10``
+explicitly to reproduce query results that relied on their default.
+
+After mutating the graph, call ``engine.invalidate()`` (or mutate
+through ``engine.add_edge`` / ``engine.remove_edge``, which invalidate
+automatically).
 
 Packages
 --------
+* :mod:`repro.engine` — the stateful query-serving engine, measure
+  registry, and label-aware result types.
 * :mod:`repro.graph` — the graph substrate (structure, matrices,
   generators, IO, stats).
 * :mod:`repro.core` — SimRank* itself: geometric / exponential forms,
@@ -38,16 +84,36 @@ from repro.core import (
 )
 from repro.graph import DiGraph
 from repro.measures import MEASURES, compute_measure
+from repro.engine import (
+    MeasureSpec,
+    RankedNode,
+    Ranking,
+    ScoreMatrix,
+    SimilarityConfig,
+    SimilarityEngine,
+    available_measures,
+    get_measure,
+    register_measure,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DiGraph",
     "MEASURES",
+    "MeasureSpec",
+    "RankedNode",
+    "Ranking",
+    "ScoreMatrix",
+    "SimilarityConfig",
+    "SimilarityEngine",
+    "available_measures",
     "compute_measure",
+    "get_measure",
     "memo_simrank_star",
     "memo_simrank_star_exponential",
     "memo_simrank_star_factorized",
+    "register_measure",
     "simrank_star",
     "simrank_star_exponential",
     "single_source",

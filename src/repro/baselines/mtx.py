@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.validation import validate_damping
 from repro.graph.matrices import backward_transition_matrix
 
 __all__ = ["mtx_simrank"]
@@ -48,8 +49,7 @@ def mtx_simrank(
         Target rank ``r``. Defaults to full rank (exact up to floating
         point). Values above the numerical rank of ``Q`` are clipped.
     """
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
+    validate_damping(c)
     n = graph.num_nodes
     if n == 0:
         return np.zeros((0, 0))

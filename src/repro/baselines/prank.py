@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.validation import validate_damping, validate_iterations
 from repro.graph.matrices import (
     backward_transition_matrix,
     forward_transition_matrix,
@@ -30,8 +31,7 @@ __all__ = ["prank", "prank_matrix"]
 
 
 def _check_params(c: float, in_weight: float) -> None:
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
+    validate_damping(c)
     if not 0.0 <= in_weight <= 1.0:
         raise ValueError(
             f"in_weight (lambda) must lie in [0, 1], got {in_weight}"
@@ -50,8 +50,7 @@ def prank(
     evidence; ``in_weight = 1`` recovers plain SimRank.
     """
     _check_params(c, in_weight)
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_iterations(num_iterations)
     n = graph.num_nodes
     in_sets = [graph.in_neighbors(v) for v in range(n)]
     out_sets = [graph.out_neighbors(v) for v in range(n)]
@@ -97,8 +96,7 @@ def prank_matrix(
     SimRank's matrix form.
     """
     _check_params(c, in_weight)
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_iterations(num_iterations)
     n = graph.num_nodes
     q = backward_transition_matrix(graph)
     w = forward_transition_matrix(graph)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = ["psum_simrank", "psum_simrank_fast", "psum_operation_count"]
 
@@ -38,10 +39,8 @@ def psum_simrank(
     exact Jeh–Widom recursion with the diagonal pinned to 1) but in
     ``O(K n m)`` time.
     """
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_iterations)
     n = graph.num_nodes
     in_sets = [np.array(graph.in_neighbors(v), dtype=np.intp) for v in range(n)]
     s = np.eye(n)
@@ -80,10 +79,8 @@ def psum_simrank_fast(
     Returns exactly the :func:`psum_simrank` / Jeh-Widom values
     (diagonal pinned to 1).
     """
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_iterations)
     from repro.graph.matrices import backward_transition_matrix
 
     n = graph.num_nodes

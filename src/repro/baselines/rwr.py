@@ -21,13 +21,9 @@ import numpy as np
 
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import forward_transition_matrix
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = ["ppr", "rwr", "rwr_matrix"]
-
-
-def _check_damping(c: float) -> None:
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
 
 
 def rwr(
@@ -39,9 +35,8 @@ def rwr(
     whose ``K``-th iterate is the ``K``-term partial sum of Eq. (6).
     Note the result is **asymmetric** in general.
     """
-    _check_damping(c)
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_iterations)
     n = graph.num_nodes
     w = forward_transition_matrix(graph)
     base = (1.0 - c) * np.eye(n)
@@ -53,7 +48,7 @@ def rwr(
 
 def rwr_matrix(graph: DiGraph, c: float = 0.6) -> np.ndarray:
     """Exact RWR: the closed form ``(1-C) (I - C W)^{-1}`` [19]."""
-    _check_damping(c)
+    validate_damping(c)
     n = graph.num_nodes
     if n == 0:
         return np.zeros((0, 0))
@@ -73,11 +68,10 @@ def ppr(
     ``p_{k+1} = (1-C) e_s + C W^T p_k`` so only ``O(K m)`` work is done
     — the "special vector form of RWR" the paper mentions.
     """
-    _check_damping(c)
+    validate_damping(c)
     if not 0 <= source < graph.num_nodes:
         raise IndexError(f"source {source} out of range")
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_iterations(num_iterations)
     n = graph.num_nodes
     w_t = forward_transition_matrix(graph).T.tocsr()
     restart = np.zeros(n)

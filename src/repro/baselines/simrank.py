@@ -21,16 +21,13 @@ pinned; both appear in tests against each other and against networkx.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = ["simrank", "simrank_matrix", "simrank_series"]
-
-
-def _check_damping(c: float) -> None:
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
 
 
 def simrank(
@@ -51,9 +48,8 @@ def simrank(
     Runs in O(K d^2 n^2) time — use :func:`psum_simrank` or the matrix
     form for anything beyond toy graphs.
     """
-    _check_damping(c)
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_iterations)
     n = graph.num_nodes
     in_sets = [graph.in_neighbors(v) for v in range(n)]
     s = np.eye(n)
@@ -77,7 +73,10 @@ def simrank(
 
 
 def simrank_matrix(
-    graph: DiGraph, c: float = 0.6, num_iterations: int = 5
+    graph: DiGraph,
+    c: float = 0.6,
+    num_iterations: int = 5,
+    transition: sp.csr_array | None = None,
 ) -> np.ndarray:
     """All-pairs SimRank via the matrix form Eq. (3).
 
@@ -87,11 +86,12 @@ def simrank_matrix(
     sparse-dense multiplications — the constant-factor cost the paper
     contrasts with SimRank*'s single multiplication (Section 4.2).
     """
-    _check_damping(c)
-    if num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_iterations)
     n = graph.num_nodes
-    q = backward_transition_matrix(graph)
+    q = transition if transition is not None else (
+        backward_transition_matrix(graph)
+    )
     base = (1.0 - c) * np.eye(n)
     s = base.copy()
     for _ in range(num_iterations):
@@ -114,9 +114,8 @@ def simrank_series(
     zero-SimRank semantics testable, not to be fast. Equals
     :func:`simrank_matrix` with ``num_iterations = num_terms``.
     """
-    _check_damping(c)
-    if num_terms < 0:
-        raise ValueError("num_terms must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_terms, "num_terms")
     n = graph.num_nodes
     q = backward_transition_matrix(graph)
     total = np.eye(n)

@@ -96,7 +96,22 @@ class CompressedGraph:
         Shapes: ``E_direct`` is ``n x n`` (row = bottom node, col = top
         node), ``H_out`` is ``n x h``, ``H_in`` is ``h x n`` for
         ``h = |V^|`` concentration nodes.
+
+        The triple is built once and cached on the instance — a
+        compressed graph is immutable, and callers that reuse one
+        across runs (``compressed=`` on the memo kernels, the
+        query-serving engine) would otherwise rebuild identical
+        matrices every time.
         """
+        cached = getattr(self, "_factorized", None)
+        if cached is None:
+            cached = self._build_factorized()
+            object.__setattr__(self, "_factorized", cached)
+        return cached
+
+    def _build_factorized(
+        self,
+    ) -> tuple[sp.csr_array, sp.csr_array, sp.csr_array]:
         n = self.graph.num_nodes
         h = self.num_concentration_nodes
         rows, cols = [], []

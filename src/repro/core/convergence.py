@@ -12,6 +12,12 @@ from __future__ import annotations
 
 import math
 
+from repro.validation import (
+    validate_damping,
+    validate_epsilon,
+    validate_iterations,
+)
+
 __all__ = [
     "exponential_error_bound",
     "geometric_error_bound",
@@ -19,24 +25,17 @@ __all__ = [
 ]
 
 
-def _check(c: float) -> None:
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
-
-
 def geometric_error_bound(c: float, num_terms: int) -> float:
     """Lemma 3: ``||S^ - S^_k||_max <= C^{k+1}``."""
-    _check(c)
-    if num_terms < 0:
-        raise ValueError("num_terms must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_terms, "num_terms")
     return c ** (num_terms + 1)
 
 
 def exponential_error_bound(c: float, num_terms: int) -> float:
     """Eq. (12): ``||S' - S'_k||_max <= C^{k+1} / (k+1)!``."""
-    _check(c)
-    if num_terms < 0:
-        raise ValueError("num_terms must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_terms, "num_terms")
     return c ** (num_terms + 1) / math.factorial(num_terms + 1)
 
 
@@ -49,9 +48,8 @@ def iterations_for_accuracy(
     for the exponential form the factorial decay is searched directly
     (it typically returns a far smaller K — the paper's ``K' << K``).
     """
-    _check(c)
-    if epsilon <= 0 or epsilon >= 1:
-        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    validate_damping(c)
+    validate_epsilon(epsilon)
     if variant == "geometric":
         return max(0, math.ceil(math.log(epsilon, c)) - 1)
     if variant == "exponential":

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.linalg
+import scipy.sparse as sp
 
 from repro.core.convergence import iterations_for_accuracy
 from repro.core.series import simrank_star_series
 from repro.core.weights import ExponentialWeights
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = [
     "simrank_star_exponential",
@@ -41,16 +43,12 @@ __all__ = [
 ]
 
 
-def _check_damping(c: float) -> None:
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
-
-
 def simrank_star_exponential(
     graph: DiGraph,
     c: float = 0.6,
     num_iterations: int | None = 10,
     epsilon: float | None = None,
+    transition: sp.csr_array | None = None,
 ) -> np.ndarray:
     """All-pairs exponential SimRank* via the Eq. (19) iteration.
 
@@ -63,16 +61,19 @@ def simrank_star_exponential(
     then returns ``e^{-C} T_K T_K^T``. With ``epsilon`` given, the
     factorial bound Eq. (12) picks ``K`` (typically 4-6 for
     ``eps = 1e-3`` — far below the geometric form's K).
+
+    ``transition`` may carry a precomputed ``Q`` to share across runs.
     """
-    _check_damping(c)
+    validate_damping(c)
     if epsilon is not None:
         if num_iterations not in (None, 10):
             raise ValueError("pass either num_iterations or epsilon")
         num_iterations = iterations_for_accuracy(c, epsilon, "exponential")
-    if num_iterations is None or num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    num_iterations = validate_iterations(num_iterations)
     n = graph.num_nodes
-    q = backward_transition_matrix(graph)
+    q = transition if transition is not None else (
+        backward_transition_matrix(graph)
+    )
     r = np.eye(n)
     t = np.eye(n)
     half_c = 0.5 * c
@@ -86,7 +87,7 @@ def simrank_star_exponential_series(
     graph: DiGraph, c: float = 0.6, num_terms: int = 10
 ) -> np.ndarray:
     """Triangle partial sums Eq. (18): ``sum_{l<=k} e^{-C} C^l/l! T_l``."""
-    _check_damping(c)
+    validate_damping(c)
     return simrank_star_series(
         graph, c, num_terms, weights=ExponentialWeights(c)
     )
@@ -96,7 +97,7 @@ def simrank_star_exponential_closed(
     graph: DiGraph, c: float = 0.6
 ) -> np.ndarray:
     """Exact Eq. (15): ``e^{-C} expm(C/2 Q) expm(C/2 Q^T)``."""
-    _check_damping(c)
+    validate_damping(c)
     q = backward_transition_matrix(graph).toarray()
     half = scipy.linalg.expm(0.5 * c * q)
     return float(np.exp(-c)) * (half @ half.T)

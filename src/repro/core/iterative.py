@@ -20,10 +20,12 @@ it is what the Figure 6(e) benchmark measures.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.convergence import iterations_for_accuracy
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = ["simrank_star", "simrank_star_fixed_point_residual"]
 
@@ -33,6 +35,7 @@ def simrank_star(
     c: float = 0.6,
     num_iterations: int | None = 5,
     epsilon: float | None = None,
+    transition: sp.csr_array | None = None,
 ) -> np.ndarray:
     """All-pairs geometric SimRank* via Eq. (14).
 
@@ -49,22 +52,26 @@ def simrank_star(
         Target accuracy; Lemma 3 guarantees
         ``||S^ - S^_K||_max <= C^{K+1}``, so ``K = ceil(log_C eps)``
         iterations are run.
+    transition:
+        Optional precomputed backward transition matrix ``Q`` (as from
+        :func:`repro.graph.matrices.backward_transition_matrix`), so a
+        caller serving many runs can build it once.
 
     Returns
     -------
     numpy.ndarray
         Symmetric ``n x n`` matrix with entries in ``[0, 1]``.
     """
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
+    validate_damping(c)
     if epsilon is not None:
         if num_iterations not in (None, 5):
             raise ValueError("pass either num_iterations or epsilon")
         num_iterations = iterations_for_accuracy(c, epsilon, "geometric")
-    if num_iterations is None or num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
+    num_iterations = validate_iterations(num_iterations)
     n = graph.num_nodes
-    q = backward_transition_matrix(graph)
+    q = transition if transition is not None else (
+        backward_transition_matrix(graph)
+    )
     base = (1.0 - c) * np.eye(n)
     s = base.copy()
     half_c = 0.5 * c

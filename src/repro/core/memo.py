@@ -36,6 +36,7 @@ from repro.bigraph.compressed import CompressedGraph
 from repro.bigraph.concentration import compress_graph
 from repro.core.convergence import iterations_for_accuracy
 from repro.graph.digraph import DiGraph
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = [
     "MemoRun",
@@ -55,15 +56,12 @@ def _resolve_iterations(
     variant: str,
     default: int,
 ) -> int:
-    if not 0.0 < c < 1.0:
-        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
+    validate_damping(c)
     if epsilon is not None:
         if num_iterations not in (None, default):
             raise ValueError("pass either num_iterations or epsilon")
         return iterations_for_accuracy(c, epsilon, variant)
-    if num_iterations is None or num_iterations < 0:
-        raise ValueError("num_iterations must be >= 0")
-    return num_iterations
+    return validate_iterations(num_iterations)
 
 
 def memo_simrank_star(

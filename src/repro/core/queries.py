@@ -11,6 +11,11 @@ column; instead we evaluate the series column directly::
 walking the ``(a, b)`` grid of partial products ``Q^a (Q^T)^b e_q``
 column by column — ``O(L^2)`` sparse mat-vecs and ``O(n)`` extra
 memory for a length-``L`` truncation.
+
+These functions are stateless; :class:`repro.engine.SimilarityEngine`
+wraps them with cached transition matrices and memoized answers for
+query-serving workloads (pass ``transition`` / ``transition_t`` to
+reuse a prebuilt ``Q`` here directly).
 """
 
 from __future__ import annotations
@@ -18,10 +23,12 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.weights import GeometricWeights, WeightScheme
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = ["single_pair", "single_source", "top_k"]
 
@@ -32,17 +39,24 @@ def single_source(
     c: float = 0.6,
     num_terms: int = 10,
     weights: WeightScheme | None = None,
+    transition: sp.csr_array | None = None,
+    transition_t: sp.csr_array | None = None,
 ) -> np.ndarray:
     """SimRank* scores of every node against ``query`` (one column).
 
     Equals column ``query`` of
     :func:`repro.core.series.simrank_star_series` with the same
     truncation, at ``O(L^2 m)`` cost instead of ``O(L n m)``.
+
+    ``transition`` (the backward transition matrix ``Q``) and
+    ``transition_t`` (``Q^T`` in CSR form) may be passed to reuse
+    precomputed matrices across queries; both are rebuilt from the
+    graph when omitted.
     """
     if not 0 <= query < graph.num_nodes:
         raise IndexError(f"query node {query} out of range")
-    if num_terms < 0:
-        raise ValueError("num_terms must be >= 0")
+    validate_damping(c)
+    validate_iterations(num_terms, "num_terms")
     if weights is None:
         weights = GeometricWeights(c)
     elif weights.c != c:
@@ -50,8 +64,10 @@ def single_source(
             f"weight scheme damping {weights.c} disagrees with c={c}"
         )
     n = graph.num_nodes
-    q = backward_transition_matrix(graph)
-    qt = q.T.tocsr()
+    q = transition if transition is not None else (
+        backward_transition_matrix(graph)
+    )
+    qt = transition_t if transition_t is not None else q.T.tocsr()
     result = np.zeros(n)
     backward = np.zeros(n)  # (Q^T)^beta e_q
     backward[query] = 1.0
@@ -96,20 +112,33 @@ def top_k(
     num_terms: int = 10,
     weights: WeightScheme | None = None,
     include_query: bool = False,
-) -> list[tuple[int, float]]:
+):
     """The ``k`` nodes most SimRank*-similar to ``query``.
 
-    Returns ``(node, score)`` pairs sorted by descending score, ties
-    broken by node id for determinism. The query node itself is
+    Returns a :class:`repro.engine.Ranking` — a sequence of
+    ``(node, score)`` pairs sorted by descending score (ties broken by
+    node id for determinism) whose entries also carry the node's label
+    when the graph has labels. It compares equal to the plain list of
+    pairs this function used to return. The query node itself is
     excluded unless ``include_query`` is set.
     """
+    # Imported lazily: repro.engine sits above repro.core in the layer
+    # stack, so a module-level import would be circular.
+    from repro.engine.results import Ranking
+
     if k < 0:
         raise ValueError("k must be >= 0")
     scores = single_source(graph, query, c, num_terms, weights)
-    order = np.lexsort((np.arange(len(scores)), -scores))
-    ranked = [
-        (int(node), float(scores[node]))
-        for node in order
-        if include_query or node != query
-    ]
-    return ranked[:k]
+    # only tag provenance when the scores really are geometric
+    # SimRank*; custom weight schemes produce a different measure
+    is_geometric = weights is None or isinstance(
+        weights, GeometricWeights
+    )
+    return Ranking.from_scores(
+        scores,
+        query=query,
+        k=k,
+        labels=graph.labels,
+        include_query=include_query,
+        measure="gSR*" if is_geometric else None,
+    )

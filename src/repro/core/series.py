@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.weights import GeometricWeights, WeightScheme
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
+from repro.validation import validate_damping, validate_iterations
 
 __all__ = [
     "simrank_star_series",
@@ -37,8 +38,7 @@ def transition_polynomials(
     graph: DiGraph, num_terms: int
 ) -> list[np.ndarray]:
     """``[T_0, ..., T_K]`` via the two-sided recurrence."""
-    if num_terms < 0:
-        raise ValueError("num_terms must be >= 0")
+    validate_iterations(num_terms, "num_terms")
     n = graph.num_nodes
     q = backward_transition_matrix(graph)
     terms = [np.eye(n)]
@@ -61,6 +61,8 @@ def simrank_star_series(
     :class:`ExponentialWeights` gives Eq. (18). Truncation error is
     bounded by ``weights.error_bound(num_terms)`` (Lemma 3 / Eq. (12)).
     """
+    validate_damping(c)
+    validate_iterations(num_terms, "num_terms")
     if weights is None:
         weights = GeometricWeights(c)
     elif weights.c != c:
@@ -90,14 +92,14 @@ def simrank_star_series_bruteforce(
     evaluator — this is the ``O(k l^2 n^3)`` brute force the paper
     dismisses at the top of Section 4.
     """
+    validate_damping(c)
+    validate_iterations(num_terms, "num_terms")
     if weights is None:
         weights = GeometricWeights(c)
     elif weights.c != c:
         raise ValueError(
             f"weight scheme damping {weights.c} disagrees with c={c}"
         )
-    if num_terms < 0:
-        raise ValueError("num_terms must be >= 0")
     n = graph.num_nodes
     q = backward_transition_matrix(graph).toarray()
     qt = q.T

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.validation import validate_damping
+
 __all__ = [
     "ExponentialWeights",
     "GeometricWeights",
@@ -55,10 +57,7 @@ class WeightScheme(abc.ABC):
     c: float
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.c < 1.0:
-            raise ValueError(
-                f"damping factor C must lie in (0, 1), got {self.c}"
-            )
+        validate_damping(self.c)
 
     @property
     @abc.abstractmethod

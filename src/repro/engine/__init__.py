@@ -1,0 +1,43 @@
+"""Stateful query serving: build the expensive structure once, answer many.
+
+Public surface:
+
+* :class:`SimilarityEngine` — constructed from a
+  :class:`~repro.graph.DiGraph` plus a :class:`SimilarityConfig`;
+  lazily builds and caches the shared artifacts (backward transition
+  matrix, biclique-compressed graph, truncation length) and serves
+  ``score`` / ``single_source`` / ``top_k`` / ``batch_top_k`` /
+  ``matrix`` with memoized results and explicit invalidation.
+* :class:`SimilarityConfig` — the typed, validated configuration.
+* :func:`register_measure` / :class:`MeasureSpec` /
+  :func:`get_measure` / :func:`available_measures` — the pluggable
+  measure registry (the built-ins live in :mod:`repro.measures`).
+* :class:`Ranking` / :class:`RankedNode` / :class:`ScoreMatrix` —
+  label-aware result objects.
+"""
+
+from repro.engine.registry import (
+    MeasureSpec,
+    available_measures,
+    get_measure,
+    measure_names,
+    register_measure,
+)
+from repro.engine.results import RankedNode, Ranking, ScoreMatrix
+from repro.engine.config import WEIGHT_SCHEMES, SimilarityConfig
+from repro.engine.engine import EngineStats, SimilarityEngine
+
+__all__ = [
+    "EngineStats",
+    "MeasureSpec",
+    "RankedNode",
+    "Ranking",
+    "ScoreMatrix",
+    "SimilarityConfig",
+    "SimilarityEngine",
+    "WEIGHT_SCHEMES",
+    "available_measures",
+    "get_measure",
+    "measure_names",
+    "register_measure",
+]

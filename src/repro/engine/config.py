@@ -1,0 +1,94 @@
+"""Typed configuration for :class:`~repro.engine.engine.SimilarityEngine`.
+
+A :class:`SimilarityConfig` pins everything about *how* similarity is
+computed — measure, damping factor, truncation (explicit iteration
+count or an accuracy target), weight scheme — so an engine's cached
+artifacts and memoized results are unambiguous. All fields validate on
+construction through :mod:`repro.validation`, giving every entry point
+the same errors for the same mistakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.convergence import iterations_for_accuracy
+from repro.validation import (
+    validate_damping,
+    validate_epsilon,
+    validate_iterations,
+)
+
+__all__ = ["SimilarityConfig", "WEIGHT_SCHEMES"]
+
+#: Recognised values of :attr:`SimilarityConfig.weights`. ``"auto"``
+#: defers to the measure's own scheme (geometric for ``gSR*``-family,
+#: exponential for ``eSR*``-family, none for the baselines).
+WEIGHT_SCHEMES = ("auto", "geometric", "exponential")
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """How a :class:`SimilarityEngine` computes similarity.
+
+    Parameters
+    ----------
+    measure:
+        Registry name of the measure to serve (``"gSR*"``, ``"eSR*"``,
+        ``"SR"``, ... — see :func:`repro.engine.available_measures`).
+    c:
+        Damping factor in ``(0, 1)``; the paper's default is 0.6.
+    num_iterations:
+        Truncation length ``K``. Mutually exclusive with ``epsilon``;
+        when both are omitted the measure's default is used.
+    epsilon:
+        Accuracy target in ``(0, 1)``; converted to an iteration count
+        via the measure's error bound (Lemma 3 / Eq. (12)).
+    weights:
+        Length-weight scheme for the single-source series path.
+        ``"auto"`` (default) uses the measure's own scheme; naming a
+        scheme that disagrees with the measure is rejected when the
+        engine is built, because mixed schemes would break the
+        engine's matrix/column consistency guarantee.
+    """
+
+    measure: str = "gSR*"
+    c: float = 0.6
+    num_iterations: int | None = None
+    epsilon: float | None = None
+    weights: str = "auto"
+
+    def __post_init__(self) -> None:
+        validate_damping(self.c)
+        if self.num_iterations is not None and self.epsilon is not None:
+            raise ValueError("pass either num_iterations or epsilon")
+        if self.num_iterations is not None:
+            validate_iterations(self.num_iterations)
+        if self.epsilon is not None:
+            validate_epsilon(self.epsilon)
+        if self.weights not in WEIGHT_SCHEMES:
+            raise ValueError(
+                f"weights must be one of {WEIGHT_SCHEMES}, "
+                f"got {self.weights!r}"
+            )
+        if not isinstance(self.measure, str) or not self.measure:
+            raise ValueError(
+                f"measure must be a non-empty name, got {self.measure!r}"
+            )
+
+    def replace(self, **changes) -> "SimilarityConfig":
+        """A copy with ``changes`` applied (re-validates)."""
+        return replace(self, **changes)
+
+    def resolved_iterations(self, variant: str, default: int) -> int:
+        """The concrete truncation length this configuration implies.
+
+        ``variant`` (``"geometric"`` / ``"exponential"``) selects the
+        error bound used to convert an ``epsilon`` target; ``default``
+        is the measure's fallback when nothing was specified.
+        """
+        if self.epsilon is not None:
+            return iterations_for_accuracy(self.c, self.epsilon, variant)
+        if self.num_iterations is not None:
+            return self.num_iterations
+        return default

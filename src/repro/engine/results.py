@@ -1,0 +1,305 @@
+"""Label-aware result objects returned by queries.
+
+* :class:`RankedNode` — a ``(node, score)`` pair (a real 2-tuple, so
+  existing ``for node, score in ...`` call sites keep working) that
+  additionally carries the node's display label.
+* :class:`Ranking` — an ordered top-k answer for one query node.
+  Compares equal to a plain list of ``(node, score)`` pairs, which is
+  what :func:`repro.core.queries.top_k` used to return.
+* :class:`ScoreMatrix` — an ``(n, n)`` score array that can be indexed
+  by node labels and sliced into rankings. ``np.asarray`` passes
+  through, so numerical code treats it as the underlying array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["RankedNode", "Ranking", "ScoreMatrix"]
+
+
+class RankedNode(tuple):
+    """A ``(node, score)`` pair that also knows its display label.
+
+    >>> item = RankedNode(3, 0.25, label="c")
+    >>> node, score = item          # tuple protocol intact
+    >>> item.label
+    'c'
+    """
+
+    def __new__(cls, node: int, score: float, label=None):
+        self = super().__new__(cls, (int(node), float(score)))
+        self._label = int(node) if label is None else label
+        return self
+
+    @property
+    def node(self) -> int:
+        """Dense integer node id."""
+        return self[0]
+
+    @property
+    def score(self) -> float:
+        """Similarity score against the query."""
+        return self[1]
+
+    @property
+    def label(self):
+        """The node's label (the id itself on unlabelled graphs)."""
+        return self._label
+
+    def __reduce__(self):
+        # tuple subclass with a custom __new__: spell out how to
+        # rebuild (label included) so pickling / copying work
+        return (RankedNode, (self[0], self[1], self._label))
+
+    def __repr__(self) -> str:
+        if self._label == self.node:
+            return f"RankedNode({self.node}, {self.score:.6g})"
+        return (
+            f"RankedNode({self.node}, {self.score:.6g}, "
+            f"label={self._label!r})"
+        )
+
+
+def _ranked_order(scores: np.ndarray) -> np.ndarray:
+    """Descending score order, ties broken by ascending node id."""
+    return np.lexsort((np.arange(len(scores)), -scores))
+
+
+class Ranking(Sequence):
+    """The top-k answer to one similarity query, in rank order.
+
+    Behaves as a sequence of :class:`RankedNode` (and therefore of
+    ``(node, score)`` pairs) and compares equal to the equivalent plain
+    list, preserving the old ``top_k`` contract.
+    """
+
+    __slots__ = ("_entries", "query", "query_label", "measure")
+
+    def __init__(
+        self,
+        entries: Iterable[RankedNode],
+        query: int | None = None,
+        query_label=None,
+        measure: str | None = None,
+    ) -> None:
+        self._entries = list(entries)
+        self.query = query
+        self.query_label = query if query_label is None else query_label
+        self.measure = measure
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: np.ndarray,
+        query: int,
+        k: int,
+        labels: Sequence | None = None,
+        include_query: bool = False,
+        exclude: Iterable[int] = (),
+        measure: str | None = None,
+    ) -> "Ranking":
+        """Rank a score vector: sort, drop excluded ids, truncate to k."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        scores = np.asarray(scores, dtype=np.float64)
+        skip = set(exclude)
+        if not include_query:
+            skip.add(query)
+        entries = []
+        for node in _ranked_order(scores):
+            if len(entries) >= k:
+                break
+            node = int(node)
+            if node in skip:
+                continue
+            entries.append(
+                RankedNode(
+                    node,
+                    scores[node],
+                    label=labels[node] if labels is not None else None,
+                )
+            )
+        return cls(
+            entries,
+            query=query,
+            query_label=labels[query] if labels is not None else None,
+            measure=measure,
+        )
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RankedNode]:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Ranking(
+                self._entries[index],
+                query=self.query,
+                query_label=self.query_label,
+                measure=self.measure,
+            )
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Ranking):
+            return (
+                self._entries == other._entries
+                and self.query == other.query
+            )
+        if isinstance(other, (list, tuple)):
+            return list(self._entries) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable-ish container
+
+    # -- views -------------------------------------------------------------
+    @property
+    def nodes(self) -> list[int]:
+        """Ranked node ids."""
+        return [e.node for e in self._entries]
+
+    @property
+    def labels(self) -> list:
+        """Ranked node labels (ids on unlabelled graphs)."""
+        return [e.label for e in self._entries]
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Ranked scores as a float vector."""
+        return np.array([e.score for e in self._entries])
+
+    def to_pairs(self) -> list[tuple[int, float]]:
+        """Plain ``[(node, score), ...]`` — the historical return type."""
+        return [(e.node, e.score) for e in self._entries]
+
+    def __repr__(self) -> str:
+        head = ", ".join(
+            f"{e.label!r}: {e.score:.4g}" for e in self._entries[:5]
+        )
+        tail = ", ..." if len(self._entries) > 5 else ""
+        return (
+            f"Ranking(query={self.query_label!r}, "
+            f"k={len(self._entries)}, [{head}{tail}])"
+        )
+
+
+class ScoreMatrix:
+    """An ``(n, n)`` similarity matrix that understands node labels.
+
+    ``matrix[u, v]`` accepts integer ids, labels, or a mix; any other
+    key (slices, masks, single rows) passes straight through to the
+    underlying array. ``np.asarray(matrix)`` yields the raw values, so
+    the wrapper is transparent to numerical code and tests.
+    """
+
+    __slots__ = ("values", "_labels", "_label_to_node", "measure")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        labels: Sequence | None = None,
+        measure: str | None = None,
+    ) -> None:
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.values.ndim != 2 or (
+            self.values.shape[0] != self.values.shape[1]
+        ):
+            raise ValueError(
+                f"expected a square score matrix, got {self.values.shape}"
+            )
+        if labels is not None and len(labels) != self.values.shape[0]:
+            raise ValueError(
+                f"expected {self.values.shape[0]} labels, got {len(labels)}"
+            )
+        self._labels = list(labels) if labels is not None else None
+        self._label_to_node = (
+            {lab: i for i, lab in enumerate(self._labels)}
+            if self._labels is not None
+            else {}
+        )
+        self.measure = measure
+
+    # -- array protocol ----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape
+
+    @property
+    def labels(self) -> list | None:
+        return list(self._labels) if self._labels is not None else None
+
+    def __array__(self, dtype=None, copy=None):
+        needs_cast = (
+            dtype is not None and np.dtype(dtype) != self.values.dtype
+        )
+        if copy is False and needs_cast:
+            raise ValueError(
+                "a copy is required to convert dtype; "
+                "pass copy=None or copy=True"
+            )
+        if needs_cast:
+            return self.values.astype(dtype)  # astype always copies
+        if copy:
+            return self.values.copy()
+        return self.values
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def _resolve(self, key):
+        """Translate one label to a node id; leave everything else alone."""
+        if isinstance(key, (int, np.integer)):
+            return key
+        try:
+            if key in self._label_to_node:
+                return self._label_to_node[key]
+        except TypeError:
+            # unhashable key (slice, ndarray mask, list) — raw indexing
+            return key
+        if isinstance(key, str):
+            # a string is always meant as a label; don't let a typo
+            # fall through to (certain-to-fail) raw numpy indexing
+            if self._labels is None:
+                raise KeyError(
+                    f"matrix has no labels; cannot index by {key!r}"
+                )
+            raise KeyError(f"no node labelled {key!r}")
+        return key
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            key = tuple(self._resolve(part) for part in key)
+        else:
+            key = self._resolve(key)
+        return self.values[key]
+
+    def score(self, u, v) -> float:
+        """The similarity of one node pair, by id or label."""
+        return float(self[u, v])
+
+    def top_k(
+        self, query, k: int = 10, include_query: bool = False
+    ) -> Ranking:
+        """Rank column ``query`` — the scores of every node against it."""
+        q = self._resolve(query)
+        if not isinstance(q, (int, np.integer)):
+            raise KeyError(f"unknown node {query!r}")
+        return Ranking.from_scores(
+            self.values[:, q],
+            query=int(q),
+            k=k,
+            labels=self._labels,
+            include_query=include_query,
+            measure=self.measure,
+        )
+
+    def __repr__(self) -> str:
+        tag = f", measure={self.measure!r}" if self.measure else ""
+        lab = ", labelled" if self._labels is not None else ""
+        return f"ScoreMatrix(shape={self.values.shape}{tag}{lab})"

@@ -57,6 +57,7 @@ class DiGraph:
         self._out: list[set[int]] = [set() for _ in range(self._n)]
         self._in: list[set[int]] = [set() for _ in range(self._n)]
         self._m = 0
+        self._version = 0
         self._labels: list | None = None
         self._label_to_node: dict = {}
         if labels is not None:
@@ -116,6 +117,7 @@ class DiGraph:
             self._out[u].add(v)
             self._in[v].add(u)
             self._m += 1
+            self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``u -> v``; raises ``KeyError`` if absent."""
@@ -126,6 +128,7 @@ class DiGraph:
         self._out[u].remove(v)
         self._in[v].remove(u)
         self._m -= 1
+        self._version += 1
 
     def set_labels(self, labels: Sequence) -> None:
         """Attach one distinct hashable label per node."""
@@ -138,6 +141,7 @@ class DiGraph:
             raise ValueError("labels must be distinct")
         self._labels = labels
         self._label_to_node = {lab: i for i, lab in enumerate(labels)}
+        self._version += 1
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -151,6 +155,18 @@ class DiGraph:
     def num_edges(self) -> int:
         """Number of directed edges ``m``."""
         return self._m
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Increments on every mutation (``add_edge`` / ``remove_edge`` /
+        ``set_labels``), letting caching layers such as
+        :class:`repro.engine.SimilarityEngine` detect that their
+        precomputed artifacts describe an older graph — including
+        mutations that preserve the edge count.
+        """
+        return self._version
 
     @property
     def density(self) -> float:

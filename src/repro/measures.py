@@ -1,7 +1,15 @@
-"""Uniform registry of all similarity measures under comparison.
+"""Built-in similarity measures, registered with the pluggable registry.
 
-Maps the paper's algorithm labels to callables with a single
-signature, so the experiment harness and benchmarks can sweep them::
+Every measure under comparison is registered once via
+:func:`repro.engine.register_measure` with its metadata — display
+label, family, whether it appears in the semantic (Figure 6(a)-(c)) or
+efficiency (Figure 6(e)-(h)) comparisons, and serving capabilities
+used by :class:`repro.engine.SimilarityEngine` (single-source support,
+which cached artifacts its callable accepts).
+
+The historical dict views are kept as thin projections of the
+registry, so the experiment harness and benchmarks can keep sweeping
+them::
 
     compute_measure("gSR*", graph, c=0.6)   # -> (n, n) score matrix
 
@@ -13,7 +21,7 @@ the efficiency experiments (``memo-gSR*``, ``memo-eSR*``,
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -31,6 +39,7 @@ from repro.core import (
     simrank_star,
     simrank_star_exponential,
 )
+from repro.engine.registry import MeasureView, get_measure, register_measure
 from repro.graph.digraph import DiGraph
 
 __all__ = [
@@ -42,22 +51,75 @@ __all__ = [
 ]
 
 
-def _esr(graph: DiGraph, c: float, num_iterations: int) -> np.ndarray:
+@register_measure(
+    "eSR*",
+    label="SimRank* (exponential)",
+    family="SimRank*",
+    semantic=True,
+    weight_scheme="exponential",
+    uses=("transition",),
+    description="Exponential SimRank* at accuracy matched to the "
+    "geometric K-term truncation",
+)
+def _esr(graph: DiGraph, c: float, num_iterations: int, **artifacts):
     # match geometric accuracy: the exponential variant converges
     # factorially, so its K for the same epsilon is smaller.
     epsilon = max(c ** (num_iterations + 1), 1e-12)
     k = iterations_for_accuracy(c, epsilon, "exponential")
-    return simrank_star_exponential(graph, c, num_iterations=max(k, 2))
+    return simrank_star_exponential(
+        graph, c, num_iterations=max(k, 2), **artifacts
+    )
 
 
-# Semantic measures, keyed by the labels of Figure 6(a)-(c).
-SEMANTIC_MEASURES: dict[str, Callable] = {
-    "eSR*": _esr,
-    "gSR*": lambda g, c, k: simrank_star(g, c, k),
-    "SR": lambda g, c, k: simrank_matrix(g, c, k),
-    "PR": lambda g, c, k: prank_matrix(g, c, 0.5, k),
-    "RWR": lambda g, c, k: rwr(g, c, k),
-}
+@register_measure(
+    "gSR*",
+    label="SimRank* (geometric)",
+    family="SimRank*",
+    semantic=True,
+    supports_single_source=True,
+    weight_scheme="geometric",
+    uses=("transition",),
+    description="Geometric SimRank* via the Eq. (14) fixed-point "
+    "iteration",
+)
+def _gsr(graph: DiGraph, c: float, num_iterations: int, **artifacts):
+    return simrank_star(graph, c, num_iterations, **artifacts)
+
+
+@register_measure(
+    "SR",
+    label="SimRank",
+    family="SimRank",
+    semantic=True,
+    uses=("transition",),
+    description="SimRank matrix form Eq. (3) (Jeh & Widom)",
+)
+def _sr(graph: DiGraph, c: float, num_iterations: int, **artifacts):
+    return simrank_matrix(graph, c, num_iterations, **artifacts)
+
+
+@register_measure(
+    "PR",
+    label="P-Rank",
+    family="P-Rank",
+    semantic=True,
+    description="P-Rank with balanced in/out weight (lambda = 0.5)",
+)
+def _pr(graph: DiGraph, c: float, num_iterations: int):
+    return prank_matrix(graph, c, 0.5, num_iterations)
+
+
+@register_measure(
+    "RWR",
+    label="Random Walk with Restart",
+    family="RWR",
+    semantic=True,
+    symmetric=False,
+    description="Truncated RWR series Eq. (6) (asymmetric)",
+)
+def _rwr(graph: DiGraph, c: float, num_iterations: int):
+    return rwr(graph, c, num_iterations)
+
 
 # Implementation variants timed by Figure 6(e)-(h). All evaluate at
 # the same abstraction level (sparse-dense products), so wall-clock
@@ -69,15 +131,99 @@ SEMANTIC_MEASURES: dict[str, Callable] = {
 # infeasible.
 MTX_BENCH_RANK = 48
 
-TIMED_ALGORITHMS: dict[str, Callable] = {
-    "memo-eSR*": lambda g, c, k: memo_simrank_star_exponential(g, c, k),
-    "memo-gSR*": lambda g, c, k: memo_simrank_star_factorized(g, c, k),
-    "iter-gSR*": lambda g, c, k: simrank_star(g, c, k),
-    "psum-SR": lambda g, c, k: psum_simrank_fast(g, c, k),
-    "mtx-SR": lambda g, c, k: mtx_simrank(g, c, rank=MTX_BENCH_RANK),
-}
 
-MEASURES: dict[str, Callable] = {**SEMANTIC_MEASURES, **TIMED_ALGORITHMS}
+@register_measure(
+    "memo-eSR*",
+    label="memo-eSR* (Algorithm 1, exponential)",
+    family="SimRank*",
+    timed=True,
+    weight_scheme="exponential",
+    variant="exponential",
+    default_iterations=10,
+    uses=("compressed",),
+    description="Exponential SimRank* over the biclique-compressed "
+    "graph",
+)
+def _memo_esr(
+    graph: DiGraph, c: float, num_iterations: int, **artifacts
+):
+    return memo_simrank_star_exponential(
+        graph, c, num_iterations, **artifacts
+    )
+
+
+@register_measure(
+    "memo-gSR*",
+    label="memo-gSR* (Algorithm 1, geometric)",
+    family="SimRank*",
+    timed=True,
+    supports_single_source=True,
+    weight_scheme="geometric",
+    uses=("compressed",),
+    description="Geometric SimRank* over the biclique-compressed "
+    "graph",
+)
+def _memo_gsr(
+    graph: DiGraph, c: float, num_iterations: int, **artifacts
+):
+    return memo_simrank_star_factorized(
+        graph, c, num_iterations, **artifacts
+    )
+
+
+@register_measure(
+    "iter-gSR*",
+    label="iter-gSR* (plain iteration)",
+    family="SimRank*",
+    timed=True,
+    supports_single_source=True,
+    weight_scheme="geometric",
+    uses=("transition",),
+    description="Geometric SimRank* without compression (one "
+    "sparse-dense product per iteration)",
+)
+def _iter_gsr(
+    graph: DiGraph, c: float, num_iterations: int, **artifacts
+):
+    return simrank_star(graph, c, num_iterations, **artifacts)
+
+
+@register_measure(
+    "psum-SR",
+    label="psum-SR (partial sums)",
+    family="SimRank",
+    timed=True,
+    description="SimRank with whole-set partial-sums sharing",
+)
+def _psum_sr(graph: DiGraph, c: float, num_iterations: int):
+    return psum_simrank_fast(graph, c, num_iterations)
+
+
+@register_measure(
+    "mtx-SR",
+    label="mtx-SR (low-rank SVD)",
+    family="SimRank",
+    timed=True,
+    description=f"SVD SimRank at rank {MTX_BENCH_RANK} (iteration "
+    "count is ignored)",
+)
+def _mtx_sr(graph: DiGraph, c: float, num_iterations: int):
+    return mtx_simrank(graph, c, rank=MTX_BENCH_RANK)
+
+
+# ---------------------------------------------------------------------------
+# Historical dict-style views over the registry. These are *live*
+# mappings: a measure registered at runtime through
+# ``repro.engine.register_measure`` shows up here (and in the
+# experiment sweeps that iterate them) immediately.
+# ---------------------------------------------------------------------------
+
+# Semantic measures, keyed by the labels of Figure 6(a)-(c).
+SEMANTIC_MEASURES: Mapping[str, Callable] = MeasureView(semantic=True)
+
+TIMED_ALGORITHMS: Mapping[str, Callable] = MeasureView(timed=True)
+
+MEASURES: Mapping[str, Callable] = MeasureView()
 
 
 def compute_measure(
@@ -88,10 +234,4 @@ def compute_measure(
     ``num_iterations`` is interpreted per measure (the exponential
     variants translate it into an equivalent accuracy target).
     """
-    try:
-        fn = MEASURES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown measure {name!r}; choose from {sorted(MEASURES)}"
-        ) from None
-    return fn(graph, c, num_iterations)
+    return get_measure(name).compute(graph, c, num_iterations)

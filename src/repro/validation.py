@@ -1,0 +1,46 @@
+"""Shared argument validation for every public entry point.
+
+Historically each algorithm module carried its own ``_check_damping``
+copy — and a few entry points carried none, silently accepting a
+damping factor outside ``(0, 1)``. These helpers are the single source
+of truth; :mod:`repro.core`, :mod:`repro.baselines` and
+:mod:`repro.engine` all validate through them, so every caller sees
+the same errors with the same messages.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+__all__ = [
+    "validate_damping",
+    "validate_epsilon",
+    "validate_iterations",
+]
+
+
+def validate_damping(c: float) -> float:
+    """Require the damping factor ``C`` to lie strictly in ``(0, 1)``."""
+    if not 0.0 < c < 1.0:
+        raise ValueError(f"damping factor C must lie in (0, 1), got {c}")
+    return c
+
+
+def validate_iterations(k: int, name: str = "num_iterations") -> int:
+    """Require an iteration / term count to be a non-negative integer.
+
+    ``name`` customises the message (``num_iterations``, ``num_terms``,
+    ...), matching what the caller's signature calls the argument.
+    """
+    if k is not None and not isinstance(k, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {k!r}")
+    if k is None or k < 0:
+        raise ValueError(f"{name} must be >= 0")
+    return int(k)
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Require a truncation-accuracy target to lie strictly in ``(0, 1)``."""
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    return epsilon

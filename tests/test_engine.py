@@ -1,0 +1,457 @@
+"""Tests for the stateful SimilarityEngine, its config, the measure
+registry, and the label-aware result types."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MEASURES,
+    Ranking,
+    ScoreMatrix,
+    SimilarityConfig,
+    SimilarityEngine,
+    available_measures,
+    compute_measure,
+    get_measure,
+    register_measure,
+    simrank_star,
+    single_source,
+    top_k,
+)
+from repro.baselines import rwr
+from repro.engine.registry import _REGISTRY
+from repro.engine.results import RankedNode
+from repro.graph import figure1_citation_graph, path_graph, random_digraph
+from repro.measures import SEMANTIC_MEASURES, TIMED_ALGORITHMS
+
+
+class TestRegistry:
+    def test_every_old_measure_is_registered(self):
+        for name, fn in MEASURES.items():
+            spec = get_measure(name)
+            assert spec.name == name
+            assert spec.compute is fn
+
+    def test_registry_results_match_measures_dict(self):
+        g = figure1_citation_graph()
+        for name in MEASURES:
+            via_dict = MEASURES[name](g, 0.6, 4)
+            via_registry = get_measure(name).compute(g, 0.6, 4)
+            np.testing.assert_array_equal(via_dict, via_registry)
+
+    def test_semantic_and_timed_flags_project_the_old_dicts(self):
+        assert set(available_measures(semantic=True)) == set(
+            SEMANTIC_MEASURES
+        )
+        assert set(available_measures(timed=True)) == set(
+            TIMED_ALGORITHMS
+        )
+        assert set(available_measures()) == set(MEASURES)
+
+    def test_metadata(self):
+        spec = get_measure("gSR*")
+        assert spec.family == "SimRank*"
+        assert spec.supports_single_source
+        assert spec.weight_scheme == "geometric"
+        assert "transition" in spec.uses
+        rwr_spec = get_measure("RWR")
+        assert not rwr_spec.symmetric
+        assert not rwr_spec.supports_single_source
+
+    def test_unknown_measure(self):
+        with pytest.raises(KeyError, match="unknown measure"):
+            get_measure("PageRank")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_measure(
+                "gSR*", label="dup", family="SimRank*"
+            )(lambda g, c, k: None)
+
+    def test_custom_measure_plugs_into_engine(self):
+        name = "test-cocitation"
+        try:
+            @register_measure(
+                name, label="co-citation (test)", family="co-citation"
+            )
+            def _cocite(graph, c, num_iterations):
+                a = np.zeros((graph.num_nodes, graph.num_nodes))
+                for u, v in graph.edges():
+                    a[u, v] = 1.0
+                return a.T @ a
+
+            g = figure1_citation_graph()
+            engine = SimilarityEngine(g, measure=name)
+            assert engine.matrix().shape == (11, 11)
+            assert engine.score(0, 0) >= 0
+            # the live dict views see the runtime registration
+            assert name in MEASURES
+        finally:
+            _REGISTRY.pop(name, None)
+        assert name not in MEASURES
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ValueError, match="unknown artifact"):
+            register_measure(
+                "bad", label="bad", family="x", uses=("sketch",)
+            )
+
+    def test_single_source_capability_requires_weight_scheme(self):
+        # the fast path is the weighted series walk; without a scheme
+        # columns would contradict the measure's own matrix
+        with pytest.raises(ValueError, match="weight_scheme"):
+            register_measure(
+                "bad", label="bad", family="x",
+                supports_single_source=True,
+            )
+
+
+class TestSimilarityConfig:
+    def test_defaults(self):
+        cfg = SimilarityConfig()
+        assert cfg.measure == "gSR*"
+        assert cfg.c == 0.6
+        assert cfg.resolved_iterations("geometric", 5) == 5
+
+    def test_rejects_bad_damping(self):
+        for c in (0.0, 1.0, -2, 7):
+            with pytest.raises(ValueError, match="damping"):
+                SimilarityConfig(c=c)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError, match="num_iterations"):
+            SimilarityConfig(num_iterations=-1)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            SimilarityConfig(epsilon=2.0)
+
+    def test_rejects_both_truncation_specs(self):
+        with pytest.raises(ValueError, match="either"):
+            SimilarityConfig(num_iterations=5, epsilon=1e-3)
+
+    def test_rejects_unknown_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            SimilarityConfig(weights="harmonic")
+
+    def test_epsilon_resolution_uses_variant_bound(self):
+        cfg = SimilarityConfig(c=0.8, epsilon=1e-3)
+        k_geo = cfg.resolved_iterations("geometric", 5)
+        k_exp = cfg.resolved_iterations("exponential", 10)
+        assert k_exp < k_geo  # factorial decay needs fewer terms
+
+    def test_replace_revalidates(self):
+        cfg = SimilarityConfig(c=0.6)
+        assert cfg.replace(c=0.8).c == 0.8
+        with pytest.raises(ValueError):
+            cfg.replace(c=1.5)
+
+    def test_engine_rejects_mismatched_weights(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="length weights"):
+            SimilarityEngine(g, measure="gSR*", weights="exponential")
+        # matching scheme is fine
+        SimilarityEngine(g, measure="gSR*", weights="geometric")
+
+    def test_engine_accepts_config_plus_overrides(self):
+        g = path_graph(4)
+        cfg = SimilarityConfig(c=0.6)
+        engine = SimilarityEngine(g, cfg, c=0.8)
+        assert engine.config.c == 0.8
+
+    def test_engine_rejects_unknown_measure(self):
+        with pytest.raises(KeyError, match="unknown measure"):
+            SimilarityEngine(path_graph(3), measure="PageRank")
+
+
+class TestCacheReuse:
+    def test_transition_built_once_across_queries(self):
+        g = random_digraph(30, 140, seed=0)
+        engine = SimilarityEngine(g, num_iterations=8)
+        for query in (0, 5, 9, 5, 0):
+            engine.single_source(query)
+        assert engine.stats.transition_builds == 1
+        assert engine.stats.column_computes == 3  # distinct queries
+        assert engine.stats.hits == 2  # repeats served from memo
+
+    def test_repeated_top_k_serves_from_cache(self):
+        g = random_digraph(30, 140, seed=1)
+        engine = SimilarityEngine(g, num_iterations=8)
+        first = engine.top_k(3, k=5)
+        again = engine.top_k(3, k=5)
+        assert first == again
+        assert engine.stats.column_computes == 1
+        assert engine.stats.transition_builds == 1
+
+    def test_batch_top_k_shares_precomputation(self):
+        g = random_digraph(25, 100, seed=2)
+        engine = SimilarityEngine(g, num_iterations=6)
+        rankings = engine.batch_top_k([0, 1, 2, 1], k=3)
+        assert len(rankings) == 4
+        assert rankings[1] == rankings[3]
+        assert engine.stats.transition_builds == 1
+        assert engine.stats.column_computes == 3
+
+    def test_matrix_memoized(self):
+        g = random_digraph(20, 80, seed=3)
+        engine = SimilarityEngine(g, num_iterations=6)
+        a = engine.matrix()
+        b = engine.matrix()
+        assert a is b
+        assert engine.stats.matrix_builds == 1
+
+    def test_compression_built_once_for_memo_measure(self):
+        g = random_digraph(25, 120, seed=4)
+        engine = SimilarityEngine(g, measure="memo-gSR*",
+                                  num_iterations=6)
+        engine.matrix()
+        engine.matrix()
+        engine.top_k(0, k=3)
+        assert engine.stats.compression_builds == 1
+        assert engine.stats.matrix_builds == 1
+
+    def test_columns_reuse_built_matrix(self):
+        # once the full matrix exists, columns come from it for free
+        g = random_digraph(20, 80, seed=5)
+        engine = SimilarityEngine(g, num_iterations=6)
+        engine.matrix()
+        engine.single_source(2)
+        assert engine.stats.column_computes == 0
+
+    def test_score_reuses_any_cached_column(self):
+        g = random_digraph(20, 80, seed=6)
+        engine = SimilarityEngine(g, num_iterations=6)
+        engine.single_source(4)
+        engine.score(4, 7)  # symmetric: column 4 already cached
+        assert engine.stats.column_computes == 1
+
+    def test_single_source_result_is_read_only(self):
+        g = random_digraph(10, 30, seed=7)
+        engine = SimilarityEngine(g, num_iterations=5)
+        scores = engine.single_source(0)
+        with pytest.raises(ValueError):
+            scores[0] = 99.0
+
+
+class TestInvalidation:
+    def test_engine_add_edge_invalidates_and_changes_scores(self):
+        g = path_graph(5)
+        engine = SimilarityEngine(g, num_iterations=8)
+        before = engine.score(2, 4)
+        engine.add_edge(0, 4)  # 2 and 4 now share in-link source 0...
+        after = engine.score(2, 4)
+        assert engine.stats.invalidations == 1
+        assert after != before
+        # parity with a fresh functional computation on the new graph
+        assert after == pytest.approx(
+            float(single_source(g, 4, 0.6, 8)[2])
+        )
+
+    def test_direct_graph_mutation_detected_by_staleness_check(self):
+        g = path_graph(5)
+        engine = SimilarityEngine(g, num_iterations=8)
+        engine.single_source(4)
+        g.add_edge(0, 4)  # behind the engine's back
+        fresh = engine.single_source(4)
+        assert engine.stats.invalidations == 1
+        np.testing.assert_allclose(
+            fresh, single_source(g, 4, 0.6, 8), atol=1e-12
+        )
+
+    def test_explicit_invalidate_drops_everything(self):
+        g = random_digraph(15, 60, seed=8)
+        engine = SimilarityEngine(g, num_iterations=6)
+        engine.matrix()
+        engine.single_source(0)
+        engine.invalidate()
+        engine.matrix()
+        assert engine.stats.matrix_builds == 2
+
+    def test_edge_swap_with_constant_counts_detected(self):
+        # remove + add keeps (n, m) fixed; the DiGraph mutation
+        # counter still moves, so the staleness check catches it
+        g = path_graph(5)
+        engine = SimilarityEngine(g, num_iterations=8)
+        engine.single_source(4)
+        g.remove_edge(3, 4)
+        g.add_edge(0, 4)
+        fresh = engine.single_source(4)
+        assert engine.stats.invalidations == 1
+        np.testing.assert_allclose(
+            fresh, single_source(g, 4, 0.6, 8), atol=1e-12
+        )
+
+    def test_digraph_version_counter(self):
+        g = path_graph(3)
+        v0 = g.version
+        g.add_edge(0, 2)
+        assert g.version == v0 + 1
+        g.add_edge(0, 2)  # duplicate: no structural change
+        assert g.version == v0 + 1
+        g.remove_edge(0, 2)
+        assert g.version == v0 + 2
+
+    def test_compressed_factorization_cached(self):
+        from repro.bigraph import compress_graph
+
+        compressed = compress_graph(random_digraph(30, 160, seed=9))
+        first = compressed.factorized_in_adjacency()
+        assert compressed.factorized_in_adjacency() is first
+
+    def test_remove_edge_invalidates(self):
+        g = figure1_citation_graph()
+        engine = SimilarityEngine(g, c=0.8, num_iterations=10)
+        before = engine.score("h", "d")
+        engine.remove_edge("a", "d")
+        assert engine.stats.invalidations == 1
+        assert engine.score("h", "d") != before
+
+
+class TestNumericalParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_single_source_matches_functional(self, seed):
+        g = random_digraph(20, 90, seed=seed)
+        engine = SimilarityEngine(g, c=0.6, num_iterations=8)
+        for query in (0, 7, 13):
+            np.testing.assert_allclose(
+                engine.single_source(query),
+                single_source(g, query, 0.6, 8),
+                atol=1e-12,
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matrix_matches_functional(self, seed):
+        g = random_digraph(18, 70, seed=seed)
+        engine = SimilarityEngine(g, c=0.6, num_iterations=8)
+        np.testing.assert_allclose(
+            np.asarray(engine.matrix()),
+            simrank_star(g, 0.6, 8),
+            atol=1e-12,
+        )
+
+    def test_matrix_and_columns_agree(self):
+        g = random_digraph(16, 60, seed=3)
+        engine = SimilarityEngine(g, c=0.6, num_iterations=8)
+        col = engine.single_source(5)  # series path
+        full = np.asarray(engine.matrix())
+        np.testing.assert_allclose(col, full[:, 5], atol=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(MEASURES))
+    def test_every_measure_matches_compute_measure(self, name):
+        g = figure1_citation_graph()
+        engine = SimilarityEngine(g, measure=name, c=0.6,
+                                  num_iterations=4)
+        np.testing.assert_allclose(
+            np.asarray(engine.matrix()),
+            compute_measure(name, g, 0.6, 4),
+            atol=1e-12,
+        )
+
+    def test_asymmetric_measure_column_orientation(self):
+        # RWR has no single-source fast path; columns slice the matrix
+        g = random_digraph(15, 60, seed=4)
+        engine = SimilarityEngine(g, measure="RWR", num_iterations=6)
+        expected = rwr(g, 0.6, 6)
+        np.testing.assert_allclose(
+            engine.single_source(3), expected[:, 3], atol=1e-12
+        )
+        assert engine.score(2, 3) == pytest.approx(expected[2, 3])
+
+    def test_epsilon_config_matches_functional_epsilon(self):
+        g = random_digraph(15, 60, seed=5)
+        engine = SimilarityEngine(g, c=0.8, epsilon=1e-3)
+        np.testing.assert_allclose(
+            np.asarray(engine.matrix()),
+            simrank_star(g, 0.8, epsilon=1e-3),
+            atol=1e-12,
+        )
+
+
+class TestRankingType:
+    def test_functional_top_k_surfaces_labels(self):
+        g = figure1_citation_graph()
+        ranked = top_k(g, g.node_of("i"), k=3, c=0.8, num_terms=30)
+        assert isinstance(ranked, Ranking)
+        assert all(isinstance(lab, str) for lab in ranked.labels)
+        # labels translate the ids
+        assert ranked.labels == [g.label_of(n) for n in ranked.nodes]
+
+    def test_unlabelled_graph_uses_ids_as_labels(self):
+        g = random_digraph(10, 40, seed=0)
+        ranked = top_k(g, 0, k=3)
+        assert ranked.labels == ranked.nodes
+
+    def test_entries_unpack_as_pairs(self):
+        g = figure1_citation_graph()
+        for node, score in top_k(g, 0, k=3, c=0.8):
+            assert isinstance(node, int)
+            assert isinstance(score, float)
+
+    def test_equality_with_plain_list(self):
+        g = random_digraph(10, 40, seed=1)
+        ranked = top_k(g, 0, k=3)
+        assert ranked == ranked.to_pairs()
+        assert ranked.to_pairs() == [(e.node, e.score) for e in ranked]
+
+    def test_slicing_preserves_metadata(self):
+        g = figure1_citation_graph()
+        ranked = top_k(g, g.node_of("i"), k=5, c=0.8)
+        head = ranked[:2]
+        assert isinstance(head, Ranking)
+        assert head.query == ranked.query
+        assert len(head) == 2
+
+    def test_engine_top_k_exclude(self):
+        g = random_digraph(20, 80, seed=2)
+        engine = SimilarityEngine(g, num_iterations=6)
+        banned = {1, 2, 3}
+        ranked = engine.top_k(0, k=10, exclude=banned)
+        assert not banned & set(ranked.nodes)
+
+    def test_ranked_node_repr_and_label(self):
+        item = RankedNode(3, 0.25, label="c")
+        assert item == (3, 0.25)
+        assert item.label == "c"
+        assert "c" in repr(item)
+
+
+class TestScoreMatrix:
+    def test_label_indexing(self):
+        g = figure1_citation_graph()
+        engine = SimilarityEngine(g, c=0.8, num_iterations=10)
+        sm = engine.matrix()
+        h, d = g.node_of("h"), g.node_of("d")
+        assert sm["h", "d"] == sm[h, d]
+        assert sm.score("h", "d") == pytest.approx(float(sm[h, d]))
+
+    def test_mixed_and_raw_indexing(self):
+        g = figure1_citation_graph()
+        sm = SimilarityEngine(g, c=0.8, num_iterations=5).matrix()
+        h = g.node_of("h")
+        assert sm["h", 0] == sm[h, 0]
+        assert sm[0].shape == (11,)  # row passthrough
+
+    def test_asarray_passthrough(self):
+        g = random_digraph(8, 25, seed=0)
+        sm = SimilarityEngine(g, num_iterations=5).matrix()
+        arr = np.asarray(sm)
+        assert arr.shape == (8, 8)
+        assert sm.labels is None
+
+    def test_top_k_from_matrix_matches_engine(self):
+        g = figure1_citation_graph()
+        engine = SimilarityEngine(g, c=0.8, num_iterations=30)
+        a = engine.matrix().top_k("i", k=3)
+        b = engine.top_k("i", k=3)
+        assert a.nodes == b.nodes
+        np.testing.assert_allclose(a.scores, b.scores, atol=1e-12)
+
+    def test_unlabelled_matrix_rejects_string_keys(self):
+        g = path_graph(4)
+        sm = SimilarityEngine(g, num_iterations=4).matrix()
+        with pytest.raises(KeyError):
+            sm["a", "b"]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            ScoreMatrix(np.zeros((2, 3)))
