@@ -54,6 +54,43 @@ After mutating the graph, call ``engine.invalidate()`` (or mutate
 through ``engine.add_edge`` / ``engine.remove_edge``, which invalidate
 automatically).
 
+Performance guide
+-----------------
+The serving hot paths are tuned for query volume; four knobs matter:
+
+* **Batching.** Serve many fresh queries through
+  ``engine.batch_top_k(queries)`` (or, functionally,
+  :func:`repro.core.multi_source.multi_source`) rather than looping
+  ``top_k``. Fresh columns are evaluated together by the blocked
+  multi-source kernel — ``2 L`` sparse x dense-``(n, B)`` products for
+  the whole batch instead of ``O(L^2)`` sparse mat-vecs *per query* —
+  which is several times faster even at moderate batch sizes (the
+  ``BENCH_*.json`` files record the measured ratio as
+  ``speedup_engine_batch_vs_loop``). Memoized and duplicate queries
+  are deduplicated before the walk, so batching never recomputes.
+* **dtype.** ``SimilarityEngine(g, dtype="float32")`` (or the
+  ``dtype=`` keyword on the kernels and matrix builders) halves
+  memory traffic for transition matrices, iterates and query blocks
+  at ~1e-4 relative accuracy — well inside the paper's ``eps = 1e-3``
+  regime. The default stays ``float64``; results and the column memo
+  follow the configured dtype.
+* **Preallocated iteration cores.** The all-pairs kernels
+  (``simrank_star``, ``simrank_star_exponential``, the factorised
+  memo variants) run allocation-free: each iteration writes into
+  buffers allocated once, through the in-place sparse product in
+  :mod:`repro.core.kernels`. Nothing to configure — but pass
+  ``transition=`` / ``compressed=`` to amortise precomputation when
+  calling them directly in a loop.
+* **Ranking.** ``top_k`` selection is ``O(n + k log k)``
+  (``np.argpartition``), so large graphs pay for the walk, not the
+  sort.
+
+Benchmarks: ``python -m repro.bench`` runs the perf suite and writes
+``BENCH_<tag>.json`` (per-case wall times, tracemalloc peaks, machine
+and workload metadata, derived speedups); ``--quick`` is the CI
+setting and ``--compare BENCH_baseline.json`` gates on regressions —
+see :mod:`repro.bench.runner` for the schema and gate semantics.
+
 Packages
 --------
 * :mod:`repro.engine` — the stateful query-serving engine, measure
@@ -77,6 +114,7 @@ from repro.core import (
     memo_simrank_star,
     memo_simrank_star_exponential,
     memo_simrank_star_factorized,
+    multi_source,
     simrank_star,
     simrank_star_exponential,
     single_source,
@@ -113,6 +151,7 @@ __all__ = [
     "memo_simrank_star",
     "memo_simrank_star_exponential",
     "memo_simrank_star_factorized",
+    "multi_source",
     "register_measure",
     "simrank_star",
     "simrank_star_exponential",

@@ -1,4 +1,14 @@
-"""Benchmark support: timing, tables, memory accounting."""
+"""Benchmark support: timing, tables, memory accounting, perf tracking.
+
+Two layers live here:
+
+* :mod:`repro.bench.harness` — the *experiment* harness
+  (:class:`ExperimentResult`, shape checks) that reproduces the
+  paper's figures;
+* :mod:`repro.bench.runner` — the *regression* harness behind
+  ``python -m repro.bench``: named cases, warmup/repeat timing,
+  ``BENCH_<tag>.json`` output, and a compare gate for CI.
+"""
 
 from repro.bench.harness import (
     ExperimentResult,
@@ -6,10 +16,24 @@ from repro.bench.harness import (
     timed,
 )
 from repro.bench.memory import measure_peak_memory
+from repro.bench.runner import (
+    BenchCase,
+    BenchRun,
+    CaseResult,
+    compare_runs,
+    default_suite,
+    run_suite,
+)
 
 __all__ = [
+    "BenchCase",
+    "BenchRun",
+    "CaseResult",
     "ExperimentResult",
+    "compare_runs",
+    "default_suite",
     "format_table",
     "measure_peak_memory",
+    "run_suite",
     "timed",
 ]

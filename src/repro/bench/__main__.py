@@ -1,0 +1,181 @@
+"""``python -m repro.bench`` — run, record, and compare benchmarks.
+
+Typical uses::
+
+    python -m repro.bench --quick                  # fast suite -> BENCH_quick.json
+    python -m repro.bench --tag PR2                # full suite  -> BENCH_PR2.json
+    python -m repro.bench --quick --compare BENCH_baseline.json
+
+Compare mode exits non-zero when a case regresses beyond
+``--threshold`` times its baseline or a gated batching speedup falls
+below ``--speedup-floor`` — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.runner import (
+    compare_runs,
+    default_suite,
+    run_suite,
+)
+
+QUICK = {
+    "nodes": 800,
+    "edges": 4800,
+    "queries": 32,
+    "num_terms": 8,
+    "allpairs_nodes": 300,
+    "allpairs_edges": 1800,
+    "repeat": 2,
+    "warmup": 1,
+}
+FULL = {
+    "nodes": 2000,
+    "edges": 12000,
+    "queries": 64,
+    "num_terms": 10,
+    "allpairs_nodes": 600,
+    "allpairs_edges": 3600,
+    "repeat": 3,
+    "warmup": 1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repo's performance suite and write "
+        "machine-readable BENCH_<tag>.json results.",
+    )
+    parser.add_argument(
+        "--tag",
+        default=None,
+        help="result tag; output goes to BENCH_<tag>.json "
+        "(default: 'quick' with --quick, else 'local')",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload and fewer repeats (the CI setting)",
+    )
+    for name in ("nodes", "edges", "queries", "num-terms",
+                 "allpairs-nodes", "allpairs-edges", "repeat",
+                 "warmup"):
+        parser.add_argument(
+            f"--{name}", type=int, default=None,
+            help=f"override the suite's {name.replace('-', '_')}",
+        )
+    parser.add_argument("--k", type=int, default=10,
+                        help="top-k size for the ranking cases")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="kernel precision for the suite",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="explicit output path (default BENCH_<tag>.json in the "
+        "current directory)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print results without writing a JSON file",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH_*.json and exit "
+        "non-zero on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=3.0,
+        help="absolute gate: max allowed seconds_min ratio vs the "
+        "baseline (default 3.0 — generous, baselines travel "
+        "between machines)",
+    )
+    parser.add_argument(
+        "--speedup-floor", type=float, default=2.0,
+        help="relative gate: min allowed batching speedup (machine-"
+        "independent; default 2.0)",
+    )
+    parser.add_argument(
+        "--min-gate-ms", type=float, default=1.0,
+        help="cases with a baseline best time below this are "
+        "reported but never fail the absolute gate (default 1.0 ms)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    preset = dict(QUICK if args.quick else FULL)
+    for key in list(preset):
+        override = getattr(args, key.replace("-", "_"), None)
+        if override is not None:
+            preset[key] = override
+    repeat = preset.pop("repeat")
+    warmup = preset.pop("warmup")
+    tag = args.tag or ("quick" if args.quick else "local")
+    params = dict(
+        preset,
+        k=args.k,
+        dtype=args.dtype,
+        seed=args.seed,
+        repeat=repeat,
+        warmup=warmup,
+        quick=args.quick,
+    )
+    cases = default_suite(
+        k=args.k, dtype=args.dtype, seed=args.seed, **preset
+    )
+    run = run_suite(
+        cases,
+        tag=tag,
+        params=params,
+        warmup=warmup,
+        repeat=repeat,
+        progress=lambda name: print(f"  running {name} ...", flush=True),
+    )
+    document = run.to_dict()
+    print(f"\n== repro.bench [{tag}] ==")
+    for name, result in document["results"].items():
+        print(
+            f"  {name:<28} {result['seconds_min'] * 1e3:9.2f} ms "
+            f"(mean {result['seconds_mean'] * 1e3:9.2f} ms, "
+            f"peak {result['peak_bytes'] / 1e6:8.2f} MB)"
+        )
+    for key, value in document["derived"].items():
+        print(f"  {key:<28} {value:9.2f}x")
+    if not args.no_write:
+        out_path = Path(args.output or f"BENCH_{tag}.json")
+        run.write(out_path)
+        print(f"\nwrote {out_path}")
+    if args.compare is not None:
+        baseline_path = Path(args.compare)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        ok, lines = compare_runs(
+            document,
+            baseline,
+            threshold=args.threshold,
+            speedup_floor=args.speedup_floor,
+            min_gate_seconds=args.min_gate_ms * 1e-3,
+        )
+        print(f"\n== compare vs {baseline_path} ==")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            print("regression detected", file=sys.stderr)
+            return 1
+        print("no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

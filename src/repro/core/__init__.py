@@ -11,7 +11,9 @@ Public surface:
   the compressed graph (Algorithm 1, ``memo-gSR*`` / ``memo-eSR*``).
 * :func:`simrank_star_series` — truncated series forms for any weight
   scheme; :mod:`repro.core.weights` defines the schemes.
-* :func:`single_source` / :func:`top_k` — query-time APIs.
+* :func:`single_source` / :func:`multi_source` / :func:`top_k` —
+  query-time APIs (``multi_source`` is the blocked batch kernel;
+  ``single_source`` is its ``B = 1`` case).
 * :mod:`repro.core.paths` — in-link path semantics (Lemma 1 et al.).
 * :mod:`repro.core.convergence` — Lemma 3 / Eq. (12) bounds.
 """
@@ -50,7 +52,13 @@ from repro.core.paths import (
     reachability,
     symmetric_inlink_path_exists,
 )
-from repro.core.queries import single_pair, single_source, top_k
+from repro.core.multi_source import multi_source, series_coefficients
+from repro.core.queries import (
+    single_pair,
+    single_source,
+    single_source_reference,
+    top_k,
+)
 from repro.core.series import (
     simrank_star_series,
     simrank_star_series_bruteforce,
@@ -84,10 +92,12 @@ __all__ = [
     "memo_simrank_star",
     "memo_simrank_star_exponential",
     "memo_simrank_star_factorized",
+    "multi_source",
     "path_contribution",
     "reachability",
     "run_memo_esr",
     "run_memo_gsr",
+    "series_coefficients",
     "sieve_to_sparse",
     "similarity_join",
     "simrank_star",
@@ -99,6 +109,7 @@ __all__ = [
     "simrank_star_series_bruteforce",
     "single_pair",
     "single_source",
+    "single_source_reference",
     "storage_savings",
     "symmetric_inlink_path_exists",
     "symmetry_weights",

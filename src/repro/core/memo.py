@@ -35,6 +35,7 @@ import scipy.sparse as sp
 from repro.bigraph.compressed import CompressedGraph
 from repro.bigraph.concentration import compress_graph
 from repro.core.convergence import iterations_for_accuracy
+from repro.core.kernels import add_scaled_identity, spmm, symmetrize
 from repro.graph.digraph import DiGraph
 from repro.validation import validate_damping, validate_iterations
 
@@ -138,15 +139,20 @@ def memo_simrank_star(
 
 def _factorized_operator(
     compressed: CompressedGraph,
+    dtype: np.dtype = np.float64,
 ) -> tuple[sp.csr_array, sp.csr_array, sp.csr_array, np.ndarray]:
     e_direct, h_out, h_in = compressed.factorized_in_adjacency()
+    if e_direct.dtype != dtype:
+        e_direct = e_direct.astype(dtype)
+        h_out = h_out.astype(dtype)
+        h_in = h_in.astype(dtype)
     in_degree = compressed.graph.in_degrees().astype(np.float64)
     inv_degree = np.divide(
         1.0,
         in_degree,
         out=np.zeros_like(in_degree),
         where=in_degree > 0,
-    )
+    ).astype(dtype, copy=False)
     return e_direct, h_out, h_in, inv_degree
 
 
@@ -156,26 +162,40 @@ def memo_simrank_star_factorized(
     num_iterations: int | None = 5,
     epsilon: float | None = None,
     compressed: CompressedGraph | None = None,
+    dtype: np.dtype | str = np.float64,
 ) -> np.ndarray:
     """``memo-gSR*`` through the factorised sparse operator.
 
     Evaluates ``Q S = D^{-1} (E_direct S + H_out (H_in S))`` — the
     multiply count per iteration is ``n * m~`` versus ``n * m`` for
-    :func:`repro.core.iterative.simrank_star`.
+    :func:`repro.core.iterative.simrank_star`. All loop temporaries
+    (``E_direct S``, ``H_in S``, the hub product, the iterate) live in
+    buffers allocated once before the first iteration.
     """
     num_iterations = _resolve_iterations(
         c, num_iterations, epsilon, "geometric", 5
     )
     if compressed is None:
         compressed = compress_graph(graph)
+    dtype = np.dtype(dtype)
     n = graph.num_nodes
-    e_direct, h_out, h_in, inv_degree = _factorized_operator(compressed)
-    base = (1.0 - c) * np.eye(n)
-    s = base.copy()
+    e_direct, h_out, h_in, inv_degree = _factorized_operator(
+        compressed, dtype
+    )
+    s = np.zeros((n, n), dtype=dtype)
+    add_scaled_identity(s, 1.0 - c)
+    qs = np.empty_like(s)
+    hub_product = np.empty_like(s)
+    hub_state = np.empty((h_in.shape[0], n), dtype=dtype)
     half_c = 0.5 * c
     for _ in range(num_iterations):
-        qs = inv_degree[:, None] * (e_direct @ s + h_out @ (h_in @ s))
-        s = half_c * (qs + qs.T) + base
+        spmm(e_direct, s, out=qs)
+        spmm(h_in, s, out=hub_state)
+        spmm(h_out, hub_state, out=hub_product)
+        qs += hub_product
+        qs *= inv_degree[:, None]
+        symmetrize(qs, out=s, scale=half_c)
+        add_scaled_identity(s, 1.0 - c)
     return s
 
 
@@ -185,29 +205,44 @@ def memo_simrank_star_exponential(
     num_iterations: int | None = 10,
     epsilon: float | None = None,
     compressed: CompressedGraph | None = None,
+    dtype: np.dtype | str = np.float64,
 ) -> np.ndarray:
     """``memo-eSR*``: exponential SimRank* with the factorised operator.
 
     Runs the Eq. (19) recurrence ``R_{k+1} = Q R_k`` through the
-    compressed factorisation, then returns ``e^{-C} T T^T``. The
-    factorial error bound means far fewer iterations than the
-    geometric variant for the same accuracy.
+    compressed factorisation (in preallocated buffers, like the
+    geometric path), then returns ``e^{-C} T T^T``. The factorial
+    error bound means far fewer iterations than the geometric variant
+    for the same accuracy.
     """
     num_iterations = _resolve_iterations(
         c, num_iterations, epsilon, "exponential", 10
     )
     if compressed is None:
         compressed = compress_graph(graph)
+    dtype = np.dtype(dtype)
     n = graph.num_nodes
-    e_direct, h_out, h_in, inv_degree = _factorized_operator(compressed)
-    r = np.eye(n)
-    t = np.eye(n)
+    e_direct, h_out, h_in, inv_degree = _factorized_operator(
+        compressed, dtype
+    )
+    r = np.eye(n, dtype=dtype)
+    qr = np.empty_like(r)
+    hub_product = np.empty_like(r)
+    hub_state = np.empty((h_in.shape[0], n), dtype=dtype)
+    t = np.eye(n, dtype=dtype)
     half_c = 0.5 * c
     for k in range(num_iterations):
-        qr = inv_degree[:, None] * (e_direct @ r + h_out @ (h_in @ r))
-        r = (half_c / (k + 1)) * qr
+        spmm(e_direct, r, out=qr)
+        spmm(h_in, r, out=hub_state)
+        spmm(h_out, hub_state, out=hub_product)
+        qr += hub_product
+        qr *= inv_degree[:, None]
+        qr *= half_c / (k + 1)
+        r, qr = qr, r
         t += r
-    return float(np.exp(-c)) * (t @ t.T)
+    out = np.matmul(t, t.T)
+    out *= float(np.exp(-c))
+    return out
 
 
 def memo_operation_count(

@@ -12,6 +12,13 @@ walking the ``(a, b)`` grid of partial products ``Q^a (Q^T)^b e_q``
 column by column — ``O(L^2)`` sparse mat-vecs and ``O(n)`` extra
 memory for a length-``L`` truncation.
 
+:func:`single_source` is served as the ``B = 1`` case of the blocked
+kernel :func:`repro.core.multi_source.multi_source`, which shares one
+precomputed table of the ``w_l * binom(l, a) / 2^l`` factors across
+the whole grid (and across calls). The pre-blocking per-query walk is
+kept as :func:`single_source_reference` — an independent oracle for
+the parity tests and the "before" side of the benchmark harness.
+
 These functions are stateless; :class:`repro.engine.SimilarityEngine`
 wraps them with cached transition matrices and memoized answers for
 query-serving workloads (pass ``transition`` / ``transition_t`` to
@@ -25,12 +32,18 @@ import math
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.multi_source import multi_source
 from repro.core.weights import GeometricWeights, WeightScheme
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
 from repro.validation import validate_damping, validate_iterations
 
-__all__ = ["single_pair", "single_source", "top_k"]
+__all__ = [
+    "single_pair",
+    "single_source",
+    "single_source_reference",
+    "top_k",
+]
 
 
 def single_source(
@@ -41,6 +54,7 @@ def single_source(
     weights: WeightScheme | None = None,
     transition: sp.csr_array | None = None,
     transition_t: sp.csr_array | None = None,
+    dtype: np.dtype | str = np.float64,
 ) -> np.ndarray:
     """SimRank* scores of every node against ``query`` (one column).
 
@@ -51,7 +65,41 @@ def single_source(
     ``transition`` (the backward transition matrix ``Q``) and
     ``transition_t`` (``Q^T`` in CSR form) may be passed to reuse
     precomputed matrices across queries; both are rebuilt from the
-    graph when omitted.
+    graph when omitted. ``dtype`` selects the arithmetic precision
+    (``float64`` default, ``float32`` opt-in).
+    """
+    if not 0 <= query < graph.num_nodes:
+        raise IndexError(f"query node {query} out of range")
+    block = multi_source(
+        graph,
+        (query,),
+        c=c,
+        num_terms=num_terms,
+        weights=weights,
+        transition=transition,
+        transition_t=transition_t,
+        dtype=dtype,
+    )
+    return np.ascontiguousarray(block[:, 0])
+
+
+def single_source_reference(
+    graph: DiGraph,
+    query: int,
+    c: float = 0.6,
+    num_terms: int = 10,
+    weights: WeightScheme | None = None,
+    transition: sp.csr_array | None = None,
+    transition_t: sp.csr_array | None = None,
+) -> np.ndarray:
+    """The pre-blocking per-query series walk (``O(L^2)`` mat-vecs).
+
+    Kept verbatim as an independent oracle: the parity tests assert
+    :func:`multi_source` reproduces it column by column, and the bench
+    harness times it as the per-query baseline the blocked kernel is
+    measured against. Recomputes every ``w_l * binom(l, a) / 2^l``
+    factor inline — the inefficiency the shared coefficient table
+    removes.
     """
     if not 0 <= query < graph.num_nodes:
         raise IndexError(f"query node {query} out of range")

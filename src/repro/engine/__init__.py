@@ -8,7 +8,13 @@ Public surface:
   matrix, biclique-compressed graph, truncation length) and serves
   ``score`` / ``single_source`` / ``top_k`` / ``batch_top_k`` /
   ``matrix`` with memoized results and explicit invalidation.
-* :class:`SimilarityConfig` — the typed, validated configuration.
+  ``batch_top_k`` walks all fresh query columns together through the
+  blocked multi-source kernel — prefer it over looping ``top_k``
+  when serving query volume (see the package-level performance
+  guide).
+* :class:`SimilarityConfig` — the typed, validated configuration,
+  including the ``dtype`` knob (``"float64"`` default, ``"float32"``
+  for halved memory traffic at ~1e-4 accuracy).
 * :func:`register_measure` / :class:`MeasureSpec` /
   :func:`get_measure` / :func:`available_measures` — the pluggable
   measure registry (the built-ins live in :mod:`repro.measures`).
@@ -24,10 +30,11 @@ from repro.engine.registry import (
     register_measure,
 )
 from repro.engine.results import RankedNode, Ranking, ScoreMatrix
-from repro.engine.config import WEIGHT_SCHEMES, SimilarityConfig
+from repro.engine.config import DTYPES, WEIGHT_SCHEMES, SimilarityConfig
 from repro.engine.engine import EngineStats, SimilarityEngine
 
 __all__ = [
+    "DTYPES",
     "EngineStats",
     "MeasureSpec",
     "RankedNode",

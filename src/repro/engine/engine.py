@@ -28,7 +28,7 @@ import scipy.sparse as sp
 
 from repro.bigraph.compressed import CompressedGraph
 from repro.bigraph.concentration import compress_graph
-from repro.core.queries import single_source as _series_column
+from repro.core.multi_source import multi_source as _series_block
 from repro.core.weights import (
     ExponentialWeights,
     GeometricWeights,
@@ -182,10 +182,13 @@ class SimilarityEngine:
     # ------------------------------------------------------------------
     @property
     def transition(self) -> sp.csr_array:
-        """The backward transition matrix ``Q``, built once."""
+        """The backward transition matrix ``Q``, built once.
+
+        Built in the configured :attr:`SimilarityConfig.dtype`.
+        """
         if self._caches.transition is None:
             self._caches.transition = backward_transition_matrix(
-                self._graph
+                self._graph, dtype=self._config.np_dtype
             )
             self.stats.transition_builds += 1
         return self._caches.transition
@@ -248,7 +251,8 @@ class SimilarityEngine:
         direction.
 
         The answer is memoized; the backing array is marked read-only
-        because later calls return the same object.
+        because later calls return the same object. Its dtype follows
+        :attr:`SimilarityConfig.dtype`.
         """
         self._check_stale()
         q = self._resolve(query)
@@ -261,16 +265,7 @@ class SimilarityEngine:
             self._spec.supports_single_source
             and self._caches.matrix is None
         ):
-            scores = _series_column(
-                self._graph,
-                q,
-                c=self._config.c,
-                num_terms=self.truncation,
-                weights=self._weight_scheme(),
-                transition=self.transition,
-                transition_t=self.transition_t,
-            )
-            self.stats.column_computes += 1
+            self._compute_columns((q,))
         else:
             # bypass matrix()'s hit/miss accounting: this is one
             # logical query, already counted as a column miss above.
@@ -278,11 +273,36 @@ class SimilarityEngine:
             # data and is frozen read-only.
             if self._caches.matrix is None:
                 self._build_matrix()
+            # kept in the matrix's own dtype: measures that do not
+            # declare dtype support serve float64 even under a
+            # float32 config, and columns must agree with matrix()
             scores = np.asarray(self._caches.matrix)[:, q]
-        scores = np.asarray(scores, dtype=np.float64)
-        scores.flags.writeable = False
-        self._caches.columns[q] = scores
-        return scores
+            scores.flags.writeable = False
+            self._caches.columns[q] = scores
+        return self._caches.columns[q]
+
+    def _compute_columns(self, queries: Sequence[int]) -> None:
+        """Series-walk the given fresh query columns in one blocked call.
+
+        ``queries`` must be distinct resolved ids that are not yet
+        cached; each lands in the column memo as a read-only array and
+        counts as one ``column_computes``.
+        """
+        block = _series_block(
+            self._graph,
+            queries,
+            c=self._config.c,
+            num_terms=self.truncation,
+            weights=self._weight_scheme(),
+            transition=self.transition,
+            transition_t=self.transition_t,
+            dtype=self._config.np_dtype,
+        )
+        for j, q in enumerate(queries):
+            scores = np.ascontiguousarray(block[:, j])
+            scores.flags.writeable = False
+            self._caches.columns[q] = scores
+            self.stats.column_computes += 1
 
     def score(self, u, v) -> float:
         """The similarity of one node pair (ids or labels).
@@ -332,11 +352,56 @@ class SimilarityEngine:
         k: int = 10,
         include_query: bool = False,
     ) -> list[Ranking]:
-        """One :class:`Ranking` per query, sharing all precomputation."""
-        return [
-            self.top_k(q, k=k, include_query=include_query)
-            for q in queries
-        ]
+        """One :class:`Ranking` per query, sharing all precomputation.
+
+        Fresh query columns are evaluated together by the blocked
+        multi-source kernel (:func:`repro.core.multi_source.multi_source`)
+        — one grid walk of sparse x ``(n, B)`` products instead of
+        ``B`` independent ``O(L^2)`` mat-vec walks — so serving a
+        batch costs barely more than serving its slowest member.
+        Already-memoized and duplicate queries are served from the
+        column cache as usual.
+        """
+        self._check_stale()
+        ids = [self._resolve(q) for q in queries]
+        newly: set[int] = set()
+        if (
+            self._spec.supports_single_source
+            and self._caches.matrix is None
+        ):
+            fresh = [
+                q
+                for q in dict.fromkeys(ids)  # ordered de-dup
+                if q not in self._caches.columns
+            ]
+            if fresh:
+                self.stats.misses += len(fresh)
+                self._compute_columns(fresh)
+                newly.update(fresh)
+        rankings = []
+        for q in ids:
+            cached = self._caches.columns.get(q)
+            if cached is not None:
+                # a column computed by this very call is a miss that
+                # was already counted, not a memo hit
+                if q in newly:
+                    newly.discard(q)
+                else:
+                    self.stats.hits += 1
+                scores = cached
+            else:
+                scores = self.single_source(q)
+            rankings.append(
+                Ranking.from_scores(
+                    scores,
+                    query=q,
+                    k=k,
+                    labels=self._graph.labels,
+                    include_query=include_query,
+                    measure=self._spec.name,
+                )
+            )
+        return rankings
 
     def matrix(self) -> ScoreMatrix:
         """The full ``n x n`` score matrix, computed once and memoized.
@@ -359,6 +424,8 @@ class SimilarityEngine:
             kwargs["transition"] = self.transition
         if "compressed" in self._spec.uses:
             kwargs["compressed"] = self.compressed
+        if "dtype" in self._spec.uses:
+            kwargs["dtype"] = self._config.np_dtype
         values = self._spec.compute(
             self._graph, self._config.c, self.truncation, **kwargs
         )

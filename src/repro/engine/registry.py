@@ -39,8 +39,10 @@ __all__ = [
 
 #: Artifact names a measure's callable may accept as keyword arguments.
 #: ``"transition"`` — the cached backward transition matrix ``Q``;
-#: ``"compressed"`` — the biclique-compressed :class:`CompressedGraph`.
-KNOWN_ARTIFACTS = ("transition", "compressed")
+#: ``"compressed"`` — the biclique-compressed :class:`CompressedGraph`;
+#: ``"dtype"`` — the engine's configured arithmetic precision (a numpy
+#: dtype; declared by measures whose kernels take a ``dtype=`` option).
+KNOWN_ARTIFACTS = ("transition", "compressed", "dtype")
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,7 @@ class DiGraph:
         self._in: list[set[int]] = [set() for _ in range(self._n)]
         self._m = 0
         self._version = 0
+        self._edge_arrays_cache: tuple | None = None
         self._labels: list | None = None
         self._label_to_node: dict = {}
         if labels is not None:
@@ -187,6 +188,33 @@ class DiGraph:
         for u in range(self._n):
             for v in sorted(self._out[u]):
                 yield (u, v)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The edge list as ``(heads, tails)`` numpy index arrays.
+
+        ``heads[i] -> tails[i]`` enumerates :meth:`edges` in the same
+        sorted order, ready to drop into a COO constructor without a
+        per-edge Python loop. The arrays are read-only and cached until
+        the next mutation (keyed on :attr:`version`), so repeated
+        matrix builds over an unchanged graph pay for the traversal
+        once.
+        """
+        cache = self._edge_arrays_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2]
+        counts = np.fromiter(
+            (len(s) for s in self._out), dtype=np.intp, count=self._n
+        )
+        heads = np.repeat(np.arange(self._n, dtype=np.intp), counts)
+        tails = np.fromiter(
+            (v for s in self._out for v in sorted(s)),
+            dtype=np.intp,
+            count=self._m,
+        )
+        heads.flags.writeable = False
+        tails.flags.writeable = False
+        self._edge_arrays_cache = (self._version, heads, tails)
+        return heads, tails
 
     def has_edge(self, u: int, v: int) -> bool:
         """True iff edge ``u -> v`` exists."""

@@ -57,7 +57,7 @@ __all__ = [
     family="SimRank*",
     semantic=True,
     weight_scheme="exponential",
-    uses=("transition",),
+    uses=("transition", "dtype"),
     description="Exponential SimRank* at accuracy matched to the "
     "geometric K-term truncation",
 )
@@ -78,7 +78,7 @@ def _esr(graph: DiGraph, c: float, num_iterations: int, **artifacts):
     semantic=True,
     supports_single_source=True,
     weight_scheme="geometric",
-    uses=("transition",),
+    uses=("transition", "dtype"),
     description="Geometric SimRank* via the Eq. (14) fixed-point "
     "iteration",
 )
@@ -140,7 +140,7 @@ MTX_BENCH_RANK = 48
     weight_scheme="exponential",
     variant="exponential",
     default_iterations=10,
-    uses=("compressed",),
+    uses=("compressed", "dtype"),
     description="Exponential SimRank* over the biclique-compressed "
     "graph",
 )
@@ -159,7 +159,7 @@ def _memo_esr(
     timed=True,
     supports_single_source=True,
     weight_scheme="geometric",
-    uses=("compressed",),
+    uses=("compressed", "dtype"),
     description="Geometric SimRank* over the biclique-compressed "
     "graph",
 )
@@ -178,7 +178,7 @@ def _memo_gsr(
     timed=True,
     supports_single_source=True,
     weight_scheme="geometric",
-    uses=("transition",),
+    uses=("transition", "dtype"),
     description="Geometric SimRank* without compression (one "
     "sparse-dense product per iteration)",
 )

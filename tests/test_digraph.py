@@ -183,3 +183,37 @@ class TestDerivedGraphs:
 
     def test_repr(self):
         assert repr(DiGraph(3, edges=[(0, 1)])) == "DiGraph(n=3, m=1)"
+
+
+class TestEdgeArrays:
+    def test_matches_edges_iteration(self):
+        g = DiGraph(5, edges=[(0, 1), (0, 3), (2, 1), (4, 0), (2, 2)])
+        heads, tails = g.edge_arrays()
+        assert list(zip(heads.tolist(), tails.tolist())) == list(
+            g.edges()
+        )
+
+    def test_empty_graph(self):
+        heads, tails = DiGraph(3).edge_arrays()
+        assert heads.size == 0 and tails.size == 0
+
+    def test_cached_until_mutation(self):
+        g = DiGraph(4, edges=[(0, 1), (1, 2)])
+        first = g.edge_arrays()
+        assert g.edge_arrays()[0] is first[0]  # version unchanged
+        g.add_edge(2, 3)
+        heads, tails = g.edge_arrays()
+        assert heads.size == 3
+        assert list(zip(heads.tolist(), tails.tolist())) == list(
+            g.edges()
+        )
+
+    def test_arrays_are_read_only(self):
+        g = DiGraph(3, edges=[(0, 1)])
+        heads, _ = g.edge_arrays()
+        try:
+            heads[0] = 2
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("cached edge array was writable")

@@ -455,3 +455,200 @@ class TestScoreMatrix:
     def test_rejects_non_square(self):
         with pytest.raises(ValueError, match="square"):
             ScoreMatrix(np.zeros((2, 3)))
+
+
+class TestBatchTopK:
+    """The blocked batch path must be indistinguishable from looping."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_equals_sequential_top_k(self, seed):
+        g = random_digraph(40, 220, seed=seed)
+        queries = [0, 7, 33, 7, 12]
+        batch_engine = SimilarityEngine(g, num_iterations=8)
+        loop_engine = SimilarityEngine(g.copy(), num_iterations=8)
+        batched = batch_engine.batch_top_k(queries, k=6)
+        looped = [loop_engine.top_k(q, k=6) for q in queries]
+        assert batched == looped
+
+    def test_batch_respects_include_query(self):
+        g = random_digraph(25, 120, seed=3)
+        engine = SimilarityEngine(g, num_iterations=6)
+        with_query = engine.batch_top_k([4], k=5, include_query=True)
+        assert 4 in with_query[0].nodes
+
+    def test_batch_reuses_cached_columns(self):
+        g = random_digraph(30, 150, seed=4)
+        engine = SimilarityEngine(g, num_iterations=6)
+        engine.top_k(3, k=5)
+        assert engine.stats.column_computes == 1
+        engine.batch_top_k([3, 9], k=5)
+        # only the fresh query walked; the repeat was a memo hit
+        assert engine.stats.column_computes == 2
+        assert engine.stats.hits == 1
+
+    def test_batch_then_single_source_hits_memo(self):
+        g = random_digraph(30, 150, seed=5)
+        engine = SimilarityEngine(g, num_iterations=6)
+        engine.batch_top_k([2, 8], k=5)
+        engine.single_source(2)
+        assert engine.stats.column_computes == 2
+        assert engine.stats.hits == 1
+
+    def test_batch_for_matrix_only_measure(self):
+        # RWR has no series path: the batch falls back to matrix
+        # columns and still matches sequential serving
+        g = random_digraph(20, 80, seed=6)
+        engine = SimilarityEngine(g, measure="RWR", num_iterations=6)
+        other = SimilarityEngine(g.copy(), measure="RWR",
+                                 num_iterations=6)
+        assert engine.batch_top_k([1, 5], k=4) == [
+            other.top_k(1, k=4), other.top_k(5, k=4)
+        ]
+
+    def test_batch_accepts_labels(self):
+        g = figure1_citation_graph()
+        engine = SimilarityEngine(g, c=0.8, num_iterations=10)
+        by_label = engine.batch_top_k(["i", "h"], k=3)
+        by_id = engine.batch_top_k(
+            [g.node_of("i"), g.node_of("h")], k=3
+        )
+        assert by_label == by_id
+
+    def test_empty_batch(self):
+        g = random_digraph(10, 40, seed=7)
+        engine = SimilarityEngine(g, num_iterations=5)
+        assert engine.batch_top_k([], k=3) == []
+
+
+class TestDtypePropagation:
+    def test_default_is_float64(self):
+        cfg = SimilarityConfig()
+        assert cfg.dtype == "float64"
+        assert cfg.np_dtype == np.float64
+        g = random_digraph(20, 80, seed=0)
+        engine = SimilarityEngine(g, num_iterations=5)
+        assert engine.single_source(0).dtype == np.float64
+        assert engine.transition.dtype == np.float64
+
+    def test_float32_columns_and_transition(self):
+        g = random_digraph(20, 80, seed=1)
+        engine = SimilarityEngine(g, num_iterations=5, dtype="float32")
+        assert engine.transition.dtype == np.float32
+        scores = engine.single_source(0)
+        assert scores.dtype == np.float32
+        reference = SimilarityEngine(
+            g.copy(), num_iterations=5
+        ).single_source(0)
+        np.testing.assert_allclose(scores, reference, atol=1e-4)
+
+    def test_numpy_dtype_objects_normalised(self):
+        assert SimilarityConfig(dtype=np.float32).dtype == "float32"
+        assert SimilarityConfig(dtype=np.dtype("f8")).dtype == "float64"
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            SimilarityConfig(dtype="float16")
+        with pytest.raises(ValueError, match="dtype"):
+            SimilarityConfig(dtype="int64")
+
+    def test_float32_matrix_build(self):
+        g = random_digraph(20, 80, seed=2)
+        engine = SimilarityEngine(
+            g, measure="gSR*", num_iterations=5, dtype="float32"
+        )
+        matrix = engine.matrix()
+        assert np.asarray(matrix).dtype == np.float32
+        reference = simrank_star(g, 0.6, 5)
+        np.testing.assert_allclose(
+            np.asarray(matrix), reference, atol=1e-4
+        )
+
+    def test_batch_top_k_float32_matches_float64_ranking(self):
+        g = random_digraph(40, 200, seed=3)
+        fast = SimilarityEngine(g, num_iterations=6, dtype="float32")
+        exact = SimilarityEngine(g.copy(), num_iterations=6)
+        for a, b in zip(fast.batch_top_k([0, 9], k=3),
+                        exact.batch_top_k([0, 9], k=3)):
+            assert a.nodes == b.nodes
+            np.testing.assert_allclose(a.scores, b.scores, atol=1e-4)
+
+
+class TestRankingSelection:
+    """argpartition top-k must match a full sort exactly."""
+
+    def _full_sort(self, scores, query, k, include_query=False,
+                   exclude=()):
+        order = np.lexsort((np.arange(len(scores)), -scores))
+        skip = set(exclude)
+        if not include_query:
+            skip.add(query)
+        pairs = []
+        for node in order:
+            if len(pairs) >= k:
+                break
+            if int(node) in skip:
+                continue
+            pairs.append((int(node), float(scores[node])))
+        return pairs
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [0, 1, 5, 40, 1000])
+    def test_matches_full_sort_random(self, seed, k):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(60)
+        ranked = Ranking.from_scores(scores, query=3, k=k)
+        assert ranked.to_pairs() == self._full_sort(scores, 3, k)
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 25])
+    def test_matches_full_sort_with_heavy_ties(self, k):
+        rng = np.random.default_rng(99)
+        # few distinct values -> ties across the cut-off are common
+        scores = rng.integers(0, 4, size=50).astype(float) / 4.0
+        ranked = Ranking.from_scores(scores, query=0, k=k)
+        assert ranked.to_pairs() == self._full_sort(scores, 0, k)
+
+    def test_exclude_and_include_query(self):
+        rng = np.random.default_rng(7)
+        scores = rng.random(30)
+        exclude = {1, 2, 29}
+        ranked = Ranking.from_scores(
+            scores, query=5, k=10, include_query=True, exclude=exclude
+        )
+        assert ranked.to_pairs() == self._full_sort(
+            scores, 5, 10, include_query=True, exclude=exclude
+        )
+
+    def test_out_of_range_exclusions_ignored(self):
+        scores = np.array([0.3, 0.1, 0.2])
+        ranked = Ranking.from_scores(
+            scores, query=0, k=3, exclude={77, -5}
+        )
+        assert ranked.nodes == [2, 1]
+
+    def test_all_nodes_excluded(self):
+        scores = np.array([0.3, 0.1])
+        ranked = Ranking.from_scores(
+            scores, query=0, k=5, exclude={1}
+        )
+        assert len(ranked) == 0
+
+    def test_nan_scores_rank_last_not_dropped(self):
+        # a NaN at the cut-off must not wipe the finite answers
+        scores = np.array([0.5, np.nan, np.nan, 0.3, 0.1])
+        ranked = Ranking.from_scores(scores, query=99, k=3)
+        assert ranked.nodes == [0, 3, 4]  # finite scores first
+        assert ranked[0].score == 0.5
+
+    def test_matrix_only_measure_serves_float64_under_float32(self):
+        # RWR has no dtype support: columns must match the float64
+        # matrix, not get silently downcast
+        g = random_digraph(15, 60, seed=8)
+        engine = SimilarityEngine(
+            g, measure="RWR", num_iterations=6, dtype="float32"
+        )
+        col = engine.single_source(3)
+        assert col.dtype == np.float64
+        np.testing.assert_array_equal(
+            col, np.asarray(engine.matrix())[:, 3]
+        )
+        assert engine.score(2, 3) == np.asarray(engine.matrix())[2, 3]

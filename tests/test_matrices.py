@@ -97,3 +97,37 @@ class TestForwardTransition:
         w = forward_transition_matrix(diamond).toarray()
         q_rev = backward_transition_matrix(diamond.reverse()).toarray()
         np.testing.assert_allclose(w, q_rev)
+
+
+class TestDtypeOption:
+    def test_adjacency_dtype(self, diamond):
+        a32 = adjacency_matrix(diamond, dtype="float32")
+        a64 = adjacency_matrix(diamond)
+        assert a32.dtype == np.float32
+        assert a64.dtype == np.float64
+        np.testing.assert_array_equal(
+            a32.toarray(), a64.toarray().astype(np.float32)
+        )
+
+    def test_transition_dtype(self, diamond):
+        q32 = backward_transition_matrix(diamond, dtype=np.float32)
+        q64 = backward_transition_matrix(diamond)
+        assert q32.dtype == np.float32
+        np.testing.assert_allclose(
+            q32.toarray(), q64.toarray(), atol=1e-7
+        )
+        w32 = forward_transition_matrix(diamond, dtype=np.float32)
+        assert w32.dtype == np.float32
+
+    def test_builders_use_edge_arrays(self, diamond):
+        # the vectorised builder must agree with a COO assembled from
+        # the Python-level edge iterator
+        import scipy.sparse as sp
+
+        rows, cols = zip(*diamond.edges())
+        n = diamond.num_nodes
+        expected = sp.csr_array(
+            (np.ones(len(rows)), (rows, cols)), shape=(n, n)
+        )
+        got = adjacency_matrix(diamond)
+        assert (got != expected).nnz == 0
