@@ -88,13 +88,50 @@ The serving hot paths are tuned for query volume; four knobs matter:
 Benchmarks: ``python -m repro.bench`` runs the perf suite and writes
 ``BENCH_<tag>.json`` (per-case wall times, tracemalloc peaks, machine
 and workload metadata, derived speedups); ``--quick`` is the CI
-setting and ``--compare BENCH_baseline.json`` gates on regressions —
-see :mod:`repro.bench.runner` for the schema and gate semantics.
+setting, ``--compare BENCH_baseline.json`` gates on regressions,
+``--list`` enumerates the registered cases, and ``--serve`` appends a
+serving load-generation run (throughput + p50/p95/p99 latency
+histograms) — see :mod:`repro.bench.runner` and
+:mod:`repro.bench.loadgen` for the schema and gate semantics.
+
+Serving
+-------
+Batching only pays if traffic actually arrives in batches, which real
+traffic never does — so :mod:`repro.serve` runs the engine as a
+long-lived service. An asyncio broker coalesces independently
+arriving ``top_k`` / ``score`` requests into micro-batches (knobs:
+``max_batch``, ``max_wait_ms``) and answers each batch with one
+blocked multi-source walk; a versioned LRU caches rendered answers;
+graph mutations build a fresh engine in the background and atomically
+hot-swap it, so in-flight queries finish on the snapshot they
+started on. In-process::
+
+    from repro.serve import ServingService
+
+    async with ServingService(g, measure="gSR*", max_batch=32) as svc:
+        rankings = await asyncio.gather(
+            *(svc.top_k(q, k=10) for q in queries)
+        )
+
+Over HTTP (stdlib only)::
+
+    python -m repro.serve serve --nodes 2000 --edges 12000 --port 8321
+    curl -s -X POST localhost:8321/top_k -d '{"query": 7, "k": 5}'
+
+``python -m repro.serve smoke`` is the self-contained serving health
+check (concurrent clients, coalescing assertions, latency histogram);
+``examples/serving_demo.py`` walks all three mechanisms. For
+sustained distinct-query traffic, bound the engine's column memo with
+``SimilarityConfig.max_cached_columns`` (LRU or FIFO via
+``column_policy``) — the serving CLI defaults to 4096.
 
 Packages
 --------
 * :mod:`repro.engine` — the stateful query-serving engine, measure
   registry, and label-aware result types.
+* :mod:`repro.serve` — the async serving layer: micro-batch
+  coalescing broker, versioned result cache, snapshot hot-swap,
+  stdlib HTTP front end (``python -m repro.serve``).
 * :mod:`repro.graph` — the graph substrate (structure, matrices,
   generators, IO, stats).
 * :mod:`repro.core` — SimRank* itself: geometric / exponential forms,

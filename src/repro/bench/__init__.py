@@ -7,7 +7,12 @@ Two layers live here:
   paper's figures;
 * :mod:`repro.bench.runner` — the *regression* harness behind
   ``python -m repro.bench``: named cases, warmup/repeat timing,
-  ``BENCH_<tag>.json`` output, and a compare gate for CI.
+  ``BENCH_<tag>.json`` output, and a compare gate for CI;
+* :mod:`repro.bench.loadgen` — the *serving* load generator
+  (``python -m repro.bench --serve``): concurrent client streams
+  against a :class:`repro.serve.ServingService`, throughput and
+  p50/p95/p99 latency histograms vs a sequential per-request
+  baseline.
 """
 
 from repro.bench.harness import (
@@ -15,6 +20,7 @@ from repro.bench.harness import (
     format_table,
     timed,
 )
+from repro.bench.loadgen import LatencyStats, run_serving_load
 from repro.bench.memory import measure_peak_memory
 from repro.bench.runner import (
     BenchCase,
@@ -30,10 +36,12 @@ __all__ = [
     "BenchRun",
     "CaseResult",
     "ExperimentResult",
+    "LatencyStats",
     "compare_runs",
     "default_suite",
     "format_table",
     "measure_peak_memory",
+    "run_serving_load",
     "run_suite",
     "timed",
 ]

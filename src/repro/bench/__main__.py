@@ -5,10 +5,15 @@ Typical uses::
     python -m repro.bench --quick                  # fast suite -> BENCH_quick.json
     python -m repro.bench --tag PR2                # full suite  -> BENCH_PR2.json
     python -m repro.bench --quick --compare BENCH_baseline.json
+    python -m repro.bench --list                   # enumerate cases
+    python -m repro.bench --serve --tag PR3        # + serving load test
 
 Compare mode exits non-zero when a case regresses beyond
 ``--threshold`` times its baseline or a gated batching speedup falls
-below ``--speedup-floor`` — the CI regression gate.
+below ``--speedup-floor`` — the CI regression gate. ``--serve`` runs
+the serving load generator (:mod:`repro.bench.loadgen`) after the
+kernel suite and embeds its throughput / latency-percentile document
+under the ``"serving"`` key of ``BENCH_<tag>.json``.
 """
 
 from __future__ import annotations
@@ -44,6 +49,12 @@ FULL = {
     "repeat": 3,
     "warmup": 1,
 }
+
+#: Serving-load workloads paired with the kernel presets: the full
+#: setting is the acceptance regime (32 concurrent clients on the
+#: 2k-node benchmark graph), quick is the CI-sized version.
+SERVE_QUICK = {"clients": 16, "requests_per_client": 2}
+SERVE_FULL = {"clients": 32, "requests_per_client": 4}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,7 +118,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="cases with a baseline best time below this are "
         "reported but never fail the absolute gate (default 1.0 ms)",
     )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_cases",
+        help="enumerate the registered bench cases and exit",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="also run the serving load generator and embed its "
+        "throughput / latency-percentile document under the "
+        "'serving' key",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="serving load: concurrent client streams "
+        "(default 32 full / 16 quick)",
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=None,
+        help="serving load: queries per client (default 4 full / "
+        "2 quick)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="serving load: broker micro-batch cap (default 32)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="serving load: broker linger in ms (default 2.0)",
+    )
     return parser
+
+
+def list_cases(args, preset: dict) -> int:
+    """Print every registered case name (tiny setup, nothing timed)."""
+    cases = default_suite(
+        nodes=64, edges=256, queries=4, num_terms=4,
+        allpairs_nodes=24, allpairs_edges=96,
+        k=args.k, dtype=args.dtype, seed=args.seed,
+    )
+    print("kernel cases (python -m repro.bench):")
+    for case in cases:
+        fresh = "  [fresh-state]" if case.fresh_state else ""
+        print(f"  {case.name}{fresh}")
+    print("serving load scenario (--serve):")
+    print(
+        "  serving_load  "
+        f"[{preset['nodes']} nodes, {preset['edges']} edges, "
+        "coalesced vs sequential single_source]"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -119,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
             preset[key] = override
     repeat = preset.pop("repeat")
     warmup = preset.pop("warmup")
+    if args.list_cases:
+        return list_cases(args, preset)
     tag = args.tag or ("quick" if args.quick else "local")
     params = dict(
         preset,
@@ -141,6 +202,26 @@ def main(argv: list[str] | None = None) -> int:
         progress=lambda name: print(f"  running {name} ...", flush=True),
     )
     document = run.to_dict()
+    if args.serve:
+        from repro.bench.loadgen import run_serving_load
+
+        serve_defaults = SERVE_QUICK if args.quick else SERVE_FULL
+        print("  running serving_load ...", flush=True)
+        document["serving"] = run_serving_load(
+            nodes=preset["nodes"],
+            edges=preset["edges"],
+            clients=args.clients or serve_defaults["clients"],
+            requests_per_client=(
+                args.requests_per_client
+                or serve_defaults["requests_per_client"]
+            ),
+            k=args.k,
+            num_terms=preset["num_terms"],
+            dtype=args.dtype,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            seed=args.seed,
+        )
     print(f"\n== repro.bench [{tag}] ==")
     for name, result in document["results"].items():
         print(
@@ -150,9 +231,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     for key, value in document["derived"].items():
         print(f"  {key:<28} {value:9.2f}x")
+    if args.serve:
+        serving = document["serving"]
+        coalesced = serving["coalesced"]
+        print(
+            f"  serving_load                 "
+            f"{coalesced['requests_per_second']:9.0f} rps "
+            f"(sequential "
+            f"{serving['sequential']['requests_per_second']:.0f} rps, "
+            f"{serving['speedup_throughput']:.2f}x; p50 "
+            f"{coalesced['latency']['p50_ms']:.1f} ms, p99 "
+            f"{coalesced['latency']['p99_ms']:.1f} ms)"
+        )
     if not args.no_write:
         out_path = Path(args.output or f"BENCH_{tag}.json")
-        run.write(out_path)
+        out_path.write_text(json.dumps(document, indent=2) + "\n")
         print(f"\nwrote {out_path}")
     if args.compare is not None:
         baseline_path = Path(args.compare)

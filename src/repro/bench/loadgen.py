@@ -1,0 +1,257 @@
+"""Load generation for the serving subsystem, with latency histograms.
+
+Where :mod:`repro.bench.runner` times *kernels*, this module measures
+the *service*: it stands up an in-process
+:class:`~repro.serve.ServingService`, fires ``clients`` concurrent
+request streams at it, and records per-request latency percentiles
+(p50/p95/p99), a log-bucketed latency histogram, throughput, and the
+broker's coalescing evidence. A sequential baseline — the same request
+sequence served one at a time by the per-request ``single_source``
+path, sharing the same precomputed ``Q`` / ``Q^T`` — anchors the
+derived ``speedup_throughput`` ratio, which is machine-independent in
+the same way the runner's batching speedups are.
+
+``python -m repro.bench --serve`` embeds this document under the
+``"serving"`` key of ``BENCH_<tag>.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "LatencyStats",
+    "run_serving_load",
+]
+
+#: Upper edges (ms) of the latency histogram's log-spaced buckets; the
+#: final implicit bucket is "slower than the last edge".
+LATENCY_BUCKETS_MS = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+    128.0, 256.0, 512.0, 1024.0,
+)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentiles and a log-bucketed histogram of request latencies."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    histogram: dict
+
+    @classmethod
+    def from_seconds(cls, seconds: Sequence[float]) -> "LatencyStats":
+        if not len(seconds):
+            raise ValueError("no latency samples")
+        ms = np.asarray(seconds, dtype=np.float64) * 1e3
+        edges = np.asarray(LATENCY_BUCKETS_MS)
+        counts = np.histogram(
+            ms, bins=np.concatenate(([0.0], edges, [np.inf]))
+        )[0]
+        # numpy bins are half-open [a, b): label them accordingly
+        histogram = {
+            f"<{edge:g}ms": int(counts[i])
+            for i, edge in enumerate(edges)
+        }
+        histogram[f">={edges[-1]:g}ms"] = int(counts[-1])
+        return cls(
+            count=int(ms.size),
+            mean_ms=float(ms.mean()),
+            p50_ms=float(np.percentile(ms, 50)),
+            p95_ms=float(np.percentile(ms, 95)),
+            p99_ms=float(np.percentile(ms, 99)),
+            max_ms=float(ms.max()),
+            histogram=histogram,
+        )
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _request_stream(
+    num_nodes: int,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+) -> tuple[list[list[int]], list[int]]:
+    """Distinct-leaning query assignments, one list per client.
+
+    Queries are drawn without replacement while the pool lasts (the
+    worst case for any cache, the pure test of coalescing), recycling
+    only when the workload exceeds the node count.
+    """
+    rng = np.random.default_rng(seed)
+    total = clients * requests_per_client
+    pool = rng.permutation(num_nodes)
+    picks = [int(pool[i % num_nodes]) for i in range(total)]
+    streams = [
+        picks[i * requests_per_client:(i + 1) * requests_per_client]
+        for i in range(clients)
+    ]
+    # untimed warmup queries, disjoint from the timed workload when
+    # the graph is big enough (so warmup never pre-fills its columns)
+    warmup = [
+        int(pool[(total + i) % num_nodes]) for i in range(clients)
+    ]
+    return streams, warmup
+
+
+def run_serving_load(
+    nodes: int = 2000,
+    edges: int = 12000,
+    *,
+    clients: int = 32,
+    requests_per_client: int = 4,
+    k: int = 10,
+    num_terms: int = 10,
+    measure: str = "gSR*",
+    c: float = 0.6,
+    dtype: str = "float64",
+    max_batch: int = 32,
+    max_wait_ms: float = 2.0,
+    cache_entries: int = 0,
+    seed: int = 42,
+) -> dict:
+    """Measure coalesced serving against the sequential baseline.
+
+    Builds a seeded random digraph, then times two servings of the
+    identical request sequence (``clients x requests_per_client``
+    top-k queries over distinct-leaning query nodes):
+
+    * **sequential baseline** — one ``single_source`` walk plus
+      ranking per request, back to back, with ``Q`` / ``Q^T`` prebuilt
+      (the strongest per-request serving loop available before the
+      broker existed);
+    * **coalesced service** — ``clients`` concurrent async streams
+      submitting to a :class:`~repro.serve.ServingService`, whose
+      broker batches them into blocked multi-source calls.
+
+    The result cache is disabled by default (``cache_entries=0``) so
+    the measured speedup isolates coalescing rather than memoization.
+    Returns a JSON-ready document with both sides' throughput and
+    latency statistics, the broker stats, and the derived
+    ``speedup_throughput``.
+    """
+    from repro.core.queries import single_source
+    from repro.engine.results import Ranking
+    from repro.graph.generators import random_digraph
+    from repro.graph.matrices import backward_transition_matrix
+    from repro.serve.service import ServingService
+
+    graph = random_digraph(nodes, edges, seed=seed)
+    streams, warm_queries = _request_stream(
+        graph.num_nodes, clients, requests_per_client, seed
+    )
+    flat_requests = [q for stream in streams for q in stream]
+
+    # --- sequential baseline: per-request single_source + ranking ---
+    transition = backward_transition_matrix(graph, dtype=dtype)
+    transition_t = transition.T.tocsr()
+    for q in warm_queries[:4]:  # untimed: BLAS / cache warmup
+        single_source(
+            graph, q, c, num_terms,
+            transition=transition, transition_t=transition_t,
+            dtype=dtype,
+        )
+    base_latencies: list[float] = []
+    base_start = time.perf_counter()
+    for q in flat_requests:
+        t0 = time.perf_counter()
+        scores = single_source(
+            graph, q, c, num_terms,
+            transition=transition, transition_t=transition_t,
+            dtype=dtype,
+        )
+        Ranking.from_scores(scores, query=q, k=k)
+        base_latencies.append(time.perf_counter() - t0)
+    base_wall = time.perf_counter() - base_start
+
+    # --- coalesced service: concurrent clients through the broker ---
+    service = ServingService(
+        graph,
+        measure=measure,
+        c=c,
+        num_iterations=num_terms,
+        dtype=dtype,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        cache_entries=cache_entries,
+    )
+    service.warmup()  # both sides start with Q / Q^T prebuilt
+    latencies: list[float] = []
+
+    async def client(stream: list[int]) -> list[float]:
+        lat = []
+        for q in stream:
+            t0 = time.perf_counter()
+            await service.top_k(q, k=k)
+            lat.append(time.perf_counter() - t0)
+        return lat
+
+    async def drive() -> float:
+        async with service:
+            # untimed warmup round over disjoint queries: spins the
+            # executor threads and the broker path once, so the timed
+            # window measures steady-state serving
+            await asyncio.gather(
+                *(service.top_k(q, k=k) for q in warm_queries)
+            )
+            t0 = time.perf_counter()
+            per_client = await asyncio.gather(
+                *(client(stream) for stream in streams)
+            )
+            wall = time.perf_counter() - t0
+        for lat in per_client:
+            latencies.extend(lat)
+        return wall
+
+    serve_wall = asyncio.run(drive())
+
+    total = len(flat_requests)
+    base_rps = total / base_wall if base_wall > 0 else float("inf")
+    serve_rps = total / serve_wall if serve_wall > 0 else float("inf")
+    return {
+        "params": {
+            "nodes": nodes,
+            "edges": edges,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "total_requests": total,
+            "k": k,
+            "num_terms": num_terms,
+            "measure": measure,
+            "c": c,
+            "dtype": dtype,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "cache_entries": cache_entries,
+            "seed": seed,
+        },
+        "sequential": {
+            "wall_seconds": base_wall,
+            "requests_per_second": base_rps,
+            "latency": LatencyStats.from_seconds(
+                base_latencies
+            ).to_dict(),
+        },
+        "coalesced": {
+            "wall_seconds": serve_wall,
+            "requests_per_second": serve_rps,
+            "latency": LatencyStats.from_seconds(latencies).to_dict(),
+        },
+        "speedup_throughput": (
+            serve_rps / base_rps if base_rps > 0 else float("inf")
+        ),
+        "broker": service.broker.stats.snapshot(),
+    }

@@ -30,10 +30,17 @@ from repro.engine.registry import (
     register_measure,
 )
 from repro.engine.results import RankedNode, Ranking, ScoreMatrix
-from repro.engine.config import DTYPES, WEIGHT_SCHEMES, SimilarityConfig
-from repro.engine.engine import EngineStats, SimilarityEngine
+from repro.engine.config import (
+    COLUMN_POLICIES,
+    DTYPES,
+    WEIGHT_SCHEMES,
+    SimilarityConfig,
+)
+from repro.engine.engine import ColumnMemo, EngineStats, SimilarityEngine
 
 __all__ = [
+    "COLUMN_POLICIES",
+    "ColumnMemo",
     "DTYPES",
     "EngineStats",
     "MeasureSpec",

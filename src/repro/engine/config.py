@@ -21,7 +21,12 @@ from repro.validation import (
     validate_iterations,
 )
 
-__all__ = ["DTYPES", "SimilarityConfig", "WEIGHT_SCHEMES"]
+__all__ = [
+    "COLUMN_POLICIES",
+    "DTYPES",
+    "SimilarityConfig",
+    "WEIGHT_SCHEMES",
+]
 
 #: Recognised values of :attr:`SimilarityConfig.weights`. ``"auto"``
 #: defers to the measure's own scheme (geometric for ``gSR*``-family,
@@ -32,6 +37,14 @@ WEIGHT_SCHEMES = ("auto", "geometric", "exponential")
 #: the default; ``float32`` halves kernel memory traffic at ~1e-4
 #: relative accuracy (well inside the paper's eps = 1e-3 regime).
 DTYPES = ("float64", "float32")
+
+#: Recognised values of :attr:`SimilarityConfig.column_policy` — the
+#: eviction order of the per-query column memo once
+#: :attr:`SimilarityConfig.max_cached_columns` is set. ``"lru"`` evicts
+#: the least recently *served* column, ``"fifo"`` the least recently
+#: *computed* one (cheaper bookkeeping, better for scan-like traffic
+#: that never repeats).
+COLUMN_POLICIES = ("lru", "fifo")
 
 
 @dataclass(frozen=True)
@@ -63,6 +76,17 @@ class SimilarityConfig:
         and normalised). Threaded through the transition-matrix
         builders and every kernel that supports it; measures without
         dtype support silently serve ``float64``.
+    max_cached_columns:
+        Upper bound on the engine's per-query column memo. ``None``
+        (default) keeps every column ever computed — fine for batch
+        analytics, unbounded growth under sustained distinct-query
+        serving traffic. With a bound set, the memo evicts per
+        :attr:`column_policy` and counts evictions in
+        ``EngineStats.column_evictions``.
+    column_policy:
+        Eviction order of the bounded column memo: ``"lru"`` (default)
+        or ``"fifo"``. Ignored while ``max_cached_columns`` is
+        ``None``.
     """
 
     measure: str = "gSR*"
@@ -71,6 +95,8 @@ class SimilarityConfig:
     epsilon: float | None = None
     weights: str = "auto"
     dtype: str = "float64"
+    max_cached_columns: int | None = None
+    column_policy: str = "lru"
 
     def __post_init__(self) -> None:
         validate_damping(self.c)
@@ -97,6 +123,21 @@ class SimilarityConfig:
         if not isinstance(self.measure, str) or not self.measure:
             raise ValueError(
                 f"measure must be a non-empty name, got {self.measure!r}"
+            )
+        if self.max_cached_columns is not None:
+            if (
+                not isinstance(self.max_cached_columns, int)
+                or isinstance(self.max_cached_columns, bool)
+                or self.max_cached_columns < 1
+            ):
+                raise ValueError(
+                    "max_cached_columns must be a positive int or "
+                    f"None, got {self.max_cached_columns!r}"
+                )
+        if self.column_policy not in COLUMN_POLICIES:
+            raise ValueError(
+                f"column_policy must be one of {COLUMN_POLICIES}, "
+                f"got {self.column_policy!r}"
             )
 
     @property

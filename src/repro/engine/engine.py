@@ -20,8 +20,10 @@ series walk instead of a full ``O(K n m)`` matrix build.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -40,7 +42,7 @@ from repro.engine.results import Ranking, ScoreMatrix
 from repro.graph.digraph import DiGraph
 from repro.graph.matrices import backward_transition_matrix
 
-__all__ = ["EngineStats", "SimilarityEngine"]
+__all__ = ["ColumnMemo", "EngineStats", "SimilarityEngine"]
 
 _WEIGHTS = {
     "geometric": GeometricWeights,
@@ -61,6 +63,7 @@ class EngineStats:
     compression_builds: int = 0
     matrix_builds: int = 0
     column_computes: int = 0
+    column_evictions: int = 0
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
@@ -68,6 +71,57 @@ class EngineStats:
     def snapshot(self) -> dict:
         """A plain-dict copy (handy for logging and assertions)."""
         return dict(self.__dict__)
+
+
+class ColumnMemo:
+    """The per-query column memo, optionally bounded.
+
+    A mapping of resolved query id to its read-only score column. With
+    ``max_entries`` set, insertion beyond the bound evicts per
+    ``policy`` — ``"lru"`` drops the least recently *served* column
+    (each :meth:`get` refreshes recency), ``"fifo"`` the least
+    recently *computed* one. The eviction count is surfaced through
+    :attr:`EngineStats.column_evictions`.
+    """
+
+    __slots__ = (
+        "_data", "max_entries", "policy", "evictions", "on_evict"
+    )
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        policy: str = "lru",
+        on_evict=None,
+    ) -> None:
+        self._data: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.max_entries = max_entries
+        self.policy = policy
+        self.evictions = 0
+        self.on_evict = on_evict
+
+    def get(self, query: int) -> np.ndarray | None:
+        column = self._data.get(query)
+        if column is not None and self.policy == "lru":
+            self._data.move_to_end(query)
+        return column
+
+    def put(self, query: int, column: np.ndarray) -> None:
+        self._data[query] = column
+        if self.policy == "lru":
+            self._data.move_to_end(query)
+        if self.max_entries is not None:
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict()
+
+    def __contains__(self, query: int) -> bool:
+        return query in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 @dataclass
@@ -78,7 +132,7 @@ class _Caches:
     transition_t: sp.csr_array | None = None
     compressed: CompressedGraph | None = None
     matrix: ScoreMatrix | None = None
-    columns: dict[int, np.ndarray] = field(default_factory=dict)
+    columns: ColumnMemo = field(default_factory=ColumnMemo)
 
 
 class SimilarityEngine:
@@ -131,7 +185,11 @@ class SimilarityEngine:
                 f"config requested {config.weights!r}"
             )
         self.stats = EngineStats()
-        self._caches = _Caches()
+        # Reentrant: artifact builds nest (transition_t -> transition,
+        # _compute_columns -> both) and the serving layer may issue
+        # concurrent first queries from a thread pool.
+        self._lock = threading.RLock()
+        self._caches = self._fresh_caches()
         self._fingerprint = self._graph_fingerprint()
 
     # ------------------------------------------------------------------
@@ -185,37 +243,72 @@ class SimilarityEngine:
         """The backward transition matrix ``Q``, built once.
 
         Built in the configured :attr:`SimilarityConfig.dtype`.
+        Thread-safe: concurrent first touches race to the lock and
+        exactly one thread builds (double-checked locking — the
+        fast path after the build never takes the lock).
         """
-        if self._caches.transition is None:
-            self._caches.transition = backward_transition_matrix(
-                self._graph, dtype=self._config.np_dtype
-            )
-            self.stats.transition_builds += 1
-        return self._caches.transition
+        cached = self._caches.transition
+        if cached is None:
+            with self._lock:
+                if self._caches.transition is None:
+                    self._caches.transition = (
+                        backward_transition_matrix(
+                            self._graph, dtype=self._config.np_dtype
+                        )
+                    )
+                    self.stats.transition_builds += 1
+                cached = self._caches.transition
+        return cached
 
     @property
     def transition_t(self) -> sp.csr_array:
-        """``Q^T`` in CSR form, built once."""
-        if self._caches.transition_t is None:
-            self._caches.transition_t = self.transition.T.tocsr()
-        return self._caches.transition_t
+        """``Q^T`` in CSR form, built once (thread-safe first touch)."""
+        cached = self._caches.transition_t
+        if cached is None:
+            with self._lock:
+                if self._caches.transition_t is None:
+                    self._caches.transition_t = (
+                        self.transition.T.tocsr()
+                    )
+                cached = self._caches.transition_t
+        return cached
 
     @property
     def compressed(self) -> CompressedGraph:
-        """The biclique-compressed graph ``G^``, built once."""
-        if self._caches.compressed is None:
-            self._caches.compressed = compress_graph(self._graph)
-            self.stats.compression_builds += 1
-        return self._caches.compressed
+        """The biclique-compressed graph ``G^``, built once
+        (thread-safe first touch)."""
+        cached = self._caches.compressed
+        if cached is None:
+            with self._lock:
+                if self._caches.compressed is None:
+                    self._caches.compressed = compress_graph(
+                        self._graph
+                    )
+                    self.stats.compression_builds += 1
+                cached = self._caches.compressed
+        return cached
 
     # ------------------------------------------------------------------
     # invalidation / mutation
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         """Drop every cached artifact and memoized result."""
-        self.stats.invalidations += 1
-        self._caches = _Caches()
-        self._fingerprint = self._graph_fingerprint()
+        with self._lock:
+            self.stats.invalidations += 1
+            self._caches = self._fresh_caches()
+            self._fingerprint = self._graph_fingerprint()
+
+    def _fresh_caches(self) -> _Caches:
+        return _Caches(
+            columns=ColumnMemo(
+                self._config.max_cached_columns,
+                self._config.column_policy,
+                on_evict=self._count_eviction,
+            )
+        )
+
+    def _count_eviction(self) -> None:
+        self.stats.column_evictions += 1
 
     def add_edge(self, u, v) -> None:
         """Insert an edge (ids or labels) and invalidate the caches."""
@@ -250,43 +343,60 @@ class SimilarityEngine:
         ``np.asarray(engine.matrix())[query]`` for the other
         direction.
 
-        The answer is memoized; the backing array is marked read-only
-        because later calls return the same object. Its dtype follows
-        :attr:`SimilarityConfig.dtype`.
+        The answer is memoized (subject to
+        :attr:`SimilarityConfig.max_cached_columns`); the backing
+        array is marked read-only because later calls may return the
+        same object. Its dtype follows :attr:`SimilarityConfig.dtype`.
+        """
+        q = self._resolve(query)
+        return self.columns((q,))[q]
+
+    def columns(self, queries: Sequence) -> Mapping[int, np.ndarray]:
+        """Memoized score columns for many queries, resolved-id keyed.
+
+        The serving primitive: all fresh (un-memoized) query columns
+        are evaluated together through one blocked multi-source walk,
+        memoized ones come from the column memo, and the returned
+        dict holds every requested column even when the memo's bound
+        forces same-batch evictions. Duplicate queries collapse.
+        Thread-safe — this is what the request broker in
+        :mod:`repro.serve` dispatches each coalesced micro-batch
+        through.
         """
         self._check_stale()
-        q = self._resolve(query)
-        cached = self._caches.columns.get(q)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        if (
-            self._spec.supports_single_source
-            and self._caches.matrix is None
-        ):
-            self._compute_columns((q,))
-        else:
-            # bypass matrix()'s hit/miss accounting: this is one
-            # logical query, already counted as a column miss above.
-            # A view, not a copy — the matrix cache already owns the
-            # data and is frozen read-only.
-            if self._caches.matrix is None:
-                self._build_matrix()
-            # kept in the matrix's own dtype: measures that do not
-            # declare dtype support serve float64 even under a
-            # float32 config, and columns must agree with matrix()
-            scores = np.asarray(self._caches.matrix)[:, q]
-            scores.flags.writeable = False
-            self._caches.columns[q] = scores
-        return self._caches.columns[q]
+        ids = [self._resolve(q) for q in queries]
+        out: dict[int, np.ndarray] = {}
+        with self._lock:
+            fresh: list[int] = []
+            for q in dict.fromkeys(ids):  # ordered de-dup
+                cached = self._caches.columns.get(q)
+                if cached is not None:
+                    self.stats.hits += 1
+                    out[q] = cached
+                else:
+                    fresh.append(q)
+            if fresh:
+                self.stats.misses += len(fresh)
+                if (
+                    self._spec.supports_single_source
+                    and self._caches.matrix is None
+                ):
+                    out.update(self._compute_columns(tuple(fresh)))
+                else:
+                    for q in fresh:
+                        out[q] = self._column_from_matrix(q)
+        return out
 
-    def _compute_columns(self, queries: Sequence[int]) -> None:
+    def _compute_columns(
+        self, queries: Sequence[int]
+    ) -> dict[int, np.ndarray]:
         """Series-walk the given fresh query columns in one blocked call.
 
         ``queries`` must be distinct resolved ids that are not yet
         cached; each lands in the column memo as a read-only array and
-        counts as one ``column_computes``.
+        counts as one ``column_computes``. The computed columns are
+        also returned directly, so callers stay correct when a bounded
+        memo evicts part of a batch wider than its limit.
         """
         block = _series_block(
             self._graph,
@@ -298,11 +408,29 @@ class SimilarityEngine:
             transition_t=self.transition_t,
             dtype=self._config.np_dtype,
         )
+        computed: dict[int, np.ndarray] = {}
         for j, q in enumerate(queries):
             scores = np.ascontiguousarray(block[:, j])
             scores.flags.writeable = False
-            self._caches.columns[q] = scores
+            self._caches.columns.put(q, scores)
             self.stats.column_computes += 1
+            computed[q] = scores
+        return computed
+
+    def _column_from_matrix(self, q: int) -> np.ndarray:
+        # bypass matrix()'s hit/miss accounting: this is one logical
+        # query, already counted as a column miss by the caller. A
+        # view, not a copy — the matrix cache already owns the data
+        # and is frozen read-only. Kept in the matrix's own dtype:
+        # measures that do not declare dtype support serve float64
+        # even under a float32 config, and columns must agree with
+        # matrix().
+        if self._caches.matrix is None:
+            self._build_matrix()
+        scores = np.asarray(self._caches.matrix)[:, q]
+        scores.flags.writeable = False
+        self._caches.columns.put(q, scores)
+        return scores
 
     def score(self, u, v) -> float:
         """The similarity of one node pair (ids or labels).
@@ -312,14 +440,18 @@ class SimilarityEngine:
         """
         self._check_stale()
         ui, vi = self._resolve(u), self._resolve(v)
-        columns = self._caches.columns
-        if vi in columns:
-            self.stats.hits += 1
-            return float(columns[vi][ui])
-        if ui in columns and self._spec.symmetric:
-            self.stats.hits += 1
-            return float(columns[ui][vi])
-        return float(self.single_source(v)[ui])
+        with self._lock:
+            columns = self._caches.columns
+            cached = columns.get(vi)
+            if cached is not None:
+                self.stats.hits += 1
+                return float(cached[ui])
+            if self._spec.symmetric:
+                cached = columns.get(ui)
+                if cached is not None:
+                    self.stats.hits += 1
+                    return float(cached[vi])
+        return float(self.single_source(vi)[ui])
 
     def top_k(
         self,
@@ -359,49 +491,25 @@ class SimilarityEngine:
         — one grid walk of sparse x ``(n, B)`` products instead of
         ``B`` independent ``O(L^2)`` mat-vec walks — so serving a
         batch costs barely more than serving its slowest member.
-        Already-memoized and duplicate queries are served from the
-        column cache as usual.
+        Already-memoized queries are served from the column cache as
+        usual; duplicates collapse before the walk (one hit or miss
+        per distinct query).
         """
         self._check_stale()
         ids = [self._resolve(q) for q in queries]
-        newly: set[int] = set()
-        if (
-            self._spec.supports_single_source
-            and self._caches.matrix is None
-        ):
-            fresh = [
-                q
-                for q in dict.fromkeys(ids)  # ordered de-dup
-                if q not in self._caches.columns
-            ]
-            if fresh:
-                self.stats.misses += len(fresh)
-                self._compute_columns(fresh)
-                newly.update(fresh)
-        rankings = []
-        for q in ids:
-            cached = self._caches.columns.get(q)
-            if cached is not None:
-                # a column computed by this very call is a miss that
-                # was already counted, not a memo hit
-                if q in newly:
-                    newly.discard(q)
-                else:
-                    self.stats.hits += 1
-                scores = cached
-            else:
-                scores = self.single_source(q)
-            rankings.append(
-                Ranking.from_scores(
-                    scores,
-                    query=q,
-                    k=k,
-                    labels=self._graph.labels,
-                    include_query=include_query,
-                    measure=self._spec.name,
-                )
+        cols = self.columns(ids)
+        labels = self._graph.labels
+        return [
+            Ranking.from_scores(
+                cols[q],
+                query=q,
+                k=k,
+                labels=labels,
+                include_query=include_query,
+                measure=self._spec.name,
             )
-        return rankings
+            for q in ids
+        ]
 
     def matrix(self) -> ScoreMatrix:
         """The full ``n x n`` score matrix, computed once and memoized.
@@ -411,12 +519,13 @@ class SimilarityEngine:
         after some queries does not redo their work — and vice versa.
         """
         self._check_stale()
-        if self._caches.matrix is None:
-            self.stats.misses += 1
-            self._build_matrix()
-        else:
-            self.stats.hits += 1
-        return self._caches.matrix
+        with self._lock:
+            if self._caches.matrix is None:
+                self.stats.misses += 1
+                self._build_matrix()
+            else:
+                self.stats.hits += 1
+            return self._caches.matrix
 
     def _build_matrix(self) -> None:
         kwargs = {}
@@ -452,6 +561,15 @@ class SimilarityEngine:
         if self._config.weights != "auto":
             name = self._config.weights
         return _WEIGHTS[name](self._config.c)
+
+    def resolve_node(self, node) -> int:
+        """Map an id or label to this graph's dense node id.
+
+        The public face of the engine's internal resolution rule,
+        used by the serving layer to pin label resolution to one
+        snapshot before batching.
+        """
+        return self._resolve(node)
 
     def _resolve(self, node) -> int:
         """Map an id or label to a dense node id.

@@ -1,0 +1,349 @@
+"""``python -m repro.serve`` — run and poke the similarity server.
+
+Subcommands::
+
+    serve    start the HTTP server (random graph, an edge-list file,
+             or the paper's Figure 1 graph)
+    status   GET /status from a running server and pretty-print it
+    warmup   POST /warmup to a running server
+    smoke    self-contained serving smoke test: ephemeral server,
+             concurrent clients, assert coalescing, write a latency
+             histogram (the CI job)
+
+Examples::
+
+    python -m repro.serve serve --nodes 2000 --edges 12000 --port 8321
+    curl -s localhost:8321/status | python -m json.tool
+    curl -s -X POST localhost:8321/top_k \
+        -d '{"query": 7, "k": 5}' | python -m json.tool
+    python -m repro.serve status --url http://localhost:8321
+    python -m repro.serve smoke --clients 64 --output smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.graph.digraph import DiGraph
+from repro.serve.http import serve_http
+from repro.serve.service import ServingService
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_graph_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--nodes", type=int, default=2000,
+        help="random-graph node count (default 2000)",
+    )
+    parser.add_argument(
+        "--edges", type=int, default=12000,
+        help="random-graph edge count (default 12000)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--edge-file", default=None,
+        help="serve a graph read from an edge-list file instead "
+        "(one 'u v' pair per line)",
+    )
+    parser.add_argument(
+        "--figure1", action="store_true",
+        help="serve the paper's 11-node Figure 1 citation graph",
+    )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--measure", default="gSR*")
+    parser.add_argument("-c", "--damping", type=float, default=0.6)
+    parser.add_argument("--num-iterations", type=int, default=10)
+    parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64"
+    )
+    parser.add_argument(
+        "--max-cached-columns", type=int, default=4096,
+        help="engine column-memo bound (default 4096; 0 = unbounded)",
+    )
+    parser.add_argument(
+        "--column-policy", choices=("lru", "fifo"), default="lru"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="broker micro-batch cap (default 32)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="broker linger after the first queued request "
+        "(default 2.0 ms)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=1024,
+        help="result-cache bound (default 1024; 0 disables)",
+    )
+
+
+def _build_graph(args) -> DiGraph:
+    if args.figure1:
+        from repro.graph import figure1_citation_graph
+
+        return figure1_citation_graph()
+    if args.edge_file is not None:
+        from repro.graph.io import read_edge_list
+
+        return read_edge_list(args.edge_file)
+    from repro.graph.generators import random_digraph
+
+    return random_digraph(args.nodes, args.edges, seed=args.seed)
+
+
+def _build_service(args) -> ServingService:
+    return ServingService(
+        _build_graph(args),
+        measure=args.measure,
+        c=args.damping,
+        num_iterations=args.num_iterations,
+        dtype=args.dtype,
+        max_cached_columns=args.max_cached_columns or None,
+        column_policy=args.column_policy,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_entries=args.cache_entries,
+    )
+
+
+def _http_json(
+    url: str, payload: dict | None = None, timeout: float = 30.0
+) -> dict:
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve similarity queries over HTTP with "
+        "micro-batch coalescing and snapshot hot-swap.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="start the HTTP server (runs until interrupted)"
+    )
+    _add_graph_options(serve)
+    _add_engine_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks an ephemeral one; default 8321)",
+    )
+    serve.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip pre-building Q/Q^T before accepting traffic",
+    )
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    for name, help_text in (
+        ("status", "fetch and print /status from a running server"),
+        ("warmup", "trigger /warmup on a running server"),
+    ):
+        client = sub.add_parser(name, help=help_text)
+        client.add_argument(
+            "--url", default="http://127.0.0.1:8321",
+            help="server base URL (default http://127.0.0.1:8321)",
+        )
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="self-contained serving smoke test (the CI job): "
+        "ephemeral server, concurrent clients, coalescing assert, "
+        "latency histogram",
+    )
+    _add_graph_options(smoke)
+    _add_engine_options(smoke)
+    smoke.add_argument(
+        "--clients", type=int, default=64,
+        help="concurrent HTTP clients (default 64)",
+    )
+    smoke.add_argument(
+        "--requests-per-client", type=int, default=2,
+        help="queries each client issues (default 2)",
+    )
+    smoke.add_argument("--k", type=int, default=10)
+    smoke.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral)",
+    )
+    smoke.add_argument(
+        "--output", default="SERVE_smoke.json",
+        help="latency-histogram report path "
+        "(default SERVE_smoke.json)",
+    )
+    smoke.set_defaults(nodes=800, edges=4800)
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    service = _build_service(args)
+    service.start_background()
+    if not args.no_warmup:
+        print("warming up (building Q / Q^T) ...", flush=True)
+        service.warmup()
+    server = serve_http(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    snapshot = service.snapshots.current
+    print(
+        f"serving {snapshot.graph!r} measure={args.measure} "
+        f"on {server.url}  (Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_client(args, endpoint: str, post: bool) -> int:
+    url = args.url.rstrip("/") + endpoint
+    try:
+        document = _http_json(url, payload={} if post else None)
+    except OSError as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    from repro.bench.loadgen import LatencyStats
+
+    service = _build_service(args)
+    service.start_background()
+    service.warmup()
+    server = serve_http(service, port=args.port, background=True)
+    url = server.url
+    total = args.clients * args.requests_per_client
+    print(
+        f"smoke: {args.clients} clients x "
+        f"{args.requests_per_client} requests against {url}",
+        flush=True,
+    )
+
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed)
+    nodes = service.snapshots.current.graph.num_nodes
+    queries = rng.permutation(nodes)[:total] if total <= nodes else (
+        rng.integers(0, nodes, size=total)
+    )
+    streams = [
+        [int(q) for q in queries[i::args.clients]]
+        for i in range(args.clients)
+    ]
+    failures: list[str] = []
+    latencies: list[float] = []
+
+    def client(stream: list[int]) -> list[float]:
+        lat = []
+        for q in stream:
+            t0 = time.perf_counter()
+            try:
+                document = _http_json(
+                    f"{url}/top_k", {"query": q, "k": args.k}
+                )
+                if "results" not in document:
+                    failures.append(f"query {q}: {document}")
+            except Exception as exc:
+                failures.append(f"query {q}: {exc}")
+            lat.append(time.perf_counter() - t0)
+        return lat
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=args.clients) as pool:
+        for lat in pool.map(client, streams):
+            latencies.extend(lat)
+    wall = time.perf_counter() - wall_start
+
+    status = _http_json(f"{url}/status")
+    server.stop()
+    service.close()
+
+    broker = status["broker"]
+    checks = {
+        "all_requests_answered": not failures,
+        "every_request_dispatched_or_cached": (
+            broker["dispatched"] + broker["cache_hits"] >= total
+        ),
+        "coalescing_happened": broker["largest_batch"] >= 2
+        and broker["coalesced_requests"] > 0,
+        "fewer_batches_than_requests": (
+            broker["batches"] < broker["dispatched"]
+        ),
+    }
+    report = {
+        "url": url,
+        "total_requests": total,
+        "wall_seconds": wall,
+        "requests_per_second": total / wall if wall > 0 else 0.0,
+        "latency": LatencyStats.from_seconds(latencies).to_dict(),
+        "broker": broker,
+        "checks": checks,
+        "failures": failures[:10],
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"  {total} requests in {wall * 1e3:.0f} ms "
+        f"({report['requests_per_second']:.0f} rps), "
+        f"p50 {report['latency']['p50_ms']:.1f} ms / "
+        f"p99 {report['latency']['p99_ms']:.1f} ms"
+    )
+    print(
+        f"  batches={broker['batches']} "
+        f"mean_batch={broker['mean_batch_size']:.1f} "
+        f"largest={broker['largest_batch']}"
+    )
+    print(f"wrote {out}")
+    for name, passed in checks.items():
+        print(f"  {'ok' if passed else 'FAIL'} {name}")
+    if not all(checks.values()):
+        if failures:
+            print(f"  first failure: {failures[0]}", file=sys.stderr)
+        print("serving smoke test FAILED", file=sys.stderr)
+        return 1
+    print("serving smoke test passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_client(args, "/status", post=False)
+    if args.command == "warmup":
+        return _cmd_client(args, "/warmup", post=True)
+    if args.command == "smoke":
+        return _cmd_smoke(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""The asyncio request broker: coalesce arrivals into blocked batches.
+
+Queries arrive one at a time — a recommender asks for one user's
+top-k, an HTTP thread asks for one pair score — but the blocked
+multi-source kernel (PR 2) answers a *batch* of columns for barely
+more than one. The broker closes that gap: requests land on an
+``asyncio.Queue``; a single dispatcher task takes the first request,
+then keeps collecting until either ``max_batch`` requests are in hand
+or ``max_wait_ms`` has elapsed since the first one, and dispatches the
+whole micro-batch through one
+:meth:`~repro.engine.SimilarityEngine.columns` call (one blocked
+walk). While a batch computes in the executor, new arrivals pile up on
+the queue, so sustained load coalesces even harder — classic
+backpressure batching, as in index-serving systems built on
+shared-precomputation similarity search (SLING-style serving).
+
+Each batch pins one :class:`~repro.serve.snapshot.Snapshot` for its
+whole lifetime, so a concurrent hot-swap never mixes generations
+within a batch. Answers are published to the versioned
+:class:`~repro.serve.cache.ResultCache` (when one is attached) before
+the caller's future resolves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.engine.results import Ranking
+from repro.serve.cache import ResultCache
+from repro.serve.snapshot import Snapshot, SnapshotManager
+
+__all__ = ["BrokerStats", "QueryBroker"]
+
+_STOP = object()
+
+
+@dataclass
+class BrokerStats:
+    """Counters proving (or disproving) that coalescing happened."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    dispatched: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    largest_batch: int = 0
+    errors: int = 0
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.dispatched / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        out = dict(self.__dict__)
+        out["batch_sizes"] = {
+            str(size): count
+            for size, count in sorted(self.batch_sizes.items())
+        }
+        out["mean_batch_size"] = self.mean_batch_size
+        return out
+
+
+class _Request:
+    """One pending query: what was asked, and the future to resolve."""
+
+    __slots__ = ("kind", "node", "u", "k", "include_query", "future")
+
+    def __init__(
+        self,
+        kind: str,
+        node,
+        *,
+        u=None,
+        k: int = 10,
+        include_query: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.node = int(node) if isinstance(node, (int, np.integer)) else node
+        self.u = int(u) if isinstance(u, (int, np.integer)) else u
+        self.k = int(k)
+        self.include_query = bool(include_query)
+        self.future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    def cache_key(self, snapshot: Snapshot, config_key) -> tuple:
+        return (
+            snapshot.seq,
+            snapshot.version,
+            config_key,
+            self.kind,
+            self.node,
+            self.u,
+            self.k,
+            self.include_query,
+        )
+
+
+class QueryBroker:
+    """Coalesce independently arriving queries into blocked batches.
+
+    Parameters
+    ----------
+    snapshots:
+        The :class:`SnapshotManager` whose ``current`` engine answers
+        each batch.
+    max_batch:
+        Hard cap on requests per dispatched batch.
+    max_wait_ms:
+        How long the dispatcher lingers after the *first* request of a
+        batch before dispatching a partial one. ``0`` still coalesces
+        everything already queued (pure backpressure batching), it
+        just never waits for stragglers.
+    cache:
+        Optional :class:`ResultCache`; hits are served before the
+        request ever queues.
+    """
+
+    def __init__(
+        self,
+        snapshots: SnapshotManager,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        self._snapshots = snapshots
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1e3
+        self._cache = cache
+        self._config_key = snapshots.config
+        self.stats = BrokerStats()
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    async def start(self) -> None:
+        """Start the dispatcher task on the running event loop."""
+        if self.running:
+            raise RuntimeError("broker already running")
+        self._queue = asyncio.Queue()
+        self._stopping = False
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-serve-broker"
+        )
+
+    async def stop(self) -> None:
+        """Drain-stop: dispatched work finishes, queued work fails."""
+        if self._task is None:
+            return
+        self._stopping = True
+        await self._queue.put(_STOP)
+        await self._task
+        self._task = None
+        # anything still queued after the dispatcher exited gets an
+        # explicit failure instead of hanging its awaiter forever
+        while not self._queue.empty():
+            request = self._queue.get_nowait()
+            if request is _STOP:
+                continue
+            if not request.future.done():
+                request.future.set_exception(
+                    RuntimeError("broker stopped")
+                )
+
+    # ------------------------------------------------------------------
+    # public query surface
+    # ------------------------------------------------------------------
+    async def top_k(
+        self, query, k: int = 10, include_query: bool = False
+    ) -> Ranking:
+        """The coalesced equivalent of ``engine.top_k``."""
+        if k < 0:
+            # reject before queueing: a bad parameter must fail its
+            # own caller, never reach the shared dispatcher
+            raise ValueError(f"k must be >= 0, got {k}")
+        return await self._submit(
+            _Request("top_k", query, k=k, include_query=include_query)
+        )
+
+    async def score(self, u, v) -> float:
+        """The coalesced equivalent of ``engine.score``."""
+        return await self._submit(_Request("score", v, u=u))
+
+    async def _submit(self, request: _Request):
+        if not self.running:
+            raise RuntimeError(
+                "broker is not running (use ServingService as an "
+                "async context manager, or call start())"
+            )
+        self.stats.requests += 1
+        if self._cache is not None:
+            cached = self._cache.get(
+                request.cache_key(
+                    self._snapshots.current, self._config_key
+                )
+            )
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        await self._queue.put(request)
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = loop.time() + self.max_wait
+            stop_seen = False
+            while len(batch) < self.max_batch:
+                # drain whatever is already queued for free —
+                # asyncio.wait_for spawns a task + timer per call, a
+                # real per-request cost at serving rates, so it is
+                # reserved for genuinely waiting on stragglers
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if item is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(item)
+            try:
+                await self._dispatch(batch)
+            except Exception as exc:
+                # last line of defence: _dispatch handles per-request
+                # failures itself, but the dispatcher task dying would
+                # brick the whole broker — fail this batch and live on
+                for request in batch:
+                    self.stats.errors += 1
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+            if stop_seen or (self._stopping and self._queue.empty()):
+                return
+
+    async def _dispatch(self, batch: list[_Request]) -> None:
+        snapshot = self._snapshots.current  # pinned for the batch
+        engine = snapshot.engine
+        size = len(batch)
+        self.stats.batches += 1
+        self.stats.dispatched += size
+        self.stats.largest_batch = max(self.stats.largest_batch, size)
+        self.stats.batch_sizes[size] = (
+            self.stats.batch_sizes.get(size, 0) + 1
+        )
+        if size > 1:
+            self.stats.coalesced_requests += size
+
+        work: list[tuple[_Request, int, int | None]] = []
+        for request in batch:
+            try:
+                node = engine.resolve_node(request.node)
+                extra = (
+                    engine.resolve_node(request.u)
+                    if request.kind == "score"
+                    else None
+                )
+            except Exception as exc:
+                self.stats.errors += 1
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                continue
+            work.append((request, node, extra))
+        if not work:
+            return
+
+        ids = [node for _, node, _ in work]
+        try:
+            columns = await asyncio.get_running_loop().run_in_executor(
+                None, engine.columns, ids
+            )
+        except Exception as exc:
+            self.stats.errors += len(work)
+            for request, _, _ in work:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+
+        labels = engine.graph.labels
+        for request, node, extra in work:
+            # per-request: a render failure (bad k, exotic payload)
+            # fails its own future only — the dispatcher and the rest
+            # of the batch must survive any single request
+            try:
+                column = columns[node]
+                result: Any
+                if request.kind == "top_k":
+                    result = Ranking.from_scores(
+                        column,
+                        query=node,
+                        k=request.k,
+                        labels=labels,
+                        include_query=request.include_query,
+                        measure=engine.measure.name,
+                    )
+                else:
+                    result = float(column[extra])
+                if self._cache is not None:
+                    self._cache.put(
+                        request.cache_key(snapshot, self._config_key),
+                        result,
+                    )
+            except Exception as exc:
+                self.stats.errors += 1
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                continue
+            if not request.future.done():
+                request.future.set_result(result)

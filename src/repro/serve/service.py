@@ -1,0 +1,221 @@
+"""`ServingService` — the one object that is "the server".
+
+Wires a :class:`~repro.serve.snapshot.SnapshotManager`, a
+:class:`~repro.serve.cache.ResultCache`, and a
+:class:`~repro.serve.broker.QueryBroker` together and owns their
+lifecycle. Two ways to run it:
+
+* **async-native** (tests, notebooks, an existing event loop)::
+
+      async with ServingService(graph, measure="gSR*") as service:
+          ranking = await service.top_k("h", k=5)
+
+* **background loop** (the HTTP front end, sync callers)::
+
+      service = ServingService(graph)
+      service.start_background()
+      ranking = service.top_k_sync("h", k=5)   # thread-safe
+      service.close()
+
+The sync methods submit coroutines to the service's private event
+loop with ``run_coroutine_threadsafe``, so sixty-four HTTP handler
+threads all funnel into the same coalescing broker — which is the
+entire point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Iterable, Sequence
+
+from repro.engine.config import SimilarityConfig
+from repro.engine.results import Ranking
+from repro.graph.digraph import DiGraph
+from repro.serve.broker import QueryBroker
+from repro.serve.cache import ResultCache
+from repro.serve.snapshot import Snapshot, SnapshotManager
+
+__all__ = ["ServingService"]
+
+
+class ServingService:
+    """A long-running similarity query service over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve (copied into the first snapshot).
+    config:
+        Optional :class:`~repro.engine.SimilarityConfig`; engine
+        keyword overrides (``measure=``, ``c=``, ...) may be passed
+        directly.
+    max_batch / max_wait_ms:
+        Broker coalescing knobs — see
+        :class:`~repro.serve.broker.QueryBroker`.
+    cache_entries:
+        Result-cache bound; ``0`` disables the result cache entirely
+        (every request goes through the broker).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: SimilarityConfig | None = None,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_entries: int = 1024,
+        **overrides,
+    ) -> None:
+        self.snapshots = SnapshotManager(graph, config, **overrides)
+        self.cache = (
+            ResultCache(cache_entries) if cache_entries else None
+        )
+        self.broker = QueryBroker(
+            self.snapshots,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            cache=self.cache,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started_monotonic = time.monotonic()
+
+    @property
+    def config(self) -> SimilarityConfig:
+        return self.snapshots.config
+
+    # ------------------------------------------------------------------
+    # async lifecycle + queries
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "ServingService":
+        await self.broker.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.broker.stop()
+
+    async def top_k(
+        self, query, k: int = 10, include_query: bool = False
+    ) -> Ranking:
+        """Coalesced top-k (see :meth:`QueryBroker.top_k`)."""
+        return await self.broker.top_k(
+            query, k=k, include_query=include_query
+        )
+
+    async def score(self, u, v) -> float:
+        """Coalesced pair score (see :meth:`QueryBroker.score`)."""
+        return await self.broker.score(u, v)
+
+    # ------------------------------------------------------------------
+    # background-loop lifecycle + sync queries
+    # ------------------------------------------------------------------
+    def start_background(self) -> None:
+        """Run the broker on a private event loop in a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("service already running in background")
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.broker.start())
+            started.set()
+            loop.run_forever()
+            # drain-stop once run_forever is released by close()
+            loop.run_until_complete(self.broker.stop())
+            loop.close()
+
+        self._loop = loop
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop the background loop (no-op if not running)."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+        self._loop = None
+
+    def submit(self, coro):
+        """Schedule a coroutine on the service loop (thread-safe).
+
+        Returns the ``concurrent.futures.Future`` from
+        :func:`asyncio.run_coroutine_threadsafe`.
+        """
+        if self._loop is None:
+            coro.close()  # avoid a never-awaited warning
+            raise RuntimeError(
+                "background loop not running; call start_background()"
+            )
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def top_k_sync(
+        self,
+        query,
+        k: int = 10,
+        include_query: bool = False,
+        timeout: float | None = 30.0,
+    ) -> Ranking:
+        """Blocking top-k from any thread (funnels into the broker)."""
+        return self.submit(
+            self.top_k(query, k=k, include_query=include_query)
+        ).result(timeout)
+
+    def score_sync(self, u, v, timeout: float | None = 30.0) -> float:
+        """Blocking pair score from any thread."""
+        return self.submit(self.score(u, v)).result(timeout)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def warmup(self) -> dict:
+        """Pre-build the current snapshot's shared artifacts."""
+        return self.snapshots.warmup()
+
+    def mutate(
+        self,
+        add: Iterable[Sequence] = (),
+        remove: Iterable[Sequence] = (),
+    ) -> Snapshot:
+        """Apply graph edits via background build + snapshot hot-swap.
+
+        Safe to call from any thread while queries are in flight:
+        batches pinned to the old snapshot finish on it, later
+        batches see the new one.
+        """
+        return self.snapshots.mutate(add=add, remove=remove)
+
+    def status(self) -> dict:
+        """A JSON-ready status document (the ``/status`` endpoint)."""
+        return {
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "config": {
+                "measure": self.config.measure,
+                "c": self.config.c,
+                "num_iterations": self.config.num_iterations,
+                "epsilon": self.config.epsilon,
+                "weights": self.config.weights,
+                "dtype": self.config.dtype,
+                "max_cached_columns": self.config.max_cached_columns,
+                "column_policy": self.config.column_policy,
+            },
+            "batching": {
+                "max_batch": self.broker.max_batch,
+                "max_wait_ms": self.broker.max_wait * 1e3,
+            },
+            "broker": self.broker.stats.snapshot(),
+            "cache": (
+                self.cache.stats.snapshot()
+                if self.cache is not None
+                else None
+            ),
+            "snapshots": self.snapshots.describe(),
+        }

@@ -1,0 +1,188 @@
+"""Immutable serving snapshots and the hot-swap that replaces them.
+
+A :class:`Snapshot` pins one ``(graph copy, engine)`` pair for the
+lifetime of every query dispatched against it. Mutations never touch a
+live snapshot: :meth:`SnapshotManager.mutate` copies the current
+graph, applies the edits, builds (and warms) a fresh
+:class:`~repro.engine.SimilarityEngine` on the copy, and only then
+swaps the ``current`` pointer — an atomic reference assignment under a
+lock. Queries that grabbed the old snapshot before the swap finish on
+it untouched; the old engine is garbage-collected once the last
+in-flight batch drops its reference. That is the classic index-server
+"build offline, flip a pointer" discipline, applied to the paper's
+preprocess-once regime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.engine.config import SimilarityConfig
+from repro.engine.engine import SimilarityEngine
+from repro.graph.digraph import DiGraph
+
+__all__ = ["Snapshot", "SnapshotManager"]
+
+
+class Snapshot:
+    """One immutable generation of the served graph.
+
+    Attributes
+    ----------
+    engine:
+        The :class:`~repro.engine.SimilarityEngine` answering queries
+        for this generation. Its graph is private to the snapshot.
+    seq:
+        Monotonic generation number (0 for the initial snapshot).
+    version:
+        The underlying graph's mutation counter at snapshot build
+        time — part of every result-cache key.
+    """
+
+    __slots__ = ("engine", "seq", "version")
+
+    def __init__(self, engine: SimilarityEngine, seq: int) -> None:
+        self.engine = engine
+        self.seq = seq
+        self.version = engine.graph.version
+
+    @property
+    def graph(self) -> DiGraph:
+        return self.engine.graph
+
+    def describe(self) -> dict:
+        """A JSON-ready summary (the ``/status`` endpoint's shape)."""
+        graph = self.engine.graph
+        return {
+            "seq": self.seq,
+            "version": self.version,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "measure": self.engine.measure.name,
+            "engine_stats": self.engine.stats.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(seq={self.seq}, version={self.version}, "
+            f"graph={self.engine.graph!r})"
+        )
+
+
+class SnapshotManager:
+    """Owns the ``current`` snapshot and performs atomic hot-swaps.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph. It is **copied** — the manager's snapshots
+        never alias caller-owned mutable state, so external mutation
+        of ``graph`` cannot corrupt serving (pass ``copy=False`` to
+        opt out when the caller hands over ownership).
+    config:
+        A :class:`~repro.engine.SimilarityConfig`; keyword overrides
+        may be passed instead of (or on top of) it, mirroring
+        :class:`~repro.engine.SimilarityEngine`.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: SimilarityConfig | None = None,
+        *,
+        copy: bool = True,
+        **overrides,
+    ) -> None:
+        if config is None:
+            config = SimilarityConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self._swap_lock = threading.Lock()   # guards `_current`
+        self._build_lock = threading.Lock()  # serialises rebuilds
+        self.builds = 0
+        self.swaps = 0
+        engine = SimilarityEngine(
+            graph.copy() if copy else graph, config
+        )
+        self._current = Snapshot(engine, seq=0)
+
+    @property
+    def current(self) -> Snapshot:
+        """The snapshot serving new queries right now.
+
+        Callers must read this **once** per logical operation and use
+        the returned object throughout — re-reading mid-operation may
+        observe a swap.
+        """
+        with self._swap_lock:
+            return self._current
+
+    def warmup(self) -> dict:
+        """Force-build the current engine's shared artifacts.
+
+        Builds ``Q`` / ``Q^T`` (and the compressed graph when the
+        measure consumes it) so the first real query pays only its
+        own walk. Returns the engine's stats snapshot.
+        """
+        snapshot = self.current
+        engine = snapshot.engine
+        engine.transition_t  # builds transition as a dependency
+        if "compressed" in engine.measure.uses:
+            engine.compressed
+        return engine.stats.snapshot()
+
+    def mutate(
+        self,
+        add: Iterable[Sequence] = (),
+        remove: Iterable[Sequence] = (),
+    ) -> Snapshot:
+        """Apply edge edits through a background build and hot-swap.
+
+        ``add`` / ``remove`` are iterables of ``(u, v)`` pairs (ids or
+        labels, resolved against the *pre-mutation* snapshot). The new
+        engine is built and warmed entirely off to the side; the old
+        snapshot keeps serving until the atomic pointer swap, and
+        in-flight queries that pinned it finish on it afterwards.
+
+        Returns the new :class:`Snapshot`. Raises (and swaps nothing)
+        if any edit is invalid — a failed mutation leaves serving
+        untouched.
+        """
+        add = list(add)
+        remove = list(remove)
+        with self._build_lock:
+            base = self.current
+            graph = base.graph.copy()
+            resolve = base.engine.resolve_node
+            for u, v in add:
+                graph.add_edge(resolve(u), resolve(v))
+            for u, v in remove:
+                graph.remove_edge(resolve(u), resolve(v))
+            engine = SimilarityEngine(graph, self.config)
+            # warm the expensive shared artifacts *before* the swap so
+            # post-swap first queries pay only their own walk
+            engine.transition_t
+            if "compressed" in engine.measure.uses:
+                engine.compressed
+            self.builds += 1
+            fresh = Snapshot(engine, seq=base.seq + 1)
+            with self._swap_lock:
+                self._current = fresh
+                self.swaps += 1
+        return fresh
+
+    def describe(self) -> dict:
+        """JSON-ready manager state: current snapshot + swap counters."""
+        return {
+            "current": self.current.describe(),
+            "builds": self.builds,
+            "swaps": self.swaps,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotManager(current={self.current!r}, "
+            f"swaps={self.swaps})"
+        )

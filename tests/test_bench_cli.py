@@ -161,3 +161,66 @@ class TestRunner:
             slower, document, threshold=3.0, min_gate_seconds=0.0
         )
         assert not ok
+
+
+class TestListFlag:
+    def test_list_enumerates_cases_without_running(self, tmp_path, capsys):
+        code = main(["--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for case in (
+            "build_transition",
+            "batch_blocked_kernel",
+            "engine_batch_top_k",
+            "serving_load",
+        ):
+            assert case in out
+        # nothing was written
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_list_wins_over_run_flags(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_x.json"
+        code = main(["--list", "--tag", "x", "--output", str(out_file)])
+        assert code == 0
+        assert not out_file.exists()
+
+
+class TestServingLoad:
+    def test_serve_flag_embeds_serving_document(self, tmp_path, capsys):
+        code, out = run_tiny(
+            tmp_path, "--serve", "--clients", "4",
+            "--requests-per-client", "2", "--max-wait-ms", "1.0",
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        serving = document["serving"]
+        assert serving["params"]["clients"] == 4
+        assert serving["params"]["total_requests"] == 8
+        assert serving["sequential"]["requests_per_second"] > 0
+        assert serving["coalesced"]["requests_per_second"] > 0
+        assert serving["speedup_throughput"] > 0
+        latency = serving["coalesced"]["latency"]
+        assert latency["count"] == 8
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert sum(latency["histogram"].values()) == 8
+        assert serving["broker"]["dispatched"] >= 8
+
+    def test_loadgen_latency_stats(self):
+        from repro.bench.loadgen import LatencyStats
+
+        stats = LatencyStats.from_seconds(
+            [0.001, 0.002, 0.004, 0.1]
+        )
+        assert stats.count == 4
+        assert stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+        assert stats.max_ms == pytest.approx(100.0)
+        assert sum(stats.histogram.values()) == 4
+        assert stats.histogram["<2ms"] == 1     # the 1.0 ms sample
+        assert stats.histogram["<4ms"] == 1     # the 2.0 ms sample
+        assert stats.histogram["<128ms"] == 1   # the 100 ms sample
+
+    def test_loadgen_rejects_empty_samples(self):
+        from repro.bench.loadgen import LatencyStats
+
+        with pytest.raises(ValueError):
+            LatencyStats.from_seconds([])

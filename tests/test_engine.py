@@ -652,3 +652,159 @@ class TestRankingSelection:
             col, np.asarray(engine.matrix())[:, 3]
         )
         assert engine.score(2, 3) == np.asarray(engine.matrix())[2, 3]
+
+
+class TestColumnMemoBound:
+    """SimilarityConfig.max_cached_columns: LRU/FIFO eviction."""
+
+    def test_unbounded_by_default(self):
+        g = random_digraph(40, 200, seed=20)
+        engine = SimilarityEngine(g, num_iterations=5)
+        for q in range(30):
+            engine.single_source(q)
+        assert len(engine._caches.columns) == 30
+        assert engine.stats.column_evictions == 0
+
+    def test_lru_bound_evicts_and_counts(self):
+        g = random_digraph(40, 200, seed=21)
+        engine = SimilarityEngine(
+            g, num_iterations=5, max_cached_columns=4
+        )
+        for q in range(10):
+            engine.single_source(q)
+        assert len(engine._caches.columns) == 4
+        assert engine.stats.column_evictions == 6
+        # most recent queries survived
+        assert all(q in engine._caches.columns for q in (6, 7, 8, 9))
+
+    def test_lru_recency_refreshed_by_serving(self):
+        g = random_digraph(40, 200, seed=22)
+        engine = SimilarityEngine(
+            g, num_iterations=5, max_cached_columns=2
+        )
+        engine.single_source(0)
+        engine.single_source(1)
+        engine.single_source(0)   # refresh 0: 1 is now least recent
+        engine.single_source(2)   # evicts 1
+        assert 0 in engine._caches.columns
+        assert 1 not in engine._caches.columns
+
+    def test_fifo_policy_ignores_recency(self):
+        g = random_digraph(40, 200, seed=23)
+        engine = SimilarityEngine(
+            g, num_iterations=5, max_cached_columns=2,
+            column_policy="fifo",
+        )
+        engine.single_source(0)
+        engine.single_source(1)
+        engine.single_source(0)   # a hit, but FIFO does not care
+        engine.single_source(2)   # evicts 0 (oldest compute)
+        assert 0 not in engine._caches.columns
+        assert 1 in engine._caches.columns
+
+    def test_evicted_column_recomputes_identically(self):
+        g = random_digraph(40, 200, seed=24)
+        bounded = SimilarityEngine(
+            g, num_iterations=5, max_cached_columns=1
+        )
+        unbounded = SimilarityEngine(g, num_iterations=5)
+        first = unbounded.single_source(3).copy()
+        bounded.single_source(3)
+        bounded.single_source(4)  # evicts 3
+        np.testing.assert_allclose(bounded.single_source(3), first)
+        assert bounded.stats.column_computes == 3
+
+    def test_batch_wider_than_bound_still_answers_every_query(self):
+        g = random_digraph(40, 200, seed=25)
+        bounded = SimilarityEngine(
+            g, num_iterations=5, max_cached_columns=2
+        )
+        reference = SimilarityEngine(g, num_iterations=5)
+        queries = list(range(8))
+        got = bounded.batch_top_k(queries, k=3)
+        expected = reference.batch_top_k(queries, k=3)
+        assert got == expected
+        assert len(bounded._caches.columns) == 2
+        assert bounded.stats.column_evictions == 6
+
+    def test_invalidate_resets_memo_but_keeps_eviction_stat(self):
+        g = random_digraph(40, 200, seed=26)
+        engine = SimilarityEngine(
+            g, num_iterations=5, max_cached_columns=1
+        )
+        engine.single_source(0)
+        engine.single_source(1)
+        assert engine.stats.column_evictions == 1
+        engine.invalidate()
+        assert len(engine._caches.columns) == 0
+        assert engine.stats.column_evictions == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_cached_columns"):
+            SimilarityConfig(max_cached_columns=0)
+        with pytest.raises(ValueError, match="max_cached_columns"):
+            SimilarityConfig(max_cached_columns=True)
+        with pytest.raises(ValueError, match="column_policy"):
+            SimilarityConfig(column_policy="random")
+        cfg = SimilarityConfig(max_cached_columns=8,
+                               column_policy="fifo")
+        assert cfg.max_cached_columns == 8
+
+
+class TestThreadSafety:
+    """Concurrent first queries must build shared artifacts once."""
+
+    def test_concurrent_first_queries_single_build(self):
+        import concurrent.futures
+
+        g = random_digraph(60, 300, seed=27)
+        engine = SimilarityEngine(g, num_iterations=6)
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = list(
+                pool.map(engine.single_source, [q % 4 for q in range(32)])
+            )
+        assert engine.stats.transition_builds == 1
+        assert engine.stats.column_computes <= 4
+        reference = SimilarityEngine(g, num_iterations=6)
+        for q, scores in zip([q % 4 for q in range(32)], results):
+            np.testing.assert_allclose(
+                scores, reference.single_source(q)
+            )
+
+    def test_concurrent_artifact_touch_single_build(self):
+        import concurrent.futures
+
+        g = random_digraph(60, 300, seed=28)
+        engine = SimilarityEngine(
+            g, measure="memo-gSR*", num_iterations=5
+        )
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            list(pool.map(
+                lambda _: (engine.transition_t, engine.compressed),
+                range(16),
+            ))
+        assert engine.stats.transition_builds == 1
+        assert engine.stats.compression_builds == 1
+
+    def test_concurrent_matrix_single_build(self):
+        import concurrent.futures
+
+        g = random_digraph(40, 200, seed=29)
+        engine = SimilarityEngine(g, num_iterations=5)
+        with concurrent.futures.ThreadPoolExecutor(6) as pool:
+            matrices = list(
+                pool.map(lambda _: engine.matrix(), range(12))
+            )
+        assert engine.stats.matrix_builds == 1
+        assert all(m is matrices[0] for m in matrices)
+
+    def test_columns_api_dedups_and_returns_all(self):
+        g = random_digraph(40, 200, seed=30)
+        engine = SimilarityEngine(g, num_iterations=5)
+        cols = engine.columns([3, 5, 3, 7])
+        assert set(cols) == {3, 5, 7}
+        assert engine.stats.column_computes == 3
+        np.testing.assert_array_equal(
+            cols[5], engine.single_source(5)
+        )
+        assert engine.stats.hits == 1

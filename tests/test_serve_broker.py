@@ -1,0 +1,321 @@
+"""Tests for the coalescing request broker and the serving facade."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import SimilarityEngine
+from repro.graph import figure1_citation_graph, random_digraph
+from repro.serve import QueryBroker, ServingService, SnapshotManager
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(graph=None, **kwargs):
+    if graph is None:
+        graph = random_digraph(60, 300, seed=3)
+    kwargs.setdefault("num_iterations", 6)
+    return ServingService(graph, **kwargs)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_batches(self):
+        service = make_service(max_batch=16, max_wait_ms=5.0)
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    *(service.top_k(q, k=5) for q in range(32))
+                )
+
+        rankings = run(drive())
+        assert len(rankings) == 32
+        stats = service.broker.stats
+        assert stats.requests == 32
+        assert stats.dispatched == 32
+        assert stats.batches < 32            # coalescing happened
+        assert stats.largest_batch > 1
+        assert stats.largest_batch <= 16     # max_batch respected
+        assert stats.coalesced_requests > 0
+        assert sum(
+            size * count for size, count in stats.batch_sizes.items()
+        ) == 32
+
+    def test_coalesced_answers_match_engine_answers(self):
+        graph = random_digraph(50, 250, seed=4)
+        service = make_service(graph.copy(), max_batch=8)
+        engine = SimilarityEngine(graph, num_iterations=6)
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    *(service.top_k(q, k=4) for q in range(20))
+                )
+
+        rankings = run(drive())
+        for q, ranking in enumerate(rankings):
+            assert ranking == engine.top_k(q, k=4)
+
+    def test_score_requests_ride_the_same_batches(self):
+        graph = figure1_citation_graph()
+        service = make_service(graph.copy(), num_iterations=10)
+        engine = SimilarityEngine(graph, num_iterations=10)
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    service.score("h", "d"),
+                    service.score("i", "j"),
+                    service.top_k("h", k=3),
+                )
+
+        s1, s2, ranking = run(drive())
+        assert s1 == pytest.approx(engine.score("h", "d"))
+        assert s2 == pytest.approx(engine.score("i", "j"))
+        assert ranking == engine.top_k("h", k=3)
+
+    def test_max_batch_one_still_serves(self):
+        service = make_service(max_batch=1, max_wait_ms=0.0)
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    *(service.top_k(q, k=3) for q in range(6))
+                )
+
+        assert len(run(drive())) == 6
+        stats = service.broker.stats
+        assert stats.batches == 6
+        assert stats.largest_batch == 1
+
+    def test_duplicate_queries_in_one_batch_share_one_walk(self):
+        service = make_service(max_batch=32, max_wait_ms=5.0)
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    *(service.top_k(7, k=3) for _ in range(10))
+                )
+
+        rankings = run(drive())
+        assert all(r == rankings[0] for r in rankings)
+        engine = service.snapshots.current.engine
+        # one column compute regardless of how many callers asked
+        assert engine.stats.column_computes == 1
+
+
+class TestCacheIntegration:
+    def test_repeat_round_hits_result_cache(self):
+        service = make_service(cache_entries=256, max_batch=8)
+
+        async def drive():
+            async with service:
+                first = await asyncio.gather(
+                    *(service.top_k(q, k=5) for q in range(8))
+                )
+                second = await asyncio.gather(
+                    *(service.top_k(q, k=5) for q in range(8))
+                )
+                return first, second
+
+        first, second = run(drive())
+        assert first == second
+        assert service.broker.stats.cache_hits == 8
+        assert service.cache.stats.hits == 8
+
+    def test_different_k_is_a_different_cache_entry(self):
+        service = make_service(cache_entries=256)
+
+        async def drive():
+            async with service:
+                a = await service.top_k(3, k=3)
+                b = await service.top_k(3, k=5)
+                return a, b
+
+        a, b = run(drive())
+        assert len(a) == 3 and len(b) == 5
+        assert service.broker.stats.cache_hits == 0
+
+    def test_cache_disabled_with_zero_entries(self):
+        service = make_service(cache_entries=0)
+        assert service.cache is None
+
+        async def drive():
+            async with service:
+                await service.top_k(1, k=3)
+                await service.top_k(1, k=3)
+
+        run(drive())
+        # second request is a broker round-trip but an engine memo hit
+        assert service.broker.stats.dispatched == 2
+
+
+class TestErrors:
+    def test_unknown_label_fails_only_its_own_request(self):
+        service = make_service(
+            figure1_citation_graph(), num_iterations=8
+        )
+
+        async def drive():
+            async with service:
+                good, bad = await asyncio.gather(
+                    service.top_k("h", k=3),
+                    service.top_k("no-such-node", k=3),
+                    return_exceptions=True,
+                )
+                return good, bad
+
+        good, bad = run(drive())
+        assert not isinstance(good, Exception)
+        assert isinstance(bad, KeyError)
+        assert service.broker.stats.errors == 1
+
+    def test_out_of_range_id_raises(self):
+        service = make_service()
+
+        async def drive():
+            async with service:
+                await service.top_k(10_000, k=3)
+
+        with pytest.raises(IndexError):
+            run(drive())
+
+    def test_submit_without_start_raises(self):
+        service = make_service()
+
+        async def drive():
+            await service.top_k(0, k=3)
+
+        with pytest.raises(RuntimeError, match="not running"):
+            run(drive())
+
+    def test_broker_validates_knobs(self):
+        manager = SnapshotManager(
+            random_digraph(10, 30, seed=0), num_iterations=4
+        )
+        with pytest.raises(ValueError):
+            QueryBroker(manager, max_batch=0)
+        with pytest.raises(ValueError):
+            QueryBroker(manager, max_wait_ms=-1.0)
+
+
+class TestBackgroundLoop:
+    def test_sync_queries_from_threads_funnel_into_broker(self):
+        import threading
+
+        service = make_service(max_batch=16, max_wait_ms=10.0)
+        service.start_background()
+        try:
+            results = {}
+            barrier = threading.Barrier(8)
+
+            def worker(q):
+                barrier.wait()
+                results[q] = service.top_k_sync(q, k=4)
+
+            threads = [
+                threading.Thread(target=worker, args=(q,))
+                for q in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 8
+            assert service.broker.stats.largest_batch > 1
+        finally:
+            service.close()
+
+    def test_close_is_idempotent(self):
+        service = make_service()
+        service.start_background()
+        service.close()
+        service.close()  # no-op
+
+    def test_sync_without_background_raises(self):
+        service = make_service()
+        with pytest.raises(RuntimeError, match="background loop"):
+            service.top_k_sync(0)
+
+
+class TestStatus:
+    def test_status_document_shape(self):
+        service = make_service(cache_entries=32)
+
+        async def drive():
+            async with service:
+                await service.top_k(0, k=3)
+
+        run(drive())
+        status = service.status()
+        assert status["broker"]["requests"] == 1
+        assert status["batching"]["max_batch"] == 32
+        assert status["cache"]["entries"] == 1
+        assert status["snapshots"]["current"]["seq"] == 0
+        assert status["config"]["measure"] == "gSR*"
+        assert status["uptime_seconds"] >= 0
+        # JSON-serialisable end to end
+        import json
+
+        json.dumps(status)
+
+
+class TestMalformedRequestsDoNotBrickTheBroker:
+    def test_bad_k_fails_its_caller_only(self):
+        service = make_service(max_batch=8, max_wait_ms=5.0)
+
+        async def drive():
+            async with service:
+                bad, good = await asyncio.gather(
+                    service.top_k(0, k=-1),
+                    service.top_k(1, k=3),
+                    return_exceptions=True,
+                )
+                # the broker survived: a later request still answers
+                later = await service.top_k(2, k=3)
+                return bad, good, later
+
+        bad, good, later = run(drive())
+        assert isinstance(bad, ValueError)
+        assert not isinstance(good, Exception) and len(good) == 3
+        assert len(later) == 3
+        assert service.broker.running is False  # cleanly stopped
+
+    def test_render_failure_mid_batch_spares_the_rest(self):
+        # force a failure past the early-validation guard, inside the
+        # dispatcher's render loop itself
+        import repro.serve.broker as broker_mod
+
+        service = make_service(max_batch=8, max_wait_ms=5.0)
+        original = broker_mod.Ranking.from_scores
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected render failure")
+            return original(*args, **kwargs)
+
+        async def drive():
+            async with service:
+                first = await asyncio.gather(
+                    *(service.top_k(q, k=3) for q in range(4)),
+                    return_exceptions=True,
+                )
+                recovered = await service.top_k(9, k=3)
+                return first, recovered
+
+        broker_mod.Ranking.from_scores = flaky
+        try:
+            first, recovered = run(drive())
+        finally:
+            broker_mod.Ranking.from_scores = original
+        failures = [r for r in first if isinstance(r, Exception)]
+        successes = [r for r in first if not isinstance(r, Exception)]
+        assert len(failures) == 1  # only the injected one
+        assert len(successes) == 3
+        assert len(recovered) == 3  # dispatcher alive afterwards
+        assert service.broker.stats.errors == 1

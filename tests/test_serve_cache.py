@@ -1,0 +1,89 @@
+"""Tests for the versioned bounded LRU result cache."""
+
+import threading
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+class TestResultCache:
+    def test_roundtrip_and_stats(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.entries == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")       # refresh a: b is now least recent
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)   # overwrite refreshes
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_rejects_none_and_bad_bound(self):
+        cache = ResultCache(max_entries=1)
+        with pytest.raises(ValueError):
+            cache.put("a", None)
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_versioned_keys_do_not_collide(self):
+        # the serving layer embeds (snapshot seq, graph version) in
+        # every key: the same logical query under two generations is
+        # two entries
+        cache = ResultCache(max_entries=8)
+        key_v0 = (0, 100, "gSR*", "top_k", 7, None, 10, False)
+        key_v1 = (1, 102, "gSR*", "top_k", 7, None, 10, False)
+        cache.put(key_v0, "old answer")
+        assert cache.get(key_v1) is None
+        cache.put(key_v1, "new answer")
+        assert cache.get(key_v0) == "old answer"
+        assert cache.get(key_v1) == "new answer"
+
+    def test_clear(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats.entries == 0
+
+    def test_thread_safety_smoke(self):
+        cache = ResultCache(max_entries=64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    cache.put((base, i % 32), i)
+                    cache.get((base, (i + 7) % 32))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
