@@ -20,6 +20,20 @@ True
 >>> engine.matrix().score("b", "c") > 0   # same cached artifacts
 True
 
+The precomputation itself is a first-class, persistable artifact
+(:mod:`repro.index`): build it once, save it, and later engines —
+including ones in other processes, after a restart — adopt it via
+``from_index`` instead of rebuilding::
+
+    from repro import SimilarityEngine, SimilarityIndex
+
+    SimilarityIndex.build(g, engine.config).save("graph.simidx")
+    # ... later / elsewhere: memory-mapped, shared page cache,
+    # no artifact rebuild — raises IndexMismatchError if the graph
+    # or config on this side differs from what the index was built for
+    index = SimilarityIndex.load("graph.simidx", mmap=True)
+    engine = SimilarityEngine.from_index(index, g)
+
 Measures are pluggable: every algorithm under comparison is registered
 in :mod:`repro.engine.registry` with metadata, so
 ``SimilarityEngine(g, measure="SR")`` (or ``"RWR"``, ``"memo-gSR*"``,
@@ -125,10 +139,29 @@ sustained distinct-query traffic, bound the engine's column memo with
 ``SimilarityConfig.max_cached_columns`` (LRU or FIFO via
 ``column_policy``) — the serving CLI defaults to 4096.
 
+Fast restarts
+-------------
+Engine construction is cheap; what costs is the precomputation it
+rebuilds lazily. :mod:`repro.index` persists exactly that: ``Q`` /
+``Q^T``, the biclique-compressed factor triple, the series
+coefficient table, and the fingerprints (graph content digest +
+resolved config) that make reuse safe. ``SimilarityIndex.load``
+memory-maps every buffer read-only, so load time is independent of
+index size and N worker processes share one page cache. The serving
+layer uses it automatically: ``python -m repro.serve serve --index
+graph.simidx`` persists freshly built precomputation after warmup and
+every hot-swap, and a restarted server (or a new replica) adopts the
+file instead of rebuilding — the ``index_cold_*`` benchmark cases
+and ``python -m repro.index smoke`` quantify the win. ``python -m
+repro.index build | inspect | verify`` manage index files directly.
+
 Packages
 --------
 * :mod:`repro.engine` — the stateful query-serving engine, measure
   registry, and label-aware result types.
+* :mod:`repro.index` — the persistent precomputation artifact layer:
+  build / save / mmap-load indexes, fingerprint checks, the
+  ``python -m repro.index`` CLI.
 * :mod:`repro.serve` — the async serving layer: micro-batch
   coalescing broker, versioned result cache, snapshot hot-swap,
   stdlib HTTP front end (``python -m repro.serve``).
@@ -170,11 +203,13 @@ from repro.engine import (
     get_measure,
     register_measure,
 )
+from repro.index import IndexMismatchError, SimilarityIndex
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DiGraph",
+    "IndexMismatchError",
     "MEASURES",
     "MeasureSpec",
     "RankedNode",
@@ -182,6 +217,7 @@ __all__ = [
     "ScoreMatrix",
     "SimilarityConfig",
     "SimilarityEngine",
+    "SimilarityIndex",
     "available_measures",
     "compute_measure",
     "get_measure",

@@ -34,13 +34,15 @@ import numpy as np
 SCHEMA_VERSION = 1
 
 #: Derived ratios that the compare gate holds to ``speedup_floor``.
-#: These are batching speedups — machine-independent, so a floor can
-#: gate CI without cross-machine wall-clock noise. The per-query
+#: These are machine-independent ratios (batching speedups, the
+#: index cold-start ratio), so a floor can gate CI without
+#: cross-machine wall-clock noise. The per-query
 #: ``speedup_single_source`` ratio is reported but not gated (B = 1
 #: barely benefits from blocking).
 GATED_SPEEDUPS = (
     "speedup_blocked_vs_loop",
     "speedup_engine_batch_vs_loop",
+    "speedup_index_load_vs_rebuild",
 )
 
 __all__ = [
@@ -130,6 +132,11 @@ class BenchRun:
             "single_source_reference",
             "single_source_blocked",
             "speedup_single_source",
+        )
+        ratio(
+            "index_cold_rebuild",
+            "index_cold_load",
+            "speedup_index_load_vs_rebuild",
         )
         return out
 
@@ -236,7 +243,20 @@ def default_suite(
     side), (b) the blocked multi-source kernel, and (c) the full
     engine ``batch_top_k`` path including ranking. All-pairs kernels
     run on a smaller graph so a full suite stays interactive.
+
+    The ``index_cold_*`` pair measures server cold start: loading a
+    persisted ``memo-gSR*`` index (``Q``, ``Q^T``, compressed
+    factors, coefficients) with ``mmap=True`` and serving a first
+    query, versus rebuilding every artifact from the graph and
+    serving the same query. The persisted file lives in a temp
+    directory built lazily on first use and removed at exit; the
+    ratio is gated as ``speedup_index_load_vs_rebuild``.
     """
+    import atexit
+    import shutil
+    import tempfile
+    from pathlib import Path
+
     from repro.core.multi_source import multi_source
     from repro.core.queries import single_source_reference
     from repro.core import (
@@ -244,9 +264,14 @@ def default_suite(
         simrank_star,
         simrank_star_exponential,
     )
-    from repro.engine import Ranking, SimilarityEngine
+    from repro.engine import (
+        Ranking,
+        SimilarityConfig,
+        SimilarityEngine,
+    )
     from repro.graph import random_digraph
     from repro.graph.matrices import backward_transition_matrix
+    from repro.index import SimilarityIndex
 
     rng = np.random.default_rng(seed)
     graph = random_digraph(nodes, edges, seed=seed)
@@ -285,6 +310,38 @@ def default_suite(
         )
         engine.transition_t  # warm Q/Q^T: both sides start warm
         return (engine,)
+
+    # -- index cold-start pair ------------------------------------------
+    cold_config = SimilarityConfig(
+        measure="memo-gSR*", c=0.6,
+        num_iterations=num_terms, dtype=dtype,
+    )
+    index_dir: list[Path] = []  # created lazily, removed at exit
+
+    def index_path() -> Path:
+        if not index_dir:
+            index_dir.append(
+                Path(tempfile.mkdtemp(prefix="repro-bench-index-"))
+            )
+            atexit.register(
+                shutil.rmtree, index_dir[0], ignore_errors=True
+            )
+        path = index_dir[0] / "bench.simidx"
+        if not path.exists():
+            SimilarityIndex.build(graph, cold_config).save(path)
+        return path
+
+    def cold_load(path: Path, probe: int):
+        index = SimilarityIndex.load(path, mmap=True)
+        engine = SimilarityEngine.from_index(index, graph, cold_config)
+        return engine.single_source(probe)
+
+    def cold_rebuild(fresh_graph, probe: int):
+        index = SimilarityIndex.build(fresh_graph, cold_config)
+        engine = SimilarityEngine.from_index(
+            index, fresh_graph, cold_config
+        )
+        return engine.single_source(probe)
 
     scores_vector = rng.random(nodes)
 
@@ -329,6 +386,20 @@ def default_suite(
             "ranking_top_k",
             lambda: (scores_vector,),
             lambda scores: Ranking.from_scores(scores, query=0, k=k),
+        ),
+        BenchCase(
+            "index_cold_load",
+            lambda: (index_path(), query_list[0]),
+            cold_load,
+            fresh_state=True,
+        ),
+        BenchCase(
+            "index_cold_rebuild",
+            # graph.copy() leaves the edge-array cache cold, like a
+            # process that just reloaded its graph
+            lambda: (graph.copy(), query_list[0]),
+            cold_rebuild,
+            fresh_state=True,
         ),
         BenchCase(
             "allpairs_iter_gsr",

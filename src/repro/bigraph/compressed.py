@@ -56,6 +56,68 @@ class CompressedGraph:
     hub_memberships: dict[int, frozenset[int]] = field(repr=False)
 
     # ------------------------------------------------------------------
+    # reconstruction from the factorised view
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_factors(
+        cls,
+        graph: DiGraph,
+        e_direct: sp.csr_array,
+        h_out: sp.csr_array,
+        h_in: sp.csr_array,
+    ) -> "CompressedGraph":
+        """Rebuild the full ``G^`` view from its factor matrices.
+
+        The factor triple determines the concentration exactly: row
+        ``v`` of ``H_in`` is biclique ``v``'s fan-in ``X``, column
+        ``v`` of ``H_out`` its fan-out ``Y``, row ``x`` of
+        ``E_direct`` the surviving direct tops of ``x``, and row ``x``
+        of ``H_out`` its hub memberships. This is how
+        :class:`~repro.index.SimilarityIndex` reassembles a compressed
+        graph from (possibly memory-mapped) stored factors without
+        re-running biclique mining; the set views keep serving the
+        Algorithm 1 memo kernels, and the factorised cache is
+        pre-seeded with the given matrices so the matrix kernels stay
+        zero-copy.
+
+        Mirroring :func:`~repro.bigraph.concentration.compress_graph`,
+        the set-view dicts are keyed by every node of ``graph`` with
+        at least one in-edge (the induced bigraph's bottom side), even
+        when the corresponding row is empty.
+        """
+
+        def rows_of(matrix: sp.csr_array, row: int) -> frozenset[int]:
+            start, stop = matrix.indptr[row], matrix.indptr[row + 1]
+            return frozenset(
+                int(j) for j in matrix.indices[start:stop]
+            )
+
+        bottoms = [
+            v for v in graph.nodes() if graph.in_degree(v) > 0
+        ]
+        h_out_t = h_out.T.tocsr()  # row v = bottoms fed by hub v
+        bicliques = tuple(
+            Biclique(
+                tops=rows_of(h_in, v), bottoms=rows_of(h_out_t, v)
+            )
+            for v in range(h_in.shape[0])
+        )
+        compressed = cls(
+            graph=graph,
+            bicliques=bicliques,
+            direct_tops={
+                y: rows_of(e_direct, y) for y in bottoms
+            },
+            hub_memberships={
+                y: rows_of(h_out, y) for y in bottoms
+            },
+        )
+        object.__setattr__(
+            compressed, "_factorized", (e_direct, h_out, h_in)
+        )
+        return compressed
+
+    # ------------------------------------------------------------------
     # Algorithm 1's accessors
     # ------------------------------------------------------------------
     @property

@@ -128,6 +128,7 @@ def multi_source(
     transition_t: sp.csr_array | None = None,
     dtype: np.dtype | str = np.float64,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    coefficients: np.ndarray | None = None,
 ) -> np.ndarray:
     """SimRank* scores of every node against a batch of query nodes.
 
@@ -142,7 +143,10 @@ def multi_source(
     ``float32`` halves memory traffic), ``block_size`` caps the query
     columns processed per pass, and ``transition`` /
     ``transition_t`` reuse a prebuilt ``Q`` / ``Q^T`` (converted to
-    ``dtype`` if they disagree).
+    ``dtype`` if they disagree). ``coefficients`` reuses a precomputed
+    :func:`series_coefficients` table (e.g. one loaded from a
+    :class:`~repro.index.SimilarityIndex`); its shape must match
+    ``num_terms``.
     """
     validate_damping(c)
     validate_iterations(num_terms, "num_terms")
@@ -173,7 +177,16 @@ def multi_source(
         bad = query_ids[(query_ids < 0) | (query_ids >= n)][0]
         raise IndexError(f"query node {int(bad)} out of range")
     num_queries = query_ids.size
-    coef = series_coefficients(num_terms, weights)
+    if coefficients is None:
+        coef = series_coefficients(num_terms, weights)
+    else:
+        coef = np.asarray(coefficients)
+        if coef.shape != (num_terms + 1, num_terms + 1):
+            raise ValueError(
+                f"coefficients table has shape {coef.shape}; "
+                f"num_terms={num_terms} needs "
+                f"{(num_terms + 1, num_terms + 1)}"
+            )
     coef_t = np.ascontiguousarray(coef.T, dtype=dtype)
 
     q = transition if transition is not None else (

@@ -11,7 +11,10 @@ Public surface:
   ``batch_top_k`` walks all fresh query columns together through the
   blocked multi-source kernel — prefer it over looping ``top_k``
   when serving query volume (see the package-level performance
-  guide).
+  guide). Artifact construction itself lives in :mod:`repro.index`;
+  ``SimilarityEngine.from_index`` (or ``index=``) adopts a persisted,
+  memory-mapped :class:`~repro.index.SimilarityIndex` instead of
+  rebuilding, and ``export_index()`` goes the other way.
 * :class:`SimilarityConfig` — the typed, validated configuration,
   including the ``dtype`` knob (``"float64"`` default, ``"float32"``
   for halved memory traffic at ~1e-4 accuracy).

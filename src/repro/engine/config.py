@@ -149,6 +149,21 @@ class SimilarityConfig:
         """A copy with ``changes`` applied (re-validates)."""
         return replace(self, **changes)
 
+    def resolved_weights(
+        self, measure_scheme: str | None
+    ) -> str | None:
+        """The concrete weight-scheme name this config implies.
+
+        ``"auto"`` defers to ``measure_scheme`` (the measure's own
+        scheme, possibly ``None`` for non-SimRank* measures). Both the
+        engine's series walk and the :mod:`repro.index` fingerprints
+        resolve through here, so an explicit-but-agreeing ``weights``
+        setting and ``"auto"`` produce matching artifacts.
+        """
+        if self.weights == "auto":
+            return measure_scheme
+        return self.weights
+
     def resolved_iterations(self, variant: str, default: int) -> int:
         """The concrete truncation length this configuration implies.
 

@@ -16,6 +16,14 @@ Measure dispatch goes through :mod:`repro.engine.registry`; each
 :class:`MeasureSpec` declares which cached artifacts its callable can
 consume and whether its columns can be served by the ``O(L^2 m)``
 series walk instead of a full ``O(K n m)`` matrix build.
+
+Artifact *construction* lives in :mod:`repro.index.artifacts` — the
+lazy builders here are thin wrappers over it — and a prebuilt
+:class:`~repro.index.SimilarityIndex` can be attached (``index=`` /
+:meth:`SimilarityEngine.from_index`) so the engine adopts persisted,
+possibly memory-mapped artifacts instead of rebuilding them. An index
+whose graph or config fingerprint disagrees is rejected with
+:exc:`~repro.index.IndexMismatchError` rather than served.
 """
 
 from __future__ import annotations
@@ -29,7 +37,6 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.bigraph.compressed import CompressedGraph
-from repro.bigraph.concentration import compress_graph
 from repro.core.multi_source import multi_source as _series_block
 from repro.core.weights import (
     ExponentialWeights,
@@ -40,7 +47,11 @@ from repro.engine.config import SimilarityConfig
 from repro.engine.registry import MeasureSpec, get_measure
 from repro.engine.results import Ranking, ScoreMatrix
 from repro.graph.digraph import DiGraph
-from repro.graph.matrices import backward_transition_matrix
+from repro.index.artifacts import (
+    SimilarityIndex,
+    build_compressed,
+    build_transition,
+)
 
 __all__ = ["ColumnMemo", "EngineStats", "SimilarityEngine"]
 
@@ -61,6 +72,7 @@ class EngineStats:
 
     transition_builds: int = 0
     compression_builds: int = 0
+    index_adoptions: int = 0
     matrix_builds: int = 0
     column_computes: int = 0
     column_evictions: int = 0
@@ -160,12 +172,21 @@ class SimilarityEngine:
     config:
         A :class:`SimilarityConfig`. Keyword overrides may be passed
         instead of (or on top of) it: ``SimilarityEngine(g, c=0.8)``.
+    index:
+        An optional prebuilt :class:`~repro.index.SimilarityIndex`.
+        Its artifacts (``Q``, ``Q^T``, compressed factors, series
+        coefficients) are adopted lazily instead of rebuilt; the index
+        must fingerprint-match ``graph`` and the configuration or
+        :exc:`~repro.index.IndexMismatchError` is raised immediately —
+        a mismatched index would silently serve wrong scores.
     """
 
     def __init__(
         self,
         graph: DiGraph,
         config: SimilarityConfig | None = None,
+        *,
+        index: SimilarityIndex | None = None,
         **overrides,
     ) -> None:
         if config is None:
@@ -189,8 +210,40 @@ class SimilarityEngine:
         # _compute_columns -> both) and the serving layer may issue
         # concurrent first queries from a thread pool.
         self._lock = threading.RLock()
+        if index is not None:
+            index.verify_compatible(graph, config)
+        self._index = index
         self._caches = self._fresh_caches()
         self._fingerprint = self._graph_fingerprint()
+
+    @classmethod
+    def from_index(
+        cls,
+        index: SimilarityIndex,
+        graph: DiGraph,
+        config: SimilarityConfig | None = None,
+        **overrides,
+    ) -> "SimilarityEngine":
+        """An engine serving ``graph`` from a prebuilt index.
+
+        With no explicit ``config`` the index's own recorded
+        configuration is used (serving-only overrides such as
+        ``max_cached_columns`` may still be passed), so the common
+        restart path is just::
+
+            index = SimilarityIndex.load("graph.simidx")   # mmap'd
+            engine = SimilarityEngine.from_index(index, graph)
+
+        The first query then pays only its own walk — ``Q`` / ``Q^T``
+        / the compressed factors come from the (memory-mapped) index
+        instead of being rebuilt. Fingerprint mismatches raise
+        :exc:`~repro.index.IndexMismatchError`.
+        """
+        if config is None:
+            config = index.similarity_config(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        return cls(graph, config, index=index)
 
     # ------------------------------------------------------------------
     # configuration / introspection
@@ -239,62 +292,136 @@ class SimilarityEngine:
     # cached artifacts
     # ------------------------------------------------------------------
     @property
+    def index(self) -> SimilarityIndex | None:
+        """The attached prebuilt index, if any (dropped on
+        invalidation — a mutated graph no longer matches it)."""
+        return self._index
+
+    @property
     def transition(self) -> sp.csr_array:
         """The backward transition matrix ``Q``, built once.
 
-        Built in the configured :attr:`SimilarityConfig.dtype`.
-        Thread-safe: concurrent first touches race to the lock and
-        exactly one thread builds (double-checked locking — the
-        fast path after the build never takes the lock).
+        Adopted from the attached index when one is present (no
+        rebuild, counted in ``EngineStats.index_adoptions``), else
+        built in the configured :attr:`SimilarityConfig.dtype` by
+        :func:`repro.index.build_transition`. Thread-safe: concurrent
+        first touches race to the lock and exactly one thread builds
+        (double-checked locking — the fast path after the build never
+        takes the lock).
         """
         cached = self._caches.transition
         if cached is None:
             with self._lock:
                 if self._caches.transition is None:
-                    self._caches.transition = (
-                        backward_transition_matrix(
+                    if (
+                        self._index is not None
+                        and self._index.transition is not None
+                    ):
+                        self._caches.transition = (
+                            self._index.transition
+                        )
+                        self.stats.index_adoptions += 1
+                    else:
+                        self._caches.transition = build_transition(
                             self._graph, dtype=self._config.np_dtype
                         )
-                    )
-                    self.stats.transition_builds += 1
+                        self.stats.transition_builds += 1
                 cached = self._caches.transition
         return cached
 
     @property
     def transition_t(self) -> sp.csr_array:
-        """``Q^T`` in CSR form, built once (thread-safe first touch)."""
+        """``Q^T`` in CSR form, adopted from the index or built once
+        (thread-safe first touch)."""
         cached = self._caches.transition_t
         if cached is None:
             with self._lock:
                 if self._caches.transition_t is None:
-                    self._caches.transition_t = (
-                        self.transition.T.tocsr()
-                    )
+                    if (
+                        self._index is not None
+                        and self._index.transition_t is not None
+                    ):
+                        self._caches.transition_t = (
+                            self._index.transition_t
+                        )
+                        self.stats.index_adoptions += 1
+                    else:
+                        self._caches.transition_t = (
+                            self.transition.T.tocsr()
+                        )
                 cached = self._caches.transition_t
         return cached
 
     @property
     def compressed(self) -> CompressedGraph:
         """The biclique-compressed graph ``G^``, built once
-        (thread-safe first touch)."""
+        (thread-safe first touch).
+
+        With an index attached, the stored factor triple is
+        reassembled instead of re-running biclique mining — the
+        dominant cost of a cold start on graphs with real overlap.
+        """
         cached = self._caches.compressed
         if cached is None:
             with self._lock:
                 if self._caches.compressed is None:
-                    self._caches.compressed = compress_graph(
-                        self._graph
-                    )
-                    self.stats.compression_builds += 1
+                    if (
+                        self._index is not None
+                        and self._index.factors is not None
+                    ):
+                        self._caches.compressed = (
+                            self._index.compressed_graph(self._graph)
+                        )
+                        self.stats.index_adoptions += 1
+                    else:
+                        self._caches.compressed = build_compressed(
+                            self._graph
+                        )
+                        self.stats.compression_builds += 1
                 cached = self._caches.compressed
         return cached
+
+    def export_index(self) -> SimilarityIndex:
+        """The engine's precomputation as a persistable index.
+
+        Reuses every artifact the engine has already built (building
+        the missing ones now, warming the engine as a side effect), so
+        ``engine.export_index().save(path)`` after warmup costs only
+        serialisation. When the engine was itself constructed from an
+        index, that index is returned as-is.
+        """
+        if self._index is not None:
+            return self._index
+        spec = self._spec
+        needs_transition = (
+            spec.supports_single_source or "transition" in spec.uses
+        )
+        return SimilarityIndex.build(
+            self._graph,
+            self._config,
+            transition=self.transition if needs_transition else None,
+            transition_t=(
+                self.transition_t if needs_transition else None
+            ),
+            compressed=(
+                self.compressed if "compressed" in spec.uses else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     # invalidation / mutation
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop every cached artifact and memoized result."""
+        """Drop every cached artifact and memoized result.
+
+        An attached index is dropped too: invalidation means the graph
+        (may have) changed, so the index's fingerprint no longer
+        vouches for it — subsequent artifact touches rebuild from the
+        live graph.
+        """
         with self._lock:
             self.stats.invalidations += 1
+            self._index = None
             self._caches = self._fresh_caches()
             self._fingerprint = self._graph_fingerprint()
 
@@ -407,6 +534,11 @@ class SimilarityEngine:
             transition=self.transition,
             transition_t=self.transition_t,
             dtype=self._config.np_dtype,
+            coefficients=(
+                self._index.coefficients
+                if self._index is not None
+                else None
+            ),
         )
         computed: dict[int, np.ndarray] = {}
         for j, q in enumerate(queries):
@@ -555,11 +687,9 @@ class SimilarityEngine:
     # ------------------------------------------------------------------
     def _weight_scheme(self) -> WeightScheme:
         # only reached on the series path, and the registry rejects
-        # supports_single_source without a weight_scheme — so name
-        # is never None here
-        name = self._spec.weight_scheme
-        if self._config.weights != "auto":
-            name = self._config.weights
+        # supports_single_source without a weight_scheme — so the
+        # resolved name is never None here
+        name = self._config.resolved_weights(self._spec.weight_scheme)
         return _WEIGHTS[name](self._config.c)
 
     def resolve_node(self, node) -> int:

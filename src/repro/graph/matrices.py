@@ -28,6 +28,7 @@ __all__ = [
     "backward_transition_matrix",
     "forward_transition_matrix",
     "row_normalize",
+    "transition_pair",
 ]
 
 
@@ -77,6 +78,20 @@ def backward_transition_matrix(
     ``[Q]_{ij} = 1 / |I(i)|`` when ``j in I(i)``, else 0.
     """
     return row_normalize(adjacency_matrix(graph, dtype=dtype).T)
+
+
+def transition_pair(
+    graph: DiGraph, dtype: np.dtype | str = np.float64
+) -> tuple[sp.csr_array, sp.csr_array]:
+    """``(Q, Q^T)`` both in CSR form, from one adjacency assembly.
+
+    The serving kernels consume the pair together (backward pass over
+    ``Q^T``, Horner sweep over ``Q``), so the engine's caches and the
+    :mod:`repro.index` artifact layer both build them through this one
+    function.
+    """
+    q = backward_transition_matrix(graph, dtype=dtype)
+    return q, q.T.tocsr()
 
 
 def forward_transition_matrix(

@@ -1,0 +1,67 @@
+"""`repro.index` — the persistent precomputation artifact layer.
+
+The paper's whole economic argument is that one cheap precomputation
+(the backward transition matrix ``Q``, the biclique-compressed factors
+of ``A^T``, the series length-weight coefficient tables) amortises
+across every node-pair query. This package makes that precomputation a
+first-class *index* with its own build / store / load lifecycle,
+instead of something every :class:`~repro.engine.SimilarityEngine`
+rebuilds in-process:
+
+* :class:`SimilarityIndex` — an immutable bundle of the shared
+  artifacts plus the fingerprints (graph content digest, resolved
+  similarity configuration, format version) that pin exactly which
+  ``(graph, config)`` pair it answers for.
+* :func:`SimilarityIndex.build` / :meth:`SimilarityIndex.save` /
+  :func:`SimilarityIndex.load` — build from a graph, persist to a
+  single aligned binary container, and reload with ``mmap=True`` so
+  the dense/CSR buffers map zero-copy via :class:`numpy.memmap`: N
+  server workers loading the same file share one page cache instead
+  of N heap copies, and a restart pays file-open cost instead of
+  rebuild cost.
+* :exc:`IndexMismatchError` — raised (instead of silently serving
+  wrong scores) when an index is attached to a graph or configuration
+  it was not built for.
+* ``python -m repro.index build|inspect|verify|smoke`` — the
+  operational CLI.
+
+Consumers: :class:`~repro.engine.SimilarityEngine` accepts ``index=``
+(or ``SimilarityEngine.from_index``) and adopts the artifacts instead
+of rebuilding them; :class:`~repro.serve.SnapshotManager` warms
+replacement engines from a matching on-disk index and persists freshly
+built ones, making server restart warmup near-zero.
+"""
+
+from repro.index.artifacts import (
+    IndexMeta,
+    IndexMismatchError,
+    SimilarityIndex,
+    build_compressed,
+    build_transition,
+    build_transition_pair,
+    graph_fingerprint,
+)
+from repro.index.store import (
+    FORMAT_VERSION,
+    IndexFormatError,
+    load_index,
+    read_header,
+    save_index,
+    verify_index,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "IndexFormatError",
+    "IndexMeta",
+    "IndexMismatchError",
+    "SimilarityIndex",
+    "build_compressed",
+    "build_transition",
+    "build_transition_pair",
+    "graph_fingerprint",
+    "load_index",
+    "read_header",
+    "save_index",
+    "verify_index",
+]

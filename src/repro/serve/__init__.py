@@ -15,7 +15,10 @@ into the batched workloads the blocked kernel (PR 2) is fast at:
 * :class:`SnapshotManager` / :class:`Snapshot` — graph mutations
   build a fresh engine off to the side and atomically swap it in;
   in-flight batches finish on the snapshot they pinned (zero failed
-  requests across a swap).
+  requests across a swap). With ``index_path`` set, replacement
+  engines warm from a persisted :class:`~repro.index.SimilarityIndex`
+  when its fingerprint matches, and freshly built precomputation is
+  persisted back — restarts memory-map instead of rebuilding.
 * :class:`ServingService` — the facade wiring the three together,
   usable async-natively or from sync threads via a private
   background event loop.

@@ -3,8 +3,10 @@
 Subcommands::
 
     serve    start the HTTP server (random graph, an edge-list file,
-             or the paper's Figure 1 graph)
-    status   GET /status from a running server and pretty-print it
+             or the paper's Figure 1 graph); ``--index PATH`` wires a
+             persistent precomputation index for near-zero restarts
+    status   GET /status from a running server and summarise its
+             cache / engine / broker / index counters (--json for raw)
     warmup   POST /warmup to a running server
     smoke    self-contained serving smoke test: ephemeral server,
              concurrent clients, assert coalescing, write a latency
@@ -34,7 +36,7 @@ from repro.graph.digraph import DiGraph
 from repro.serve.http import serve_http
 from repro.serve.service import ServingService
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "render_status"]
 
 
 def _add_graph_options(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +115,7 @@ def _build_service(args) -> ServingService:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_entries=args.cache_entries,
+        index_path=getattr(args, "index", None),
     )
 
 
@@ -152,11 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warmup", action="store_true",
         help="skip pre-building Q/Q^T before accepting traffic",
     )
+    serve.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="persistent precomputation index file (repro.index): "
+        "loaded (mmap) at startup when its fingerprint matches, "
+        "written after warmup/mutate otherwise — restarts then skip "
+        "the artifact rebuild entirely",
+    )
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
     for name, help_text in (
-        ("status", "fetch and print /status from a running server"),
+        ("status", "fetch and summarise /status from a running "
+         "server (cache/engine/broker counters; --json for the raw "
+         "document)"),
         ("warmup", "trigger /warmup on a running server"),
     ):
         client = sub.add_parser(name, help=help_text)
@@ -164,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--url", default="http://127.0.0.1:8321",
             help="server base URL (default http://127.0.0.1:8321)",
         )
+        if name == "status":
+            client.add_argument(
+                "--json", action="store_true",
+                help="print the raw JSON document instead of the "
+                "summary",
+            )
 
     smoke = sub.add_parser(
         "smoke",
@@ -228,6 +246,83 @@ def _cmd_client(args, endpoint: str, post: bool) -> int:
         print(f"cannot reach {url}: {exc}", file=sys.stderr)
         return 2
     print(json.dumps(document, indent=2))
+    return 0
+
+
+def render_status(document: dict) -> str:
+    """A terminal-friendly summary of the ``/status`` document.
+
+    Surfaces every caching layer's counters — result-cache hits /
+    misses / evictions and hit rate, the engine's artifact builds vs.
+    index adoptions and column-memo traffic, broker coalescing, and
+    the snapshot manager's hot-swap + persistent-index state.
+    """
+    config = document.get("config", {})
+    engine = document.get("engine", {})
+    broker = document.get("broker", {})
+    cache = document.get("cache")
+    snapshots = document.get("snapshots", {})
+    current = snapshots.get("current", {})
+    index = snapshots.get("index", {})
+    lines = [
+        f"uptime        {document.get('uptime_seconds', 0.0):.1f} s",
+        f"graph         {current.get('nodes', '?')} nodes / "
+        f"{current.get('edges', '?')} edges "
+        f"(snapshot seq {current.get('seq', '?')})",
+        f"config        measure={config.get('measure')} "
+        f"c={config.get('c')} dtype={config.get('dtype')} "
+        f"iterations={config.get('num_iterations')}",
+        f"broker        batches={broker.get('batches', 0)} "
+        f"dispatched={broker.get('dispatched', 0)} "
+        f"coalesced={broker.get('coalesced_requests', 0)} "
+        f"largest_batch={broker.get('largest_batch', 0)}",
+    ]
+    if cache is not None:
+        lines.append(
+            f"result cache  hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"evictions={cache.get('evictions', 0)} "
+            f"entries={cache.get('entries', 0)} "
+            f"hit_rate={cache.get('hit_rate', 0.0):.1%}"
+        )
+    else:
+        lines.append("result cache  disabled")
+    lines.append(
+        f"engine        column hits={engine.get('hits', 0)} "
+        f"misses={engine.get('misses', 0)} "
+        f"evictions={engine.get('column_evictions', 0)}; builds: "
+        f"transition={engine.get('transition_builds', 0)} "
+        f"compression={engine.get('compression_builds', 0)} "
+        f"matrix={engine.get('matrix_builds', 0)}; "
+        f"index_adoptions={engine.get('index_adoptions', 0)}"
+    )
+    lines.append(
+        f"snapshots     builds={snapshots.get('builds', 0)} "
+        f"swaps={snapshots.get('swaps', 0)}"
+    )
+    if index.get("path"):
+        lines.append(
+            f"index         {index['path']} "
+            f"loads={index.get('loads', 0)} "
+            f"saves={index.get('saves', 0)} "
+            f"load_errors={index.get('load_errors', 0)}"
+        )
+    else:
+        lines.append("index         not configured")
+    return "\n".join(lines)
+
+
+def _cmd_status(args) -> int:
+    url = args.url.rstrip("/") + "/status"
+    try:
+        document = _http_json(url)
+    except OSError as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_status(document))
     return 0
 
 
@@ -337,7 +432,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "status":
-        return _cmd_client(args, "/status", post=False)
+        return _cmd_status(args)
     if args.command == "warmup":
         return _cmd_client(args, "/warmup", post=True)
     if args.command == "smoke":

@@ -57,6 +57,13 @@ class ServingService:
     cache_entries:
         Result-cache bound; ``0`` disables the result cache entirely
         (every request goes through the broker).
+    index_path:
+        Optional persistent-index file for the snapshot manager: a
+        matching index on disk makes startup (and every hot-swap back
+        to known content) adopt memory-mapped artifacts instead of
+        rebuilding, and freshly built precomputation is persisted
+        there on warmup/mutate. See
+        :class:`~repro.serve.snapshot.SnapshotManager`.
     """
 
     def __init__(
@@ -67,9 +74,12 @@ class ServingService:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         cache_entries: int = 1024,
+        index_path=None,
         **overrides,
     ) -> None:
-        self.snapshots = SnapshotManager(graph, config, **overrides)
+        self.snapshots = SnapshotManager(
+            graph, config, index_path=index_path, **overrides
+        )
         self.cache = (
             ResultCache(cache_entries) if cache_entries else None
         )
@@ -194,8 +204,20 @@ class ServingService:
         return self.snapshots.mutate(add=add, remove=remove)
 
     def status(self) -> dict:
-        """A JSON-ready status document (the ``/status`` endpoint)."""
+        """A JSON-ready status document (the ``/status`` endpoint).
+
+        Every caching layer reports its counters: ``cache`` is the
+        rendered-answer :class:`~repro.serve.cache.ResultCache`
+        (hits / misses / evictions / entries / hit_rate), ``engine``
+        the current snapshot's
+        :class:`~repro.engine.engine.EngineStats` (artifact builds
+        vs. index adoptions, column memo hits / misses / evictions),
+        and ``snapshots`` the hot-swap and persistent-index counters.
+        """
         return {
+            "engine": (
+                self.snapshots.current.engine.stats.snapshot()
+            ),
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "config": {
                 "measure": self.config.measure,

@@ -11,16 +11,28 @@ it untouched; the old engine is garbage-collected once the last
 in-flight batch drops its reference. That is the classic index-server
 "build offline, flip a pointer" discipline, applied to the paper's
 preprocess-once regime.
+
+With an ``index_path`` configured, the manager additionally treats the
+precomputation as a *persistent* artifact (:mod:`repro.index`): a
+replacement engine is warmed from the on-disk
+:class:`~repro.index.SimilarityIndex` whenever its graph/config
+fingerprint matches the graph about to be served, and freshly built
+engines persist their artifacts back after warmup — so a server
+restart loads (memory-maps) instead of rebuilding, and N workers
+pointed at the same file share one page cache.
 """
 
 from __future__ import annotations
 
 import threading
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.engine.config import SimilarityConfig
 from repro.engine.engine import SimilarityEngine
 from repro.graph.digraph import DiGraph
+from repro.index.artifacts import IndexMismatchError, SimilarityIndex
+from repro.index.store import IndexFormatError
 
 __all__ = ["Snapshot", "SnapshotManager"]
 
@@ -84,6 +96,21 @@ class SnapshotManager:
         A :class:`~repro.engine.SimilarityConfig`; keyword overrides
         may be passed instead of (or on top of) it, mirroring
         :class:`~repro.engine.SimilarityEngine`.
+    index_path:
+        Optional path of a persistent :class:`~repro.index.SimilarityIndex`.
+        When the file exists and fingerprint-matches the graph being
+        (re)built, the engine adopts its (memory-mapped) artifacts
+        instead of rebuilding — a restart serves its first query
+        without rebuilding ``Q`` / ``Q^T`` / the compressed factors.
+        Freshly built engines persist their artifacts back to this
+        path on :meth:`warmup` and :meth:`mutate` (atomic
+        write-then-rename), keeping the file current with the served
+        generation. A stale, corrupt, or missing file is never an
+        error — it is simply not used (and overwritten on the next
+        persist).
+    persist_index:
+        Set ``False`` to load from ``index_path`` but never write it
+        (read-only replicas sharing a file owned by a primary).
     """
 
     def __init__(
@@ -92,6 +119,8 @@ class SnapshotManager:
         config: SimilarityConfig | None = None,
         *,
         copy: bool = True,
+        index_path: str | Path | None = None,
+        persist_index: bool = True,
         **overrides,
     ) -> None:
         if config is None:
@@ -99,14 +128,62 @@ class SnapshotManager:
         elif overrides:
             config = config.replace(**overrides)
         self.config = config
+        self.index_path = (
+            Path(index_path) if index_path is not None else None
+        )
+        self.persist_index = persist_index
         self._swap_lock = threading.Lock()   # guards `_current`
         self._build_lock = threading.Lock()  # serialises rebuilds
         self.builds = 0
         self.swaps = 0
-        engine = SimilarityEngine(
-            graph.copy() if copy else graph, config
-        )
+        self.index_loads = 0
+        self.index_saves = 0
+        self.index_load_errors = 0
+        self._last_persisted: SimilarityEngine | None = None
+        engine = self._engine_for(graph.copy() if copy else graph)
         self._current = Snapshot(engine, seq=0)
+
+    # ------------------------------------------------------------------
+    # persistent-index plumbing
+    # ------------------------------------------------------------------
+    def _engine_for(self, graph: DiGraph) -> SimilarityEngine:
+        """An engine over ``graph``, warmed from disk when possible."""
+        index = self._load_index()
+        if index is not None:
+            try:
+                # the engine's constructor verifies the fingerprint;
+                # one pass, no separate matches() pre-check
+                engine = SimilarityEngine.from_index(
+                    index, graph, self.config
+                )
+            except IndexMismatchError:
+                pass  # stale content: rebuild (and later overwrite)
+            else:
+                self.index_loads += 1
+                return engine
+        return SimilarityEngine(graph, self.config)
+
+    def _load_index(self) -> SimilarityIndex | None:
+        if self.index_path is None or not self.index_path.exists():
+            return None
+        try:
+            return SimilarityIndex.load(self.index_path, mmap=True)
+        except (IndexFormatError, OSError):
+            # unreadable files are treated as absent, not fatal: the
+            # next persist overwrites them with a healthy one
+            self.index_load_errors += 1
+            return None
+
+    def _persist_index(self, engine: SimilarityEngine) -> None:
+        if self.index_path is None or not self.persist_index:
+            return
+        if engine.index is not None or engine is self._last_persisted:
+            # adopted from this very file, or already written once —
+            # nothing new to put on disk
+            return
+        engine.export_index().save(self.index_path)
+        self._last_persisted = engine
+        self.index_saves += 1
 
     @property
     def current(self) -> Snapshot:
@@ -124,13 +201,18 @@ class SnapshotManager:
 
         Builds ``Q`` / ``Q^T`` (and the compressed graph when the
         measure consumes it) so the first real query pays only its
-        own walk. Returns the engine's stats snapshot.
+        own walk — with a matching on-disk index these are adoptions,
+        not builds. A freshly built engine's artifacts are persisted
+        to ``index_path`` afterwards (when configured), making the
+        *next* restart's warmup near-zero. Returns the engine's stats
+        snapshot.
         """
         snapshot = self.current
         engine = snapshot.engine
         engine.transition_t  # builds transition as a dependency
         if "compressed" in engine.measure.uses:
             engine.compressed
+        self._persist_index(engine)
         return engine.stats.snapshot()
 
     def mutate(
@@ -160,7 +242,7 @@ class SnapshotManager:
                 graph.add_edge(resolve(u), resolve(v))
             for u, v in remove:
                 graph.remove_edge(resolve(u), resolve(v))
-            engine = SimilarityEngine(graph, self.config)
+            engine = self._engine_for(graph)
             # warm the expensive shared artifacts *before* the swap so
             # post-swap first queries pay only their own walk
             engine.transition_t
@@ -171,6 +253,10 @@ class SnapshotManager:
             with self._swap_lock:
                 self._current = fresh
                 self.swaps += 1
+            # persist only after the swap: the disk write (checksums
+            # + full file) must not extend how long traffic is served
+            # by the stale snapshot
+            self._persist_index(engine)
         return fresh
 
     def describe(self) -> dict:
@@ -179,6 +265,17 @@ class SnapshotManager:
             "current": self.current.describe(),
             "builds": self.builds,
             "swaps": self.swaps,
+            "index": {
+                "path": (
+                    str(self.index_path)
+                    if self.index_path is not None
+                    else None
+                ),
+                "persist": self.persist_index,
+                "loads": self.index_loads,
+                "saves": self.index_saves,
+                "load_errors": self.index_load_errors,
+            },
         }
 
     def __repr__(self) -> str:

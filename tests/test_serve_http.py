@@ -182,3 +182,48 @@ class TestSmokeCli:
             serve_main(["--help"])
         assert excinfo.value.code == 0
         assert "smoke" in capsys.readouterr().out
+
+
+class TestStatusCounters:
+    """PR 4 satellite: every caching layer's counters in /status."""
+
+    def test_status_exposes_cache_and_engine_counters(self, server):
+        http_json(f"{server.url}/top_k", {"query": "h", "k": 3})
+        http_json(f"{server.url}/top_k", {"query": "h", "k": 3})
+        status = http_json(f"{server.url}/status")
+        cache = status["cache"]
+        for key in ("hits", "misses", "evictions", "entries",
+                    "hit_rate"):
+            assert key in cache
+        assert cache["hits"] >= 1  # the repeated query
+        engine = status["engine"]
+        for key in ("transition_builds", "compression_builds",
+                    "index_adoptions", "hits", "misses",
+                    "column_evictions"):
+            assert key in engine
+        assert engine["transition_builds"] == 1
+        # nested copy (snapshot-scoped) stays consistent with the hoist
+        nested = status["snapshots"]["current"]["engine_stats"]
+        assert nested == engine
+        assert status["snapshots"]["index"]["path"] is None
+
+    def test_status_cli_renders_counters(self, server, capsys):
+        from repro.serve.__main__ import main as cli_main
+
+        http_json(f"{server.url}/top_k", {"query": "h", "k": 3})
+        assert cli_main(["status", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "result cache" in out
+        assert "hit_rate=" in out
+        assert "index_adoptions=" in out
+        assert "index         not configured" in out
+        assert cli_main(["status", "--url", server.url, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "cache" in document and "engine" in document
+
+    def test_render_status_handles_disabled_cache(self):
+        from repro.serve.__main__ import render_status
+
+        text = render_status({"cache": None, "config": {},
+                              "snapshots": {}})
+        assert "result cache  disabled" in text

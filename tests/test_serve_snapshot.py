@@ -198,3 +198,121 @@ class TestSwapMidTraffic:
         # answered by the new snapshot
         assert service.broker.stats.cache_hits == 0
         assert [e.score for e in before] != [e.score for e in after]
+
+
+class TestPersistentIndex:
+    """Restart-from-disk: the snapshot manager and repro.index."""
+
+    def _manager(self, graph, path, **overrides):
+        from repro.engine import SimilarityConfig
+
+        config = SimilarityConfig(
+            measure="memo-gSR*", num_iterations=6
+        )
+        return SnapshotManager(
+            graph, config, index_path=path, **overrides
+        )
+
+    def test_warmup_persists_a_fresh_index(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        manager = self._manager(random_digraph(80, 480, seed=3), path)
+        assert not path.exists()
+        manager.warmup()
+        assert path.exists()
+        assert manager.index_saves == 1
+        assert manager.index_loads == 0
+        # a second warmup does not rewrite an adopted/just-saved index
+        manager.warmup()
+        assert manager.index_saves == 1
+
+    def test_restart_serves_first_query_without_rebuilding(
+        self, tmp_path
+    ):
+        path = tmp_path / "serve.simidx"
+        graph = random_digraph(80, 480, seed=3)
+        self._manager(graph, path).warmup()
+
+        # "restart": a brand-new manager process over the same graph
+        restarted = self._manager(graph, path)
+        assert restarted.index_loads == 1
+        engine = restarted.current.engine
+        column = engine.single_source(7)
+        restarted.warmup()
+        stats = engine.stats.snapshot()
+        assert stats["transition_builds"] == 0
+        assert stats["compression_builds"] == 0
+        assert stats["index_adoptions"] >= 2
+        assert restarted.index_saves == 0  # nothing new to persist
+        # identical answers to a cold-built engine
+        fresh = self._manager(graph, tmp_path / "other.simidx")
+        np.testing.assert_allclose(
+            column, fresh.current.engine.single_source(7), atol=1e-14
+        )
+
+    def test_mutate_persists_the_new_generation(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        graph = random_digraph(40, 200, seed=4)
+        manager = self._manager(graph, path)
+        manager.warmup()
+        if graph.has_edge(0, 1):
+            manager.mutate(remove=[(0, 1)])
+        else:
+            manager.mutate(add=[(0, 1)])
+        assert manager.index_saves == 2
+        # a restart over the *mutated* content warm-loads
+        mutated = manager.current.graph.copy()
+        restarted = self._manager(mutated, path)
+        assert restarted.index_loads == 1
+
+    def test_stale_index_is_ignored_not_fatal(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        self._manager(random_digraph(40, 200, seed=5), path).warmup()
+        other = random_digraph(40, 200, seed=6)
+        manager = self._manager(other, path)
+        assert manager.index_loads == 0  # fingerprint mismatch
+        manager.warmup()  # rebuilds and overwrites
+        assert manager.index_saves == 1
+        assert self._manager(other, path).index_loads == 1
+
+    def test_corrupt_index_is_ignored_not_fatal(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        graph = random_digraph(40, 200, seed=5)
+        self._manager(graph, path).warmup()
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"JUNK"
+        path.write_bytes(bytes(raw))
+        manager = self._manager(graph, path)
+        assert manager.index_load_errors == 1
+        assert manager.current.engine.single_source(0) is not None
+
+    def test_persist_index_false_never_writes(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        graph = random_digraph(40, 200, seed=5)
+        manager = self._manager(graph, path, persist_index=False)
+        manager.warmup()
+        assert not path.exists()
+        assert manager.index_saves == 0
+
+    def test_describe_reports_index_counters(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        manager = self._manager(random_digraph(40, 200, seed=5), path)
+        manager.warmup()
+        document = manager.describe()
+        assert document["index"]["path"] == str(path)
+        assert document["index"]["saves"] == 1
+        assert document["index"]["loads"] == 0
+        assert document["index"]["load_errors"] == 0
+
+    def test_service_passthrough_and_status(self, tmp_path):
+        path = tmp_path / "serve.simidx"
+        graph = random_digraph(40, 200, seed=5)
+        service = ServingService(
+            graph,
+            measure="gSR*",
+            num_iterations=6,
+            index_path=path,
+        )
+        service.warmup()
+        status = service.status()
+        assert status["snapshots"]["index"]["saves"] == 1
+        assert "transition_builds" in status["engine"]
