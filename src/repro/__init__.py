@@ -139,6 +139,24 @@ sustained distinct-query traffic, bound the engine's column memo with
 ``SimilarityConfig.max_cached_columns`` (LRU or FIFO via
 ``column_policy``) — the serving CLI defaults to 4096.
 
+Scale-out
+---------
+One process coalesces well but still computes alone. The measure
+family here is embarrassingly parallel across query *columns*, so
+:mod:`repro.cluster` shards each coalesced micro-batch across K
+worker processes that all memory-map the same persisted index (one
+page cache, zero-copy)::
+
+    ServingService(graph, workers=4)                  # in code
+    python -m repro.serve serve --workers 4 --index graph.simidx
+
+Mutations propagate with a two-phase swap (every worker prepares the
+new generation before the pointer flips; old generations are released
+only when their in-flight batches drain) and a killed worker is
+respawned with its shard retried — the zero-failed-requests guarantee
+survives both. ``python -m repro.bench --cluster`` measures the
+scaling (``speedup_workers_4_vs_1``).
+
 Fast restarts
 -------------
 Engine construction is cheap; what costs is the precomputation it
@@ -165,6 +183,9 @@ Packages
 * :mod:`repro.serve` — the async serving layer: micro-batch
   coalescing broker, versioned result cache, snapshot hot-swap,
   stdlib HTTP front end (``python -m repro.serve``).
+* :mod:`repro.cluster` — multi-process sharded serving: a worker
+  pool over one shared memory-mapped index, a shard router with
+  atomic snapshot pinning, two-phase hot-swap propagation.
 * :mod:`repro.graph` — the graph substrate (structure, matrices,
   generators, IO, stats).
 * :mod:`repro.core` — SimRank* itself: geometric / exponential forms,
@@ -205,7 +226,7 @@ from repro.engine import (
 )
 from repro.index import IndexMismatchError, SimilarityIndex
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DiGraph",

@@ -7,13 +7,18 @@ Typical uses::
     python -m repro.bench --quick --compare BENCH_baseline.json
     python -m repro.bench --list                   # enumerate cases
     python -m repro.bench --serve --tag PR3        # + serving load test
+    python -m repro.bench --cluster --tag PR5      # + worker scaling
 
 Compare mode exits non-zero when a case regresses beyond
 ``--threshold`` times its baseline or a gated batching speedup falls
 below ``--speedup-floor`` — the CI regression gate. ``--serve`` runs
 the serving load generator (:mod:`repro.bench.loadgen`) after the
 kernel suite and embeds its throughput / latency-percentile document
-under the ``"serving"`` key of ``BENCH_<tag>.json``.
+under the ``"serving"`` key of ``BENCH_<tag>.json``; ``--cluster``
+runs the multi-process worker-scaling case the same way (under
+``"cluster"``), whose ``speedup_workers_<b>_vs_<a>`` ratio joins the
+gated derived speedups when the machine has enough CPUs to express
+it.
 """
 
 from __future__ import annotations
@@ -55,6 +60,12 @@ FULL = {
 #: 2k-node benchmark graph), quick is the CI-sized version.
 SERVE_QUICK = {"clients": 16, "requests_per_client": 2}
 SERVE_FULL = {"clients": 32, "requests_per_client": 4}
+
+#: Worker-scaling workloads (``--cluster``): micro-batches of distinct
+#: query columns pushed through the sharded column plane at the low
+#: and high worker counts of the ``speedup_workers_4_vs_1`` gate.
+CLUSTER_QUICK = {"batches": 4, "batch_size": 32}
+CLUSTER_FULL = {"batches": 8, "batch_size": 64}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms", type=float, default=2.0,
         help="serving load: broker linger in ms (default 2.0)",
     )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="also run the multi-process worker-scaling case "
+        "(repro.cluster) and embed its document under the 'cluster' "
+        "key; its speedup joins the derived ratios as "
+        "speedup_workers_<b>_vs_<a>",
+    )
+    parser.add_argument(
+        "--worker-counts", default="1,4", metavar="A,B",
+        help="worker-scaling: comma-separated worker counts, low to "
+        "high (default 1,4 — the gated speedup_workers_4_vs_1 pair)",
+    )
     return parser
 
 
@@ -165,6 +188,12 @@ def list_cases(args, preset: dict) -> int:
         "  serving_load  "
         f"[{preset['nodes']} nodes, {preset['edges']} edges, "
         "coalesced vs sequential single_source]"
+    )
+    print("worker-scaling scenario (--cluster):")
+    print(
+        "  cluster_scaling  "
+        f"[{preset['nodes']} nodes, {preset['edges']} edges, "
+        f"worker counts {args.worker_counts}, sharded column plane]"
     )
     return 0
 
@@ -222,6 +251,27 @@ def main(argv: list[str] | None = None) -> int:
             max_wait_ms=args.max_wait_ms,
             seed=args.seed,
         )
+    if args.cluster:
+        from repro.bench.loadgen import run_cluster_scaling
+
+        cluster_defaults = (
+            CLUSTER_QUICK if args.quick else CLUSTER_FULL
+        )
+        counts = tuple(
+            int(w) for w in args.worker_counts.split(",")
+        )
+        print("  running cluster_scaling ...", flush=True)
+        document["cluster"] = run_cluster_scaling(
+            nodes=preset["nodes"],
+            edges=preset["edges"],
+            worker_counts=counts,
+            num_terms=preset["num_terms"],
+            dtype=args.dtype,
+            seed=args.seed,
+            **cluster_defaults,
+        )
+        key = document["cluster"]["speedup_key"]
+        document["derived"][key] = document["cluster"][key]
     print(f"\n== repro.bench [{tag}] ==")
     for name, result in document["results"].items():
         print(
@@ -242,6 +292,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{serving['speedup_throughput']:.2f}x; p50 "
             f"{coalesced['latency']['p50_ms']:.1f} ms, p99 "
             f"{coalesced['latency']['p99_ms']:.1f} ms)"
+        )
+    if args.cluster:
+        cluster = document["cluster"]
+        sides = ", ".join(
+            f"{count}w {data['columns_per_second']:.0f} col/s"
+            for count, data in cluster["workers"].items()
+        )
+        print(
+            f"  cluster_scaling              {sides} "
+            f"-> {cluster[cluster['speedup_key']]:.2f}x"
         )
     if not args.no_write:
         out_path = Path(args.output or f"BENCH_{tag}.json")

@@ -27,6 +27,7 @@ import numpy as np
 __all__ = [
     "LATENCY_BUCKETS_MS",
     "LatencyStats",
+    "run_cluster_scaling",
     "run_serving_load",
 ]
 
@@ -254,4 +255,132 @@ def run_serving_load(
             serve_rps / base_rps if base_rps > 0 else float("inf")
         ),
         "broker": service.broker.stats.snapshot(),
+    }
+
+
+def run_cluster_scaling(
+    nodes: int = 2000,
+    edges: int = 12000,
+    *,
+    worker_counts: Sequence[int] = (1, 4),
+    batches: int = 8,
+    batch_size: int = 64,
+    num_terms: int = 10,
+    measure: str = "gSR*",
+    c: float = 0.6,
+    dtype: str = "float64",
+    seed: int = 42,
+    mp_context: str = "spawn",
+) -> dict:
+    """Measure multi-process scale-out of the sharded column plane.
+
+    For each entry of ``worker_counts``, stands up a
+    :class:`~repro.cluster.WorkerPool` + ``ShardRouter`` over the same
+    seeded random digraph and pushes the identical workload through
+    it: ``batches`` micro-batches of ``batch_size`` *distinct* query
+    columns each (distinct so no worker-side memo hit hides compute),
+    dispatched back to back through ``router.compute``. Pool startup,
+    index persistence, and the warmup batch are excluded from the
+    timed window — this isolates steady-state shard-parallel serving,
+    which is what ``--workers K`` buys over ``--workers 1``.
+
+    The derived ``speedup_workers_<b>_vs_<a>`` ratio (last count vs
+    first) is machine-independent *given enough cores*: compute
+    happens in the workers, so K workers on >= K idle cores should
+    approach ``Kx`` minus shard-transport overhead. The compare gate
+    therefore only enforces its floor when the recording machine
+    actually has at least ``b`` CPUs (``machine.cpu_count`` in the
+    bench document); on smaller machines the ratio is reported but
+    cannot be meaningful. Returns a JSON-ready document with per-count
+    throughput and per-batch latency statistics plus the speedup.
+    """
+    from repro.cluster import ShardRouter, WorkerPool
+    from repro.engine import SimilarityConfig
+    from repro.graph.generators import random_digraph
+    from repro.serve import SnapshotManager
+
+    worker_counts = tuple(int(w) for w in worker_counts)
+    if len(worker_counts) < 2:
+        raise ValueError("worker_counts needs at least two entries")
+    graph = random_digraph(nodes, edges, seed=seed)
+    config = SimilarityConfig(
+        measure=measure, c=c, num_iterations=num_terms, dtype=dtype
+    )
+    rng = np.random.default_rng(seed)
+    pool_size = (batches + 1) * batch_size
+    picks = [
+        int(q) for q in (
+            rng.permutation(nodes)[:pool_size]
+            if pool_size <= nodes
+            else rng.integers(0, nodes, size=pool_size)
+        )
+    ]
+    warmup_batch = picks[:batch_size]
+    workload = [
+        picks[(i + 1) * batch_size:(i + 2) * batch_size]
+        for i in range(batches)
+    ]
+
+    per_count: dict[str, dict] = {}
+    for count in worker_counts:
+        snapshots = SnapshotManager(graph, config)
+        router = ShardRouter(
+            WorkerPool(workers=count, mp_context=mp_context),
+            snapshots,
+        )
+        start = time.perf_counter()
+        router.start()
+        startup = time.perf_counter() - start
+        snapshot = router.pin()
+        try:
+            router.compute(snapshot.seq, warmup_batch)  # untimed
+            batch_seconds: list[float] = []
+            wall_start = time.perf_counter()
+            for batch in workload:
+                t0 = time.perf_counter()
+                columns = router.compute(snapshot.seq, batch)
+                batch_seconds.append(time.perf_counter() - t0)
+                if len(columns) != len(set(batch)):
+                    raise RuntimeError(
+                        f"dropped columns at workers={count}"
+                    )
+            wall = time.perf_counter() - wall_start
+        finally:
+            router.unpin(snapshot.seq)
+            router.stop()
+        total = batches * batch_size
+        per_count[str(count)] = {
+            "startup_seconds": startup,
+            "wall_seconds": wall,
+            "columns_per_second": total / wall if wall > 0 else 0.0,
+            "batch_latency": LatencyStats.from_seconds(
+                batch_seconds
+            ).to_dict(),
+            "shards_dispatched": router.shards_dispatched,
+            "shard_retries": router.shard_retries,
+        }
+
+    low, high = worker_counts[0], worker_counts[-1]
+    low_rps = per_count[str(low)]["columns_per_second"]
+    high_rps = per_count[str(high)]["columns_per_second"]
+    return {
+        "params": {
+            "nodes": nodes,
+            "edges": edges,
+            "worker_counts": list(worker_counts),
+            "batches": batches,
+            "batch_size": batch_size,
+            "total_columns": batches * batch_size,
+            "num_terms": num_terms,
+            "measure": measure,
+            "c": c,
+            "dtype": dtype,
+            "seed": seed,
+            "mp_context": mp_context,
+        },
+        "workers": per_count,
+        "speedup_key": f"speedup_workers_{high}_vs_{low}",
+        f"speedup_workers_{high}_vs_{low}": (
+            high_rps / low_rps if low_rps > 0 else float("inf")
+        ),
     }

@@ -21,7 +21,9 @@ Two kinds of gate are applied when comparing:
 from __future__ import annotations
 
 import json
+import os
 import platform
+import re
 import sys
 import time
 import tracemalloc
@@ -43,7 +45,15 @@ GATED_SPEEDUPS = (
     "speedup_blocked_vs_loop",
     "speedup_engine_batch_vs_loop",
     "speedup_index_load_vs_rebuild",
+    "speedup_workers_4_vs_1",
 )
+
+#: ``speedup_workers_<b>_vs_<a>`` ratios (``python -m repro.bench
+#: --cluster``) are machine-independent only when the machine can
+#: actually run the larger worker count in parallel, so their floor
+#: applies only when the *current* run's ``machine.cpu_count`` is at
+#: least ``b``; on smaller machines they are reported un-gated.
+_WORKER_SPEEDUP = re.compile(r"^speedup_workers_(\d+)_vs_(\d+)$")
 
 __all__ = [
     "BenchCase",
@@ -171,6 +181,7 @@ def machine_info() -> dict:
         "scipy": scipy.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
     }
     try:
         import resource
@@ -458,7 +469,11 @@ def compare_runs(
     ``min_gate_seconds`` are reported but never fail the absolute
     gate — at microsecond scale, scheduler jitter alone dwarfs any
     real regression, and the relative speedup floors still cover the
-    hot paths.
+    hot paths. Worker-scaling speedups
+    (``speedup_workers_<b>_vs_<a>``) are additionally gated only when
+    the current run's machine has at least ``b`` CPUs — a 1-core
+    machine cannot exhibit 4-worker parallelism, and pretending its
+    ratio is a regression would make the gate machine-*dependent*.
     """
     ok = True
     lines: list[str] = []
@@ -483,14 +498,20 @@ def compare_runs(
             f"{base_t * 1e3:.2f} ms ({ratio:.2f}x, limit "
             f"{threshold:.1f}x{note})"
         )
+    cpu_count = current.get("machine", {}).get("cpu_count") or 0
     for key, value in sorted(current.get("derived", {}).items()):
         gated = key in GATED_SPEEDUPS
+        floor_note = f" (floor {speedup_floor:.1f}x)" if gated else ""
+        workers = _WORKER_SPEEDUP.match(key)
+        if gated and workers and cpu_count < int(workers.group(1)):
+            gated = False
+            floor_note = (
+                f" (not gated: needs >= {workers.group(1)} CPUs, "
+                f"machine has {cpu_count})"
+            )
         status = "ok"
         if gated and value < speedup_floor:
             ok = False
             status = "FAIL"
-        floor_note = (
-            f" (floor {speedup_floor:.1f}x)" if gated else ""
-        )
         lines.append(f"{status} {key}: {value:.2f}x{floor_note}")
     return ok, lines

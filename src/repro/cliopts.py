@@ -1,0 +1,119 @@
+"""Shared argparse fragments for the ``python -m repro.*`` CLIs.
+
+``repro.serve`` and ``repro.index`` accept the same graph sources
+(seeded random digraph, edge-list file, the paper's Figure 1 graph)
+and the same core similarity configuration. Defining those options
+once keeps the two CLIs from drifting apart — a new graph source or a
+changed default lands in both, and ``docs/operations.md`` can
+truthfully document them as shared.
+
+>>> import argparse
+>>> from repro.cliopts import add_graph_options, build_graph
+>>> parser = argparse.ArgumentParser()
+>>> add_graph_options(parser)
+>>> build_graph(parser.parse_args(["--figure1"])).num_nodes
+11
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = [
+    "add_config_options",
+    "add_graph_options",
+    "build_graph",
+    "config_from_args",
+]
+
+
+def add_graph_options(parser: argparse.ArgumentParser) -> None:
+    """The shared graph-source options (``--nodes`` ... ``--figure1``).
+
+    >>> import argparse
+    >>> parser = argparse.ArgumentParser()
+    >>> add_graph_options(parser)
+    >>> parser.parse_args([]).nodes
+    2000
+    """
+    parser.add_argument(
+        "--nodes", type=int, default=2000,
+        help="random-graph node count (default 2000)",
+    )
+    parser.add_argument(
+        "--edges", type=int, default=12000,
+        help="random-graph edge count (default 12000)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--edge-file", default=None,
+        help="use a graph read from an edge-list file instead "
+        "(one 'u v' pair per line)",
+    )
+    parser.add_argument(
+        "--figure1", action="store_true",
+        help="use the paper's 11-node Figure 1 citation graph",
+    )
+
+
+def build_graph(args: argparse.Namespace):
+    """The :class:`~repro.graph.DiGraph` the parsed options describe.
+
+    >>> import argparse
+    >>> parser = argparse.ArgumentParser()
+    >>> add_graph_options(parser)
+    >>> args = parser.parse_args(["--nodes", "20", "--edges", "40"])
+    >>> graph = build_graph(args)
+    >>> graph.num_nodes, graph.num_edges
+    (20, 40)
+    """
+    if args.figure1:
+        from repro.graph import figure1_citation_graph
+
+        return figure1_citation_graph()
+    if args.edge_file is not None:
+        from repro.graph.io import read_edge_list
+
+        return read_edge_list(args.edge_file)
+    from repro.graph.generators import random_digraph
+
+    return random_digraph(args.nodes, args.edges, seed=args.seed)
+
+
+def add_config_options(parser: argparse.ArgumentParser) -> None:
+    """The shared similarity-config options (measure/damping/...).
+
+    >>> import argparse
+    >>> parser = argparse.ArgumentParser()
+    >>> add_config_options(parser)
+    >>> args = parser.parse_args(["-c", "0.8"])
+    >>> args.measure, args.damping
+    ('gSR*', 0.8)
+    """
+    parser.add_argument("--measure", default="gSR*")
+    parser.add_argument("-c", "--damping", type=float, default=0.6)
+    parser.add_argument("--num-iterations", type=int, default=10)
+    parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64"
+    )
+
+
+def config_from_args(args: argparse.Namespace):
+    """A :class:`~repro.engine.SimilarityConfig` from the parsed options.
+
+    >>> import argparse
+    >>> parser = argparse.ArgumentParser()
+    >>> add_config_options(parser)
+    >>> config_from_args(parser.parse_args(["--measure", "eSR*"]))
+    SimilarityConfig(measure='eSR*', c=0.6, num_iterations=10, \
+epsilon=None, weights='auto', dtype='float64', \
+max_cached_columns=None, column_policy='lru')
+    """
+    from repro.engine.config import SimilarityConfig
+
+    return SimilarityConfig(
+        measure=args.measure,
+        c=args.damping,
+        num_iterations=args.num_iterations,
+        dtype=args.dtype,
+    )

@@ -1,0 +1,69 @@
+"""`repro.cluster` — multi-process sharded serving over one mmap index.
+
+Single-process serving (:mod:`repro.serve`) coalesces traffic into
+blocked batches, but one GIL-bound process still caps throughput. The
+similarity family served here is embarrassingly parallel across query
+*columns* — each single-source evaluation is an independent solve — so
+this package scales it horizontally the only way that preserves the
+paper's preprocess-once economics: **K worker processes that
+memory-map one persisted** :class:`~repro.index.SimilarityIndex`
+**and therefore share one page cache**, instead of K heap copies of
+``Q`` / ``Q^T`` / the compressed factors.
+
+Three parts:
+
+* :class:`WorkerPool` — forks the workers (``spawn`` context), writes
+  one ``gen-<seq>.simidx`` per served snapshot generation, replays
+  live generations into respawned workers, and runs the two-phase
+  hot-swap (``prepare`` everywhere first, then ``commit``).
+* :class:`ShardRouter` — splits each coalesced micro-batch into
+  per-worker column shards, dispatches them concurrently, merges the
+  results in arrival order, and owns the atomic snapshot *pinning*
+  that lets mutations hot-swap mid-traffic with zero failed requests.
+* :mod:`repro.cluster.worker` — the worker process itself: one engine
+  per live generation, built from the mmap'd index (or rebuilt from
+  the shipped graph when the file is corrupt — a swap never fails on
+  a bad file).
+
+Wired into the serving layer as ``ServingService(graph, workers=K)``
+and ``python -m repro.serve serve --workers K``; scaling is measured
+by ``python -m repro.bench --cluster`` (the
+``speedup_workers_4_vs_1`` gate).
+
+End to end, one worker, eleven nodes (the paper's Figure 1 graph):
+
+>>> from repro.cluster import ShardRouter, WorkerPool
+>>> from repro.graph import figure1_citation_graph
+>>> from repro.serve import SnapshotManager
+>>> snapshots = SnapshotManager(
+...     figure1_citation_graph(), measure="gSR*", c=0.8,
+...     num_iterations=10)
+>>> router = ShardRouter(WorkerPool(workers=1), snapshots)
+>>> router.start()
+>>> snapshot = router.pin()
+>>> columns = router.compute(snapshot.seq, [0, 1])
+>>> router.unpin(snapshot.seq)
+>>> sorted(columns) == [0, 1] and len(columns[0]) == 11
+True
+>>> float(columns[0][0]) > 0  # self-similarity is positive
+True
+>>> router.stop()
+"""
+
+from repro.cluster.pool import ClusterError, WorkerCrash, WorkerPool
+from repro.cluster.router import ShardRouter
+from repro.cluster.worker import (
+    graph_from_payload,
+    graph_to_payload,
+    worker_main,
+)
+
+__all__ = [
+    "ClusterError",
+    "ShardRouter",
+    "WorkerCrash",
+    "WorkerPool",
+    "graph_from_payload",
+    "graph_to_payload",
+    "worker_main",
+]

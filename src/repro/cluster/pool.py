@@ -1,0 +1,566 @@
+"""`WorkerPool` — the parent-side owner of K worker processes.
+
+The pool does process lifecycle and *generation* lifecycle, nothing
+else (query routing lives in :class:`~repro.cluster.ShardRouter`):
+
+* **spawn / respawn** — workers start via the ``spawn``
+  multiprocessing context by default (never ``fork`` under a threaded,
+  asyncio-running parent) and are replayed every live generation on
+  respawn, so a crashed worker comes back able to serve any batch
+  still pinned to an older snapshot.
+* **generations** — :meth:`prepare` persists one snapshot's engine as
+  a ``.simidx`` file in the pool's index directory and has every
+  worker memory-map it (phase one of the two-phase hot-swap);
+  :meth:`commit` marks it current (phase two); :meth:`release` lets
+  workers drop an old generation once the router has drained every
+  batch pinned to it. Release messages are sent by a maintenance
+  thread so a busy worker never blocks the swap path.
+* **chaos** — :meth:`kill_worker` SIGKILLs one worker, for failure
+  drills and the worker-death tests; the next shard routed at it
+  respawns and retries.
+
+Construction is cheap and safe everywhere (the doctest below builds a
+pool without starting it); only :meth:`start` forks processes.
+
+>>> from repro.cluster import WorkerPool
+>>> pool = WorkerPool(workers=4)
+>>> pool.size, pool.started
+(4, False)
+"""
+
+from __future__ import annotations
+
+import queue
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+__all__ = ["ClusterError", "WorkerCrash", "WorkerPool"]
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level operation failed (prepare, dispatch, ...).
+
+    >>> from repro.cluster import ClusterError, WorkerCrash
+    >>> issubclass(WorkerCrash, ClusterError)
+    True
+    """
+
+
+class WorkerCrash(ClusterError):
+    """One worker died or hung while holding a shard.
+
+    Raised by :meth:`WorkerPool.shard` so the router can respawn the
+    worker and retry — callers of the serving API never see it unless
+    the retry budget is exhausted.
+
+    >>> from repro.cluster import WorkerCrash
+    >>> raise WorkerCrash("worker 2 died mid-shard")
+    Traceback (most recent call last):
+        ...
+    repro.cluster.pool.WorkerCrash: worker 2 died mid-shard
+    """
+
+
+class _Worker:
+    """Parent-side handle of one worker process.
+
+    Two locks with distinct scopes: ``lock`` serialises whole
+    request/reply transactions (a shard, a prepare, a status ping) so
+    replies pair positionally with requests; ``send_lock`` guards only
+    the atomicity of a single ``conn.send``. Fire-and-forget messages
+    (``commit``, ``release``, ``stop``) take just ``send_lock``, so
+    they interleave safely into the pipe *between* a transaction's
+    request and its reply and never wait behind a computing shard.
+    """
+
+    __slots__ = (
+        "index", "process", "conn", "lock", "send_lock",
+        "shards_served", "respawns", "job_counter",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.send_lock = threading.Lock()
+        self.shards_served = 0
+        self.respawns = 0
+        self.job_counter = 0
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            self.conn.send(message)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class WorkerPool:
+    """Fork and supervise K engine workers sharing one mmap'd index.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes. Must be positive.
+    index_dir:
+        Directory for the per-generation ``gen-<seq>.simidx`` files.
+        Defaults to a private temporary directory removed on
+        :meth:`stop`.
+    mp_context:
+        :mod:`multiprocessing` start-method name. ``"spawn"``
+        (default) is the only method that is safe under a parent
+        already running threads and an event loop; ``"fork"`` is
+        faster to start but inherits the parent's locks.
+    shard_timeout:
+        Seconds a dispatched shard may take before the worker is
+        declared hung, killed, and the shard retried elsewhere.
+    prepare_timeout:
+        Seconds one worker may take to load/build a generation.
+
+    Examples
+    --------
+    Construction is inert; only :meth:`start` forks processes:
+
+    >>> from repro.cluster import WorkerPool
+    >>> pool = WorkerPool(workers=4, shard_timeout=30.0)
+    >>> pool.size, pool.started, pool.current_seq
+    (4, False, -1)
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        index_dir: str | Path | None = None,
+        mp_context: str = "spawn",
+        shard_timeout: float = 120.0,
+        prepare_timeout: float = 600.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.size = int(workers)
+        self.shard_timeout = float(shard_timeout)
+        self.prepare_timeout = float(prepare_timeout)
+        self._mp_context_name = mp_context
+        self._index_dir = (
+            Path(index_dir) if index_dir is not None else None
+        )
+        self._owns_index_dir = index_dir is None
+        self._workers: list[_Worker] = []
+        self._generations: dict[int, dict] = {}  # seq -> payload
+        self.current_seq = -1
+        self.started = False
+        self._lock = threading.Lock()  # guards workers + generations
+        self._release_queue: queue.Queue = queue.Queue()
+        self._maintenance: threading.Thread | None = None
+        self.index_saves = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, snapshot) -> None:
+        """Spawn every worker, primed with ``snapshot`` as gen 0.
+
+        Persists the snapshot engine's precomputation to the pool's
+        index directory first, so the K workers memory-map one file
+        (one page cache) instead of holding K heap copies.
+        """
+        if self.started:
+            raise ClusterError("pool already started")
+        if self._index_dir is None:
+            self._index_dir = Path(
+                tempfile.mkdtemp(prefix="repro-cluster-")
+            )
+        self._index_dir.mkdir(parents=True, exist_ok=True)
+        self._register_generation(snapshot)
+        self.current_seq = snapshot.seq
+        self._workers = [_Worker(i) for i in range(self.size)]
+        for worker in self._workers:
+            self._spawn(worker)
+        self.started = True
+        self._maintenance = threading.Thread(
+            target=self._maintenance_loop,
+            name="repro-cluster-maintenance",
+            daemon=True,
+        )
+        self._maintenance.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop every worker and remove the pool-owned index files."""
+        if not self.started:
+            return
+        self.started = False
+        self._release_queue.put(None)  # wake + end maintenance
+        for worker in self._workers:
+            try:
+                worker.send(("stop",))
+            except (OSError, ValueError, AttributeError):
+                pass  # already dead: join/kill below still applies
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            if worker.process is None:
+                continue
+            worker.process.join(
+                max(0.1, deadline - time.monotonic())
+            )
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+            if worker.conn is not None:
+                worker.conn.close()
+        if self._maintenance is not None:
+            self._maintenance.join(timeout=2.0)
+            self._maintenance = None
+        if self._owns_index_dir and self._index_dir is not None:
+            shutil.rmtree(self._index_dir, ignore_errors=True)
+            self._index_dir = None
+        with self._lock:
+            self._generations.clear()
+        self.current_seq = -1
+
+    # ------------------------------------------------------------------
+    # generations (two-phase swap, parent side)
+    # ------------------------------------------------------------------
+    def generation_path(self, seq: int) -> Path:
+        """Where generation ``seq``'s index file lives."""
+        if self._index_dir is None:
+            raise ClusterError("pool has no index directory yet")
+        return self._index_dir / f"gen-{seq}.simidx"
+
+    def _register_generation(self, snapshot) -> dict:
+        """Persist ``snapshot``'s engine and record its payload."""
+        from repro.cluster.worker import graph_to_payload
+
+        path = self.generation_path(snapshot.seq)
+        snapshot.engine.export_index().save(path)
+        self.index_saves += 1
+        payload = dict(
+            graph_to_payload(snapshot.graph),
+            config=snapshot.engine.config,
+            index_path=str(path),
+            # spawned workers re-import only the built-in measures;
+            # shipping the measure's defining module lets them re-run
+            # a custom @register_measure registration before building
+            # (measures defined in unimportable places — a REPL, a
+            # notebook — cannot be served by workers and fail prepare
+            # with the registry's unknown-measure error)
+            measure_module=snapshot.engine.measure.compute.__module__,
+        )
+        with self._lock:
+            self._generations[snapshot.seq] = payload
+        return payload
+
+    def prepare(self, snapshot) -> list[dict]:
+        """Phase one of the hot-swap: every worker loads ``snapshot``.
+
+        Persists the new generation's index, then has each worker
+        build its engine for it *off to the side* — the workers keep
+        serving the current generation throughout. Returns one info
+        dict per worker. A worker that dies during prepare is
+        respawned (the respawn replays all live generations, including
+        this one); a worker that *reports* a failed prepare raises
+        :exc:`ClusterError` and the caller must abort the swap, which
+        leaves the old generation serving untouched.
+        """
+        if not self.started:
+            return []
+        self._register_generation(snapshot)
+
+        def prepare_one(worker: _Worker) -> dict:
+            try:
+                return self._prepare_worker(worker, snapshot.seq)
+            except WorkerCrash:
+                self.respawn(worker.index)  # replays every live gen
+                return {"respawned": True}
+
+        try:
+            # overlap the per-worker loads/builds: each worker
+            # prepares on its own pipe, so phase one costs
+            # max(worker) not sum(worker)
+            with ThreadPoolExecutor(
+                max_workers=len(self._workers),
+                thread_name_prefix="repro-cluster-prepare",
+            ) as executor:
+                return list(executor.map(prepare_one, self._workers))
+        except Exception:
+            # the swap is aborting: unregister the failed generation
+            # everywhere, or every later respawn would replay it and
+            # fail again — poisoning crash recovery itself
+            with self._lock:
+                self._generations.pop(snapshot.seq, None)
+            for worker in self._workers:
+                try:
+                    worker.send(("release", snapshot.seq))
+                except (OSError, ValueError, AttributeError):
+                    continue
+            self.generation_path(snapshot.seq).unlink(missing_ok=True)
+            raise
+
+    def _prepare_worker(self, worker: _Worker, seq: int) -> dict:
+        with self._lock:
+            payload = self._generations[seq]
+        with worker.lock:
+            try:
+                worker.send(("prepare", seq, payload))
+                reply = self._recv(worker, self.prepare_timeout)
+            except (OSError, EOFError, ValueError) as exc:
+                raise WorkerCrash(
+                    f"worker {worker.index} died during prepare: {exc}"
+                ) from exc
+        kind, got_seq, info = reply
+        if kind == "prepare_failed" or got_seq != seq:
+            raise ClusterError(
+                f"worker {worker.index} failed to prepare generation "
+                f"{seq}: {info}"
+            )
+        return info
+
+    def commit(self, seq: int) -> None:
+        """Phase two: mark ``seq`` current on every worker.
+
+        Workers select their engine per shard by sequence number, so
+        this is bookkeeping (status/convergence reporting), not the
+        correctness mechanism — a batch pinned to the old snapshot
+        keeps hitting the old engines until the router releases them.
+        """
+        if not self.started:
+            return
+        self.current_seq = max(self.current_seq, seq)
+        for worker in self._workers:
+            try:
+                # send-lock only: commits interleave into the pipe
+                # without waiting behind an in-flight shard's compute
+                worker.send(("commit", seq))
+            except (OSError, ValueError):
+                self.respawn(worker.index)
+
+    def release(self, seq: int) -> None:
+        """Let workers drop generation ``seq`` (asynchronously).
+
+        Queued for the maintenance thread: the caller may hold the
+        router's pin lock, and a worker busy computing a shard would
+        otherwise block the release behind its reply.
+        """
+        with self._lock:
+            self._generations.pop(seq, None)
+        self._release_queue.put(seq)
+
+    def _maintenance_loop(self) -> None:
+        while True:
+            seq = self._release_queue.get()
+            if seq is None or not self.started:
+                return
+            for worker in self._workers:
+                try:
+                    worker.send(("release", seq))
+                except (OSError, ValueError):
+                    continue  # dead worker: respawn replays live gens
+            path = self.generation_path(seq)
+            path.unlink(missing_ok=True)
+            self.releases += 1
+
+    # ------------------------------------------------------------------
+    # dispatch + supervision
+    # ------------------------------------------------------------------
+    def shard(self, worker_index: int, seq: int, ids: list[int]) -> dict:
+        """Run one column shard on one worker (blocking, thread-safe).
+
+        Returns ``{resolved id: score column}``. Raises
+        :exc:`WorkerCrash` when the worker is dead, dies mid-shard, or
+        exceeds ``shard_timeout`` (it is then killed) — the router
+        catches that, respawns, and retries.
+        """
+        worker = self._workers[worker_index]
+        with worker.lock:
+            worker.job_counter += 1
+            job = worker.job_counter
+            try:
+                worker.send(("columns", job, seq, list(ids)))
+                reply = self._recv(worker, self.shard_timeout)
+            except (OSError, EOFError, ValueError) as exc:
+                raise WorkerCrash(
+                    f"worker {worker_index} died mid-shard: {exc}"
+                ) from exc
+            kind, got_job, payload = reply
+            if got_job != job:
+                raise WorkerCrash(
+                    f"worker {worker_index} answered job {got_job}, "
+                    f"expected {job} (desynchronised connection)"
+                )
+            if kind == "error":
+                raise WorkerCrash(
+                    f"worker {worker_index} failed shard: {payload}"
+                )
+            worker.shards_served += 1
+            return payload
+
+    def _recv(self, worker: _Worker, timeout: float):
+        """One reply off ``worker``'s pipe, or kill + crash on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if worker.process is not None:
+                    worker.process.kill()
+                raise WorkerCrash(
+                    f"worker {worker.index} timed out after "
+                    f"{timeout:.0f}s (killed)"
+                )
+            if worker.conn.poll(min(0.2, remaining)):
+                return worker.conn.recv()
+            if not worker.alive:
+                raise EOFError(
+                    f"worker {worker.index} exited while awaited"
+                )
+
+    def respawn(self, worker_index: int) -> None:
+        """Replace one (dead) worker with a fresh process.
+
+        The replacement is replayed every live generation and the
+        current commit, so shards pinned to an older snapshot retry
+        cleanly on it. Refuses (raises :exc:`ClusterError`) once the
+        pool is stopped — a crash-retry racing shutdown must fail its
+        shard, not resurrect orphan worker processes that nothing
+        will ever stop.
+        """
+        if not self.started:
+            raise ClusterError(
+                "pool is stopped; refusing to respawn a worker"
+            )
+        worker = self._workers[worker_index]
+        with worker.lock:
+            # hold the send lock only while the connection is being
+            # torn down, so a concurrent fire-and-forget send can
+            # never write into a half-closed pipe
+            with worker.send_lock:
+                if worker.process is not None:
+                    if worker.process.is_alive():
+                        worker.process.kill()
+                    worker.process.join(2.0)
+                if worker.conn is not None:
+                    worker.conn.close()
+                worker.respawns += 1
+            self._spawn(worker)
+
+    def kill_worker(self, worker_index: int) -> int:
+        """SIGKILL one worker (chaos hook for failure drills).
+
+        Returns the killed pid. The worker is *not* respawned here —
+        the next shard routed at it (or :meth:`respawn`) does that —
+        so tests and operators can observe the recovery path itself.
+        """
+        process = self._workers[worker_index].process
+        pid = process.pid
+        process.kill()
+        process.join(2.0)
+        return pid
+
+    def _spawn(self, worker: _Worker) -> None:
+        """(Re)start one worker and replay the live generations."""
+        import multiprocessing
+
+        from repro.cluster.worker import worker_main
+
+        ctx = multiprocessing.get_context(self._mp_context_name)
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"repro-cluster-worker-{worker.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        with self._lock:
+            replay = sorted(self._generations.items())
+        for seq, payload in replay:
+            worker.send(("prepare", seq, payload))
+            kind, got_seq, info = self._recv(
+                worker, self.prepare_timeout
+            )
+            if kind != "prepared" or got_seq != seq:
+                raise ClusterError(
+                    f"respawned worker {worker.index} could not "
+                    f"prepare generation {seq}: {info}"
+                )
+        if self.current_seq >= 0:
+            worker.send(("commit", self.current_seq))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def worker_status(
+        self, timeout: float = 5.0, busy_wait: float = 0.5
+    ) -> list[dict]:
+        """Ping every worker; dead/hung ones report ``alive: False``.
+
+        A worker whose transaction lock is held by an in-flight shard
+        is reported as ``busy`` after ``busy_wait`` seconds instead of
+        being waited on — the monitoring path must answer *during* the
+        long batches and hangs it exists to expose, not after them.
+        """
+        out = []
+        for worker in self._workers:
+            entry = {
+                "index": worker.index,
+                "pid": (
+                    worker.process.pid
+                    if worker.process is not None else None
+                ),
+                "alive": worker.alive,
+                "busy": False,
+                "shards_served": worker.shards_served,
+                "respawns": worker.respawns,
+            }
+            if worker.alive:
+                if not worker.lock.acquire(timeout=busy_wait):
+                    entry["busy"] = True
+                    out.append(entry)
+                    continue
+                try:
+                    worker.job_counter += 1
+                    job = worker.job_counter
+                    worker.send(("status", job))
+                    kind, got_job, info = self._recv(worker, timeout)
+                    if kind == "status" and got_job == job:
+                        entry.update(info)
+                except (ClusterError, OSError, EOFError, ValueError):
+                    entry["alive"] = worker.alive
+                finally:
+                    worker.lock.release()
+            out.append(entry)
+        return out
+
+    def describe(self) -> dict:
+        """JSON-ready pool state (embedded under ``/status``)."""
+        with self._lock:
+            generations = sorted(self._generations)
+        return {
+            "workers": self.size,
+            "started": self.started,
+            "current_seq": self.current_seq,
+            "generations": generations,
+            "index_dir": (
+                str(self._index_dir)
+                if self._index_dir is not None else None
+            ),
+            "index_saves": self.index_saves,
+            "releases": self.releases,
+            "respawns": sum(w.respawns for w in self._workers),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.size}, "
+            f"started={self.started}, "
+            f"current_seq={self.current_seq})"
+        )

@@ -1,0 +1,300 @@
+"""`ShardRouter` — split micro-batches into per-worker column shards.
+
+The router is the parent-side query plane of :mod:`repro.cluster`:
+the broker hands it one coalesced micro-batch of resolved query ids,
+it splits them into up to K contiguous shards, dispatches each shard
+to its worker concurrently (one thread per shard — the *workers* do
+the math, the threads only move pickles), and merges the per-shard
+column dicts in arrival order. This is exactly the shape single-source
+SimRank-family evaluation shards into: every query column is an
+independent solve, so the split needs no coordination beyond the merge.
+
+The router also owns the *pinning* discipline that makes hot-swaps
+safe under concurrency: :meth:`pin` atomically reads the current
+snapshot and counts the batch in-flight against its generation, and
+:meth:`post_swap` retires old generations, releasing each one to the
+workers only once its in-flight count drains to zero. A batch
+therefore always computes against the exact generation it pinned —
+never a mix, never a dropped request.
+
+Worker death is handled below the caller's line of sight: a shard
+whose worker died (or hung past the pool's ``shard_timeout``) respawns
+the worker — replaying every live generation — and retries, up to
+``max_retries`` per shard.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cluster.pool import ClusterError, WorkerCrash, WorkerPool
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Route coalesced batches across a :class:`WorkerPool`.
+
+    Parameters
+    ----------
+    pool:
+        The worker pool that owns the processes and generations.
+    snapshots:
+        The parent :class:`~repro.serve.SnapshotManager`; its
+        ``current`` snapshot is what :meth:`pin` pins, and its
+        hot-swap hooks should point at :meth:`pre_swap` /
+        :meth:`post_swap`.
+    max_retries:
+        Dispatch attempts per shard beyond the first (each retry
+        respawns the shard's worker first).
+
+    Construction is inert (the doctest never forks):
+
+    >>> from repro.cluster import ShardRouter, WorkerPool
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import SnapshotManager
+    >>> router = ShardRouter(
+    ...     WorkerPool(workers=2),
+    ...     SnapshotManager(figure1_citation_graph(), measure="gSR*"),
+    ... )
+    >>> router.started
+    False
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        snapshots,
+        *,
+        max_retries: int = 2,
+    ) -> None:
+        self.pool = pool
+        self.snapshots = snapshots
+        self.max_retries = int(max_retries)
+        self._lock = threading.Lock()   # pins + retirement
+        self._inflight: dict[int, int] = {}
+        self._retired: set[int] = set()
+        self._executor: ThreadPoolExecutor | None = None
+        self.batches_routed = 0
+        self.shards_dispatched = 0
+        self.shard_retries = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self.pool.started
+
+    def start(self) -> None:
+        """Start the pool on the manager's current snapshot."""
+        if self.started:
+            return
+        snapshot = self.snapshots.current
+        self.pool.start(snapshot)
+        self._mirror_persist(snapshot)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.pool.size,
+            thread_name_prefix="repro-cluster-shard",
+        )
+
+    def stop(self) -> None:
+        """Stop the pool and the shard-dispatch threads (idempotent)."""
+        self.pool.stop()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        with self._lock:
+            self._inflight.clear()
+            self._retired.clear()
+
+    # ------------------------------------------------------------------
+    # snapshot pinning (the hot-swap safety contract)
+    # ------------------------------------------------------------------
+    def pin(self):
+        """Atomically grab the current snapshot and count it in-flight.
+
+        The read of ``snapshots.current`` and the in-flight increment
+        happen under one lock — the same lock :meth:`post_swap`
+        retires generations under — so a generation can never be
+        released between a batch pinning it and registering itself.
+        """
+        with self._lock:
+            snapshot = self.snapshots.current
+            self._inflight[snapshot.seq] = (
+                self._inflight.get(snapshot.seq, 0) + 1
+            )
+            return snapshot
+
+    def unpin(self, seq: int) -> None:
+        """Drop one in-flight count; release the gen if fully drained."""
+        with self._lock:
+            remaining = self._inflight.get(seq, 0) - 1
+            if remaining > 0:
+                self._inflight[seq] = remaining
+                return
+            self._inflight.pop(seq, None)
+            release = seq in self._retired
+            if release:
+                self._retired.discard(seq)
+        if release:
+            self.pool.release(seq)
+
+    def pre_swap(self, snapshot) -> None:
+        """Hot-swap phase one: all workers prepare ``snapshot``.
+
+        Raising here aborts the swap in
+        :meth:`~repro.serve.SnapshotManager.mutate` — the old
+        generation keeps serving, untouched.
+        """
+        if self.started:
+            self.pool.prepare(snapshot)
+            self._mirror_persist(snapshot)
+
+    def _mirror_persist(self, snapshot) -> None:
+        """Copy the generation's index file onto the manager's
+        ``index_path`` instead of letting the manager re-export.
+
+        The pool just serialised this exact engine's artifacts into
+        ``gen-<seq>.simidx``; a file copy + atomic rename is far
+        cheaper than a second ``export_index().save()`` (full
+        serialisation + checksums) at the end of the same mutation.
+        Best-effort: on any IO error the manager's own persist path
+        still runs.
+        """
+        manager = self.snapshots
+        path = getattr(manager, "index_path", None)
+        if path is None or not getattr(manager, "persist_index", True):
+            return
+        try:
+            source = self.pool.generation_path(snapshot.seq)
+            staging = path.with_name(path.name + ".mirror")
+            shutil.copy2(source, staging)
+            os.replace(staging, path)
+        except OSError:
+            return
+        manager.mark_persisted(snapshot.engine)
+
+    def post_swap(self, old, new) -> None:
+        """Hot-swap phase two: commit ``new``, retire older gens."""
+        if not self.started:
+            return
+        self.pool.commit(new.seq)
+        to_release = []
+        with self._lock:
+            known = set(self._inflight) | set(self._retired)
+            known.add(old.seq)
+            for seq in known:
+                if seq >= new.seq:
+                    continue
+                if self._inflight.get(seq, 0) > 0:
+                    self._retired.add(seq)  # released on last unpin
+                else:
+                    self._retired.discard(seq)
+                    to_release.append(seq)
+        for seq in to_release:
+            self.pool.release(seq)
+
+    # ------------------------------------------------------------------
+    # the query plane
+    # ------------------------------------------------------------------
+    def compute(self, seq: int, ids: list[int]) -> dict:
+        """Columns for ``ids`` from generation ``seq``, shard-parallel.
+
+        Splits the (already resolved, deduplicated) ids into
+        contiguous shards over the pool's workers, dispatches them
+        concurrently, and merges the results. Blocking — the broker
+        calls it through an executor thread.
+        """
+        if not self.started:
+            raise ClusterError("router not started")
+        distinct = list(dict.fromkeys(int(q) for q in ids))
+        if not distinct:
+            return {}
+        shards = self._split(distinct)
+        # rotate the starting worker per batch: without the offset,
+        # every batch smaller than the pool (the common case under
+        # steady non-bursty traffic) would land on worker 0 alone
+        offset = self.batches_routed % self.pool.size
+        self.batches_routed += 1
+        merged: dict[int, object] = {}
+        if len(shards) == 1:
+            merged.update(self._run_shard(offset, seq, shards[0]))
+            return merged
+        futures = [
+            self._executor.submit(
+                self._run_shard,
+                (offset + i) % self.pool.size,
+                seq,
+                shard,
+            )
+            for i, shard in enumerate(shards)
+        ]
+        errors = []
+        for future in futures:
+            try:
+                merged.update(future.result())
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise ClusterError(
+                f"{len(errors)} of {len(shards)} shards failed "
+                f"after retries: {errors[0]}"
+            ) from errors[0]
+        return merged
+
+    def _split(self, ids: list[int]) -> list[list[int]]:
+        """Contiguous, near-equal shards — at most one per worker."""
+        k = min(self.pool.size, len(ids))
+        base, extra = divmod(len(ids), k)
+        shards, cursor = [], 0
+        for i in range(k):
+            width = base + (1 if i < extra else 0)
+            shards.append(ids[cursor:cursor + width])
+            cursor += width
+        return shards
+
+    def _run_shard(
+        self, worker_index: int, seq: int, shard: list[int]
+    ) -> dict:
+        """One shard on one worker, with respawn-and-retry."""
+        with self._lock:  # shard threads run concurrently
+            self.shards_dispatched += 1
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                return self.pool.shard(worker_index, seq, shard)
+            except WorkerCrash:
+                if attempt == attempts - 1:
+                    raise
+                with self._lock:
+                    self.shard_retries += 1
+                self.pool.respawn(worker_index)
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self, ping_workers: bool = True) -> dict:
+        """JSON-ready router + pool state (the ``/status`` shape)."""
+        with self._lock:
+            inflight = dict(self._inflight)
+        out = {
+            "pool": self.pool.describe(),
+            "batches_routed": self.batches_routed,
+            "shards_dispatched": self.shards_dispatched,
+            "shard_retries": self.shard_retries,
+            "inflight": inflight,
+        }
+        if ping_workers and self.started:
+            out["worker_status"] = self.pool.worker_status()
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(pool={self.pool!r}, "
+            f"batches_routed={self.batches_routed})"
+        )

@@ -1,0 +1,246 @@
+"""The worker-process side of :mod:`repro.cluster`.
+
+One worker is one OS process holding one
+:class:`~repro.engine.SimilarityEngine` per live *generation* (snapshot
+sequence number). The parent talks to it over a single
+:class:`multiprocessing.connection.Connection`; requests and replies
+are plain tuples, processed strictly in arrival order, so a worker is
+single-threaded by construction and never mixes generations inside one
+shard.
+
+Engines are built from a *graph payload* (the edge arrays and the
+pickled :class:`~repro.engine.SimilarityConfig`) plus the path of the
+generation's persisted :class:`~repro.index.SimilarityIndex`.  The
+worker loads the index with ``mmap=True``, so K workers pointed at the
+same ``.simidx`` file share one page cache — the whole point of the
+PR 4 container format.  A missing, corrupt, or mismatched index file is
+*never* fatal: the worker falls back to building the artifacts from the
+payload graph (counted in its status as ``prepare_rebuilds``) so a
+two-phase swap always completes.
+
+Protocol (parent -> worker, worker -> parent):
+
+====================================  ===================================
+request                               reply
+====================================  ===================================
+``("prepare", seq, payload)``         ``("prepared", seq, info)`` or
+                                      ``("prepare_failed", seq, error)``
+``("columns", job, seq, ids)``        ``("columns", job, {id: column})``
+                                      or ``("error", job, message)``
+``("status", job)``                   ``("status", job, info_dict)``
+``("commit", seq)``                   *(no reply)*
+``("release", seq)``                  *(no reply)*
+``("stop",)``                         *(no reply; the worker exits)*
+====================================  ===================================
+
+The request/reply pairing is positional — the parent serialises use of
+each connection — which is why the fire-and-forget messages must never
+answer.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Any
+
+import numpy as np
+
+__all__ = ["graph_from_payload", "graph_to_payload", "worker_main"]
+
+
+def graph_to_payload(graph) -> dict:
+    """A picklable description of ``graph`` for shipping to a worker.
+
+    Carries the dense edge arrays (shared, read-only — cheap to pickle)
+    plus node count and labels; :func:`graph_from_payload` reconstructs
+    a structurally identical :class:`~repro.graph.DiGraph` whose
+    content digest matches the original, so a persisted index built
+    against the parent's graph fingerprints cleanly against the
+    worker's reconstruction.
+
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.cluster.worker import (
+    ...     graph_from_payload, graph_to_payload)
+    >>> g = figure1_citation_graph()
+    >>> h = graph_from_payload(graph_to_payload(g))
+    >>> h == g
+    True
+    """
+    heads, tails = graph.edge_arrays()
+    return {
+        "num_nodes": graph.num_nodes,
+        "heads": np.asarray(heads, dtype=np.int64),
+        "tails": np.asarray(tails, dtype=np.int64),
+        "labels": graph.labels,
+    }
+
+
+def graph_from_payload(payload: dict):
+    """Rebuild the :class:`~repro.graph.DiGraph` a payload describes.
+
+    >>> from repro.cluster import graph_from_payload, graph_to_payload
+    >>> from repro.graph.digraph import DiGraph
+    >>> g = DiGraph(3, edges=[(0, 1), (1, 2)])
+    >>> graph_from_payload(graph_to_payload(g)).num_edges
+    2
+    """
+    from repro.graph.digraph import DiGraph
+
+    graph = DiGraph(
+        int(payload["num_nodes"]),
+        edges=zip(
+            (int(u) for u in payload["heads"]),
+            (int(v) for v in payload["tails"]),
+        ),
+        labels=payload.get("labels"),
+    )
+    return graph
+
+
+def _build_engine(payload: dict) -> tuple[Any, dict]:
+    """An engine for one generation payload, warmed and query-ready.
+
+    Tries the persisted index first (memory-mapped, shared page
+    cache); any load or fingerprint problem falls back to building the
+    artifacts from the payload graph, so a swap completes even when
+    the index file was corrupted between the parent writing it and
+    this worker reading it.
+    """
+    import importlib
+
+    from repro.engine.engine import SimilarityEngine
+    from repro.index.artifacts import (
+        IndexMismatchError,
+        SimilarityIndex,
+    )
+    from repro.index.store import IndexFormatError
+
+    measure_module = payload.get("measure_module")
+    if measure_module:
+        try:
+            # a custom measure registers on its module's import; the
+            # built-ins load through the registry either way
+            importlib.import_module(measure_module)
+        except ImportError:
+            pass  # engine construction reports the unknown measure
+    graph = graph_from_payload(payload)
+    config = payload["config"]
+    index_path = payload.get("index_path")
+    engine = None
+    info = {"adopted": False, "rebuilt": False}
+    if index_path:
+        try:
+            index = SimilarityIndex.load(index_path, mmap=True)
+            engine = SimilarityEngine.from_index(index, graph, config)
+            info["adopted"] = True
+        except (IndexFormatError, IndexMismatchError, OSError):
+            engine = None
+    if engine is None:
+        engine = SimilarityEngine(graph, config)
+        info["rebuilt"] = True
+    # warm the shared artifacts now, off the query path, so the first
+    # sharded batch after a commit pays only its own walk
+    if (
+        engine.measure.supports_single_source
+        or "transition" in engine.measure.uses
+    ):
+        engine.transition_t
+    if "compressed" in engine.measure.uses:
+        engine.compressed
+    return engine, info
+
+
+def worker_main(conn) -> None:
+    """The worker process entry point: serve requests until ``stop``.
+
+    Runs forever on ``conn``; any exception inside one request is
+    reported back as that request's error reply and the loop survives.
+    ``SIGINT`` is ignored — an operator's Ctrl-C on the parent must
+    shut workers down through the pool's ``stop`` message, not race
+    it with a signal.
+
+    The loop only touches ``conn`` — the protocol is testable
+    in-process over a pipe (no fork required):
+
+    >>> import threading
+    >>> from multiprocessing import Pipe
+    >>> from repro.cluster import worker_main
+    >>> parent_end, worker_end = Pipe()
+    >>> thread = threading.Thread(
+    ...     target=worker_main, args=(worker_end,))
+    >>> thread.start()
+    >>> parent_end.send(("status", 1))
+    >>> kind, job, info = parent_end.recv()
+    >>> kind, info["generations"], info["columns_served"]
+    ('status', [], 0)
+    >>> parent_end.send(("stop",)); thread.join()
+    """
+    if threading.current_thread() is threading.main_thread():
+        # ignore Ctrl-C so the pool's stop message drives shutdown
+        # (signal handlers may only be installed from the main thread,
+        # and in-process/test harnesses run this loop on a thread)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    engines: dict[int, Any] = {}
+    current_seq = -1
+    prepare_rebuilds = 0
+    columns_served = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent is gone; nothing left to serve
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "prepare":
+            _, seq, payload = message
+            try:
+                engine, info = _build_engine(payload)
+            except Exception as exc:  # noqa: BLE001 - reported upward
+                conn.send(("prepare_failed", seq, repr(exc)))
+                continue
+            engines[seq] = engine
+            if info["rebuilt"]:
+                prepare_rebuilds += 1
+            conn.send(("prepared", seq, info))
+        elif kind == "commit":
+            current_seq = max(current_seq, message[1])
+        elif kind == "release":
+            engines.pop(message[1], None)
+        elif kind == "columns":
+            _, job, seq, ids = message
+            engine = engines.get(seq)
+            if engine is None:
+                conn.send(
+                    ("error", job,
+                     f"worker holds no generation {seq} "
+                     f"(live: {sorted(engines)})")
+                )
+                continue
+            try:
+                columns = engine.columns(ids)
+                # plain-dict copy: Connection.send pickles, and the
+                # memo's read-only views pickle as owned arrays
+                conn.send(
+                    ("columns", job,
+                     {int(q): np.asarray(col) for q, col in
+                      columns.items()})
+                )
+                columns_served += len(ids)
+            except Exception as exc:  # noqa: BLE001 - reported upward
+                conn.send(("error", job, repr(exc)))
+        elif kind == "status":
+            job = message[1]
+            conn.send(
+                ("status", job, {
+                    "pid": os.getpid(),
+                    "current_seq": current_seq,
+                    "generations": sorted(engines),
+                    "columns_served": columns_served,
+                    "prepare_rebuilds": prepare_rebuilds,
+                })
+            )
+        else:  # unknown message: answer nothing it could hang on
+            continue

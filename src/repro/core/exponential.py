@@ -68,6 +68,16 @@ def simrank_star_exponential(
     ``dtype`` selects ``float64`` (default) or ``float32`` arithmetic.
     The loop ping-pongs two preallocated power-term buffers instead of
     allocating a fresh ``n x n`` product per iteration.
+
+    Examples
+    --------
+    >>> from repro import DiGraph, simrank_star_exponential
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
+    >>> s = simrank_star_exponential(g, c=0.8, num_iterations=8)
+    >>> s.shape
+    (3, 3)
+    >>> bool(s[1, 2] > 0) and bool((s == s.T).all())
+    True
     """
     validate_damping(c)
     if epsilon is not None:

@@ -71,6 +71,18 @@ def simrank_star(
     -------
     numpy.ndarray
         Symmetric ``n x n`` matrix with entries in ``[0, 1]``.
+
+    Examples
+    --------
+    >>> from repro import DiGraph, simrank_star
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
+    >>> s = simrank_star(g, c=0.8, num_iterations=10)
+    >>> s.shape
+    (3, 3)
+    >>> bool(s[1, 2] > 0)          # siblings share an in-neighbour
+    True
+    >>> bool((s == s.T).all())     # SimRank* is symmetric
+    True
     """
     validate_damping(c)
     if epsilon is not None:

@@ -82,6 +82,18 @@ def memo_simrank_star(
     the exact series partial sum Eq. (9) — the two initialisations
     share the fixed point, and this one makes cross-implementation
     equality tests exact.
+
+    Examples
+    --------
+    Agrees with the direct iteration to machine precision:
+
+    >>> import numpy as np
+    >>> from repro import DiGraph, memo_simrank_star, simrank_star
+    >>> g = DiGraph(4, edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+    >>> memoized = memo_simrank_star(g, c=0.6, num_iterations=5)
+    >>> bool(np.allclose(
+    ...     memoized, simrank_star(g, c=0.6, num_iterations=5)))
+    True
     """
     num_iterations = _resolve_iterations(
         c, num_iterations, epsilon, "geometric", 5
@@ -171,6 +183,17 @@ def memo_simrank_star_factorized(
     :func:`repro.core.iterative.simrank_star`. All loop temporaries
     (``E_direct S``, ``H_in S``, the hub product, the iterate) live in
     buffers allocated once before the first iteration.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import (DiGraph, memo_simrank_star_factorized,
+    ...                    simrank_star)
+    >>> g = DiGraph(4, edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+    >>> fast = memo_simrank_star_factorized(g, c=0.6, num_iterations=5)
+    >>> bool(np.allclose(
+    ...     fast, simrank_star(g, c=0.6, num_iterations=5)))
+    True
     """
     num_iterations = _resolve_iterations(
         c, num_iterations, epsilon, "geometric", 5
@@ -214,6 +237,18 @@ def memo_simrank_star_exponential(
     geometric path), then returns ``e^{-C} T T^T``. The factorial
     error bound means far fewer iterations than the geometric variant
     for the same accuracy.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import (DiGraph, memo_simrank_star_exponential,
+    ...                    simrank_star_exponential)
+    >>> g = DiGraph(4, edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+    >>> fast = memo_simrank_star_exponential(
+    ...     g, c=0.6, num_iterations=8)
+    >>> bool(np.allclose(fast, simrank_star_exponential(
+    ...     g, c=0.6, num_iterations=8)))
+    True
     """
     num_iterations = _resolve_iterations(
         c, num_iterations, epsilon, "exponential", 10

@@ -147,6 +147,19 @@ def multi_source(
     :func:`series_coefficients` table (e.g. one loaded from a
     :class:`~repro.index.SimilarityIndex`); its shape must match
     ``num_terms``.
+
+    Examples
+    --------
+    One blocked walk answers the whole batch:
+
+    >>> import numpy as np
+    >>> from repro import DiGraph, multi_source, single_source
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
+    >>> block = multi_source(g, (1, 2), c=0.6, num_terms=10)
+    >>> block.shape
+    (3, 2)
+    >>> bool(np.allclose(block[:, 1], single_source(g, 2)))
+    True
     """
     validate_damping(c)
     validate_iterations(num_terms, "num_terms")

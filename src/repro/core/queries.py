@@ -67,6 +67,18 @@ def single_source(
     precomputed matrices across queries; both are rebuilt from the
     graph when omitted. ``dtype`` selects the arithmetic precision
     (``float64`` default, ``float32`` opt-in).
+
+    Examples
+    --------
+    One column of the all-pairs matrix, without building the matrix:
+
+    >>> import numpy as np
+    >>> from repro import DiGraph, simrank_star, single_source
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
+    >>> column = single_source(g, 2, c=0.6, num_terms=10)
+    >>> matrix = simrank_star(g, c=0.6, num_iterations=10)
+    >>> bool(np.allclose(column, matrix[:, 2]))
+    True
     """
     if not 0 <= query < graph.num_nodes:
         raise IndexError(f"query node {query} out of range")
@@ -169,6 +181,14 @@ def top_k(
     when the graph has labels. It compares equal to the plain list of
     pairs this function used to return. The query node itself is
     excluded unless ``include_query`` is set.
+
+    Examples
+    --------
+    >>> from repro import DiGraph, top_k
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2)], labels=["a", "b", "c"])
+    >>> ranking = top_k(g, 1, k=2)
+    >>> sorted(entry.label for entry in ranking)  # parent + sibling
+    ['a', 'c']
     """
     # Imported lazily: repro.engine sits above repro.core in the layer
     # stack, so a module-level import would be circular.

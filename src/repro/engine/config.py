@@ -87,6 +87,19 @@ class SimilarityConfig:
         Eviction order of the bounded column memo: ``"lru"`` (default)
         or ``"fifo"``. Ignored while ``max_cached_columns`` is
         ``None``.
+
+    Examples
+    --------
+    >>> from repro import SimilarityConfig
+    >>> config = SimilarityConfig(measure="gSR*", c=0.8)
+    >>> config.replace(dtype="float32").dtype
+    'float32'
+    >>> config.np_dtype
+    dtype('float64')
+    >>> SimilarityConfig(c=1.5)
+    Traceback (most recent call last):
+        ...
+    ValueError: damping factor C must lie in (0, 1), got 1.5
     """
 
     measure: str = "gSR*"

@@ -86,6 +86,13 @@ class MeasureSpec:
         :data:`KNOWN_ARTIFACTS`).
     description:
         One-line summary for docs and CLIs.
+
+    Examples
+    --------
+    >>> from repro import get_measure
+    >>> spec = get_measure("gSR*")
+    >>> spec.name, spec.family, spec.supports_single_source
+    ('gSR*', 'SimRank*', True)
     """
 
     name: str
@@ -125,7 +132,24 @@ def register_measure(
     """Decorator registering ``fn`` as the measure called ``name``.
 
     Returns ``fn`` unchanged, so plain calls keep working. Registering
-    a name twice is an error (measures are global, like entry points).
+    a name twice is an error (measures are global, like entry
+    points) — except for the *same* function re-registered by a module
+    re-import, which is treated as idempotent.
+
+    Examples
+    --------
+    A toy measure becomes engine-servable the moment it registers:
+
+    >>> import numpy as np
+    >>> from repro import DiGraph, SimilarityEngine, register_measure
+    >>> @register_measure("doc-identity", label="Identity",
+    ...                   family="demo", default_iterations=1)
+    ... def identity_measure(graph, c, num_iterations):
+    ...     return np.eye(graph.num_nodes)
+    >>> engine = SimilarityEngine(
+    ...     DiGraph(2, edges=[(0, 1)]), measure="doc-identity")
+    >>> engine.score(0, 0)
+    1.0
     """
     unknown = set(uses) - set(KNOWN_ARTIFACTS)
     if unknown:
@@ -191,7 +215,12 @@ def _ensure_builtins() -> None:
 
 
 def get_measure(name: str) -> MeasureSpec:
-    """The spec registered under ``name`` (KeyError with choices if absent)."""
+    """The spec registered under ``name`` (KeyError with choices if absent).
+
+    >>> from repro import get_measure
+    >>> get_measure("eSR*").weight_scheme
+    'exponential'
+    """
     _ensure_builtins()
     try:
         return _REGISTRY[name]
@@ -258,6 +287,14 @@ def available_measures(
 
     Returned in registration order, which the experiment tables rely on
     for stable row ordering.
+
+    >>> from repro import available_measures
+    >>> measures = available_measures()
+    >>> "gSR*" in measures and "SR" in measures
+    True
+    >>> all(s.family == "RWR"
+    ...     for s in available_measures(family="RWR").values())
+    True
     """
     _ensure_builtins()
     out = {}

@@ -69,6 +69,18 @@ class Ranking(Sequence):
     Behaves as a sequence of :class:`RankedNode` (and therefore of
     ``(node, score)`` pairs) and compares equal to the equivalent plain
     list, preserving the old ``top_k`` contract.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import Ranking
+    >>> ranking = Ranking.from_scores(
+    ...     np.array([0.1, 0.9, 0.5]), query=0, k=2,
+    ...     labels=["a", "b", "c"])
+    >>> [(entry.label, entry.score) for entry in ranking]
+    [('b', 0.9), ('c', 0.5)]
+    >>> ranking == [(1, 0.9), (2, 0.5)]   # old top_k contract
+    True
     """
 
     __slots__ = ("_entries", "query", "query_label", "measure")
@@ -223,6 +235,17 @@ class ScoreMatrix:
     key (slices, masks, single rows) passes straight through to the
     underlying array. ``np.asarray(matrix)`` yields the raw values, so
     the wrapper is transparent to numerical code and tests.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import ScoreMatrix
+    >>> matrix = ScoreMatrix(
+    ...     np.array([[1.0, 0.25], [0.25, 1.0]]), labels=["a", "b"])
+    >>> float(matrix["a", "b"]), float(matrix[0, 1])
+    (0.25, 0.25)
+    >>> np.asarray(matrix).shape
+    (2, 2)
     """
 
     __slots__ = ("values", "_labels", "_label_to_node", "measure")

@@ -35,9 +35,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.engine.config import SimilarityConfig
+from repro.cliopts import (
+    add_config_options,
+    add_graph_options,
+    build_graph,
+    config_from_args,
+)
 from repro.engine.engine import SimilarityEngine
-from repro.graph.digraph import DiGraph
 from repro.index.artifacts import SimilarityIndex
 from repro.index.store import (
     DEFAULT_SUFFIX,
@@ -46,59 +50,6 @@ from repro.index.store import (
 )
 
 __all__ = ["build_parser", "main"]
-
-
-def _add_graph_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--nodes", type=int, default=2000,
-        help="random-graph node count (default 2000)",
-    )
-    parser.add_argument(
-        "--edges", type=int, default=12000,
-        help="random-graph edge count (default 12000)",
-    )
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument(
-        "--edge-file", default=None,
-        help="build over a graph read from an edge-list file instead "
-        "(one 'u v' pair per line)",
-    )
-    parser.add_argument(
-        "--figure1", action="store_true",
-        help="use the paper's 11-node Figure 1 citation graph",
-    )
-
-
-def _add_config_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--measure", default="gSR*")
-    parser.add_argument("-c", "--damping", type=float, default=0.6)
-    parser.add_argument("--num-iterations", type=int, default=10)
-    parser.add_argument(
-        "--dtype", choices=("float64", "float32"), default="float64"
-    )
-
-
-def _build_graph(args) -> DiGraph:
-    if args.figure1:
-        from repro.graph import figure1_citation_graph
-
-        return figure1_citation_graph()
-    if args.edge_file is not None:
-        from repro.graph.io import read_edge_list
-
-        return read_edge_list(args.edge_file)
-    from repro.graph.generators import random_digraph
-
-    return random_digraph(args.nodes, args.edges, seed=args.seed)
-
-
-def _config(args) -> SimilarityConfig:
-    return SimilarityConfig(
-        measure=args.measure,
-        c=args.damping,
-        num_iterations=args.num_iterations,
-        dtype=args.dtype,
-    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,8 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
     build = sub.add_parser(
         "build", help="build an index and save it to --output"
     )
-    _add_graph_options(build)
-    _add_config_options(build)
+    add_graph_options(build)
+    add_config_options(build)
     build.add_argument(
         "--output", default=f"index{DEFAULT_SUFFIX}",
         help=f"output path (default index{DEFAULT_SUFFIX})",
@@ -137,8 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
         "assert parity with a rebuilt engine and that load beats "
         "rebuild",
     )
-    _add_graph_options(smoke)
-    _add_config_options(smoke)
+    add_graph_options(smoke)
+    add_config_options(smoke)
     smoke.add_argument(
         "--index", required=True,
         help="index file produced by `build` (ideally in another "
@@ -166,8 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_build(args) -> int:
-    graph = _build_graph(args)
-    config = _config(args)
+    graph = build_graph(args)
+    config = config_from_args(args)
     start = time.perf_counter()
     index = SimilarityIndex.build(graph, config)
     built = time.perf_counter() - start
@@ -211,8 +162,8 @@ def _timed_first_query(make_engine, query: int) -> tuple[float, np.ndarray]:
 
 
 def _cmd_smoke(args) -> int:
-    graph = _build_graph(args)
-    config = _config(args)
+    graph = build_graph(args)
+    config = config_from_args(args)
     path = Path(args.index)
     rng = np.random.default_rng(args.seed)
     queries = [

@@ -59,7 +59,19 @@ DEFAULT_SUFFIX = ".simidx"
 
 
 class IndexFormatError(ValueError):
-    """The file is not a readable similarity index of this version."""
+    """The file is not a readable similarity index of this version.
+
+    >>> import tempfile, os
+    >>> from repro.index import IndexFormatError, load_index
+    >>> path = os.path.join(tempfile.mkdtemp(), "junk.simidx")
+    >>> with open(path, "wb") as f:
+    ...     _ = f.write(b"not an index")
+    >>> try:
+    ...     load_index(path)
+    ... except IndexFormatError as exc:
+    ...     "bad magic" in str(exc)
+    True
+    """
 
 
 def _align(offset: int) -> int:
@@ -95,6 +107,20 @@ def save_index(index, path: str | Path) -> Path:
     property :class:`~repro.serve.SnapshotManager` relies on when it
     persists a freshly built index while older workers may still be
     mapping the previous one.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import DiGraph, SimilarityIndex
+    >>> from repro.index import load_index, save_index, verify_index
+    >>> index = SimilarityIndex.build(
+    ...     DiGraph(3, edges=[(0, 1), (0, 2)]), measure="gSR*")
+    >>> path = save_index(
+    ...     index, os.path.join(tempfile.mkdtemp(), "g.simidx"))
+    >>> verify_index(path)            # no problems
+    []
+    >>> load_index(path).meta == index.meta
+    True
     """
     path = Path(path)
     arrays, csr_shapes = _flat_arrays(index)
@@ -150,6 +176,20 @@ def read_header(path: str | Path) -> tuple[dict, int]:
     array segment. The ``inspect`` CLI and
     :class:`~repro.serve.SnapshotManager`'s is-it-worth-loading check
     both go through here.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import DiGraph, SimilarityIndex
+    >>> from repro.index import FORMAT_VERSION, read_header
+    >>> path = SimilarityIndex.build(
+    ...     DiGraph(2, edges=[(0, 1)]), measure="gSR*"
+    ... ).save(os.path.join(tempfile.mkdtemp(), "g.simidx"))
+    >>> header, payload_start = read_header(path)
+    >>> header["format_version"] == FORMAT_VERSION
+    True
+    >>> payload_start > 0
+    True
     """
     path = Path(path)
     try:
@@ -252,6 +292,20 @@ def load_index(path: str | Path, mmap: bool = True):
 
     ``mmap=True`` maps every buffer read-only and zero-copy;
     ``mmap=False`` reads private (still read-only) heap copies.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import DiGraph, SimilarityIndex
+    >>> from repro.index import load_index
+    >>> path = SimilarityIndex.build(
+    ...     DiGraph(2, edges=[(0, 1)]), measure="gSR*"
+    ... ).save(os.path.join(tempfile.mkdtemp(), "g.simidx"))
+    >>> index = load_index(path, mmap=True)
+    >>> type(index.coefficients).__name__    # mapped, not copied
+    'memmap'
+    >>> index.transition.data.flags.writeable
+    False
     """
     from repro.index.artifacts import IndexMeta, SimilarityIndex
 
@@ -326,6 +380,25 @@ def verify_index(path: str | Path) -> list[str]:
     ending at ``nnz``, column indices inside the declared shape.
     Format-level corruption (bad magic / version / truncation) is
     reported the same way instead of raising.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import DiGraph, SimilarityIndex
+    >>> from repro.index import verify_index
+    >>> path = SimilarityIndex.build(
+    ...     DiGraph(2, edges=[(0, 1)]), measure="gSR*"
+    ... ).save(os.path.join(tempfile.mkdtemp(), "g.simidx"))
+    >>> verify_index(path)
+    []
+    >>> with open(path, "r+b") as f:       # flip one payload byte
+    ...     _ = f.seek(-1, os.SEEK_END)
+    ...     byte = f.read(1)
+    ...     _ = f.seek(-1, os.SEEK_END)
+    ...     _ = f.write(bytes([byte[0] ^ 0xFF]))
+    >>> problems = verify_index(path)
+    >>> len(problems) >= 1
+    True
     """
     path = Path(path)
     try:

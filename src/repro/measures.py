@@ -233,5 +233,15 @@ def compute_measure(
 
     ``num_iterations`` is interpreted per measure (the exponential
     variants translate it into an equivalent accuracy target).
+
+    Examples
+    --------
+    >>> from repro import DiGraph, compute_measure
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2)])
+    >>> s = compute_measure("gSR*", g, c=0.6, num_iterations=5)
+    >>> s.shape
+    (3, 3)
+    >>> bool(s[1, 2] > 0)
+    True
     """
     return get_measure(name).compute(graph, c, num_iterations)

@@ -4,22 +4,32 @@ Subcommands::
 
     serve    start the HTTP server (random graph, an edge-list file,
              or the paper's Figure 1 graph); ``--index PATH`` wires a
-             persistent precomputation index for near-zero restarts
+             persistent precomputation index for near-zero restarts,
+             ``--workers K`` shards every micro-batch across K worker
+             processes sharing that index (repro.cluster)
     status   GET /status from a running server and summarise its
-             cache / engine / broker / index counters (--json for raw)
+             cache / engine / broker / cluster / index counters
+             (--json for raw)
     warmup   POST /warmup to a running server
     smoke    self-contained serving smoke test: ephemeral server,
              concurrent clients, assert coalescing, write a latency
-             histogram (the CI job)
+             histogram (the CI job); ``--workers`` /
+             ``--mutate-mid-run`` turn it into the full multi-process
+             hot-swap drill
 
 Examples::
 
     python -m repro.serve serve --nodes 2000 --edges 12000 --port 8321
+    python -m repro.serve serve --index graph.simidx --workers 4
     curl -s localhost:8321/status | python -m json.tool
     curl -s -X POST localhost:8321/top_k \
         -d '{"query": 7, "k": 5}' | python -m json.tool
     python -m repro.serve status --url http://localhost:8321
     python -m repro.serve smoke --clients 64 --output smoke.json
+    python -m repro.serve smoke --workers 2 --mutate-mid-run
+
+Every subcommand and flag is documented in ``docs/operations.md``
+(cross-checked against these parsers by ``tests/test_docs.py``).
 """
 
 from __future__ import annotations
@@ -32,41 +42,15 @@ import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.graph.digraph import DiGraph
+from repro.cliopts import add_config_options, add_graph_options, build_graph
 from repro.serve.http import serve_http
 from repro.serve.service import ServingService
 
 __all__ = ["build_parser", "main", "render_status"]
 
 
-def _add_graph_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--nodes", type=int, default=2000,
-        help="random-graph node count (default 2000)",
-    )
-    parser.add_argument(
-        "--edges", type=int, default=12000,
-        help="random-graph edge count (default 12000)",
-    )
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument(
-        "--edge-file", default=None,
-        help="serve a graph read from an edge-list file instead "
-        "(one 'u v' pair per line)",
-    )
-    parser.add_argument(
-        "--figure1", action="store_true",
-        help="serve the paper's 11-node Figure 1 citation graph",
-    )
-
-
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--measure", default="gSR*")
-    parser.add_argument("-c", "--damping", type=float, default=0.6)
-    parser.add_argument("--num-iterations", type=int, default=10)
-    parser.add_argument(
-        "--dtype", choices=("float64", "float32"), default="float64"
-    )
+    add_config_options(parser)
     parser.add_argument(
         "--max-cached-columns", type=int, default=4096,
         help="engine column-memo bound (default 4096; 0 = unbounded)",
@@ -87,25 +71,21 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--cache-entries", type=int, default=1024,
         help="result-cache bound (default 1024; 0 disables)",
     )
-
-
-def _build_graph(args) -> DiGraph:
-    if args.figure1:
-        from repro.graph import figure1_citation_graph
-
-        return figure1_citation_graph()
-    if args.edge_file is not None:
-        from repro.graph.io import read_edge_list
-
-        return read_edge_list(args.edge_file)
-    from repro.graph.generators import random_digraph
-
-    return random_digraph(args.nodes, args.edges, seed=args.seed)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes sharing one mmap'd index "
+        "(repro.cluster); 0 = serve in-process (default)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=120.0,
+        help="seconds before a hung worker is killed and its shard "
+        "retried (cluster mode only; default 120)",
+    )
 
 
 def _build_service(args) -> ServingService:
     return ServingService(
-        _build_graph(args),
+        build_graph(args),
         measure=args.measure,
         c=args.damping,
         num_iterations=args.num_iterations,
@@ -116,6 +96,8 @@ def _build_service(args) -> ServingService:
         max_wait_ms=args.max_wait_ms,
         cache_entries=args.cache_entries,
         index_path=getattr(args, "index", None),
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
     )
 
 
@@ -144,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="start the HTTP server (runs until interrupted)"
     )
-    _add_graph_options(serve)
+    add_graph_options(serve)
     _add_engine_options(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -189,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ephemeral server, concurrent clients, coalescing assert, "
         "latency histogram",
     )
-    _add_graph_options(smoke)
+    add_graph_options(smoke)
     _add_engine_options(smoke)
     smoke.add_argument(
         "--clients", type=int, default=64,
@@ -209,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency-histogram report path "
         "(default SERVE_smoke.json)",
     )
+    smoke.add_argument(
+        "--mutate-mid-run", action="store_true",
+        help="POST /mutate while the client load is in flight and "
+        "assert the hot-swap completed with zero failed requests "
+        "(with --workers: that every worker converged to the new "
+        "snapshot)",
+    )
     smoke.set_defaults(nodes=800, edges=4800)
     return parser
 
@@ -223,9 +212,13 @@ def _cmd_serve(args) -> int:
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     snapshot = service.snapshots.current
+    mode = (
+        f"{args.workers} worker processes" if args.workers
+        else "in-process"
+    )
     print(
         f"serving {snapshot.graph!r} measure={args.measure} "
-        f"on {server.url}  (Ctrl-C to stop)",
+        f"({mode}) on {server.url}  (Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -300,6 +293,22 @@ def render_status(document: dict) -> str:
         f"snapshots     builds={snapshots.get('builds', 0)} "
         f"swaps={snapshots.get('swaps', 0)}"
     )
+    cluster = document.get("cluster")
+    if cluster:
+        pool = cluster.get("pool", {})
+        alive = sum(
+            1 for w in cluster.get("worker_status", ())
+            if w.get("alive")
+        )
+        lines.append(
+            f"cluster       workers={pool.get('workers', 0)} "
+            f"(alive={alive}) seq={pool.get('current_seq', 0)} "
+            f"shards={cluster.get('shards_dispatched', 0)} "
+            f"retries={cluster.get('shard_retries', 0)} "
+            f"respawns={pool.get('respawns', 0)}"
+        )
+    else:
+        lines.append("cluster       in-process (workers=0)")
     if index.get("path"):
         lines.append(
             f"index         {index['path']} "
@@ -337,7 +346,11 @@ def _cmd_smoke(args) -> int:
     total = args.clients * args.requests_per_client
     print(
         f"smoke: {args.clients} clients x "
-        f"{args.requests_per_client} requests against {url}",
+        f"{args.requests_per_client} requests against {url} "
+        + (
+            f"({args.workers} worker processes)" if args.workers
+            else "(in-process)"
+        ),
         flush=True,
     )
 
@@ -370,10 +383,23 @@ def _cmd_smoke(args) -> int:
             lat.append(time.perf_counter() - t0)
         return lat
 
+    mutate_result: dict = {}
     wall_start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=args.clients) as pool:
-        for lat in pool.map(client, streams):
-            latencies.extend(lat)
+        futures = [pool.submit(client, s) for s in streams]
+        if args.mutate_mid_run:
+            # fire the hot-swap while client traffic is in flight;
+            # the edge is new (u -> u self-loop is almost surely
+            # absent in the random graph) so the swap really builds
+            time.sleep(0.05)
+            try:
+                mutate_result = _http_json(
+                    f"{url}/mutate", {"add": [[0, 0]]}
+                )
+            except Exception as exc:
+                failures.append(f"mutate: {exc}")
+        for future in futures:
+            latencies.extend(future.result())
     wall = time.perf_counter() - wall_start
 
     status = _http_json(f"{url}/status")
@@ -392,13 +418,41 @@ def _cmd_smoke(args) -> int:
             broker["batches"] < broker["dispatched"]
         ),
     }
+    if args.mutate_mid_run:
+        swapped = status["snapshots"]["swaps"] >= 1
+        checks["mutation_swapped_mid_traffic"] = swapped and bool(
+            mutate_result.get("snapshot")
+        )
+    cluster = status.get("cluster")
+    if cluster is not None:
+        workers_alive = [
+            w for w in cluster.get("worker_status", ())
+            if w.get("alive")
+        ]
+        checks["all_workers_alive"] = (
+            len(workers_alive) == cluster["pool"]["workers"]
+        )
+        checks["shards_dispatched"] = (
+            cluster["shards_dispatched"] > 0
+        )
+        if args.mutate_mid_run:
+            target = cluster["pool"]["current_seq"]
+            checks["workers_converged_to_new_snapshot"] = (
+                target >= 1
+                and all(
+                    w.get("current_seq") == target
+                    for w in workers_alive
+                )
+            )
     report = {
         "url": url,
+        "workers": args.workers,
         "total_requests": total,
         "wall_seconds": wall,
         "requests_per_second": total / wall if wall > 0 else 0.0,
         "latency": LatencyStats.from_seconds(latencies).to_dict(),
         "broker": broker,
+        "cluster": cluster,
         "checks": checks,
         "failures": failures[:10],
     }

@@ -40,7 +40,15 @@ _STOP = object()
 
 @dataclass
 class BrokerStats:
-    """Counters proving (or disproving) that coalescing happened."""
+    """Counters proving (or disproving) that coalescing happened.
+
+    >>> from repro.serve import BrokerStats
+    >>> stats = BrokerStats(dispatched=6, batches=2)
+    >>> stats.mean_batch_size
+    3.0
+    >>> stats.snapshot()["batches"]
+    2
+    """
 
     requests: int = 0
     cache_hits: int = 0
@@ -119,6 +127,34 @@ class QueryBroker:
     cache:
         Optional :class:`ResultCache`; hits are served before the
         request ever queues.
+    router:
+        Optional :class:`~repro.cluster.ShardRouter`. When set, each
+        batch's columns are computed by the router's worker processes
+        (sharded across them) instead of the in-process engine; the
+        snapshot pin goes through the router so a concurrent hot-swap
+        can never release a generation a dispatched batch still
+        needs. Node resolution and result rendering stay in the
+        parent either way.
+
+    Examples
+    --------
+    Concurrent awaits coalesce into fewer dispatched batches:
+
+    >>> import asyncio
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import QueryBroker, SnapshotManager
+    >>> async def demo():
+    ...     broker = QueryBroker(SnapshotManager(
+    ...         figure1_citation_graph(), measure="gSR*",
+    ...         num_iterations=10))
+    ...     await broker.start()
+    ...     rankings = await asyncio.gather(
+    ...         *(broker.top_k(q, k=3) for q in range(8)))
+    ...     await broker.stop()
+    ...     return len(rankings), broker.stats.batches
+    >>> answered, batches = asyncio.run(demo())
+    >>> answered, batches <= 8
+    (8, True)
     """
 
     def __init__(
@@ -128,6 +164,7 @@ class QueryBroker:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         cache: ResultCache | None = None,
+        router=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -139,6 +176,7 @@ class QueryBroker:
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1e3
         self._cache = cache
+        self._router = router
         self._config_key = snapshots.config
         self.stats = BrokerStats()
         self._queue: asyncio.Queue | None = None
@@ -266,7 +304,23 @@ class QueryBroker:
                 return
 
     async def _dispatch(self, batch: list[_Request]) -> None:
-        snapshot = self._snapshots.current  # pinned for the batch
+        if self._router is not None:
+            # atomic pin: the router counts this batch in-flight
+            # against the generation it reads, under the same lock a
+            # hot-swap retires generations with
+            snapshot = self._router.pin()
+            try:
+                await self._dispatch_pinned(batch, snapshot)
+            finally:
+                self._router.unpin(snapshot.seq)
+        else:
+            await self._dispatch_pinned(
+                batch, self._snapshots.current
+            )
+
+    async def _dispatch_pinned(
+        self, batch: list[_Request], snapshot: Snapshot
+    ) -> None:
         engine = snapshot.engine
         size = len(batch)
         self.stats.batches += 1
@@ -298,9 +352,18 @@ class QueryBroker:
 
         ids = [node for _, node, _ in work]
         try:
-            columns = await asyncio.get_running_loop().run_in_executor(
-                None, engine.columns, ids
-            )
+            if self._router is not None:
+                columns = (
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self._router.compute, snapshot.seq, ids
+                    )
+                )
+            else:
+                columns = (
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, engine.columns, ids
+                    )
+                )
         except Exception as exc:
             self.stats.errors += len(work)
             for request, _, _ in work:

@@ -24,7 +24,12 @@ __all__ = ["CacheStats", "ResultCache"]
 
 @dataclass
 class CacheStats:
-    """Counters for one :class:`ResultCache`."""
+    """Counters for one :class:`ResultCache`.
+
+    >>> from repro.serve import CacheStats
+    >>> CacheStats(hits=3, misses=1).hit_rate
+    0.75
+    """
 
     hits: int = 0
     misses: int = 0
@@ -48,6 +53,19 @@ class ResultCache:
     max_entries:
         Upper bound on stored answers; the least recently used entry
         is evicted on overflow. Must be positive.
+
+    Examples
+    --------
+    >>> from repro.serve import ResultCache
+    >>> cache = ResultCache(max_entries=2)
+    >>> cache.put(("seq0", "top_k", 7), "answer")
+    >>> cache.get(("seq0", "top_k", 7))
+    'answer'
+    >>> cache.get(("seq1", "top_k", 7)) is None   # new snapshot: miss
+    True
+    >>> cache.put(("a",), 1); cache.put(("b",), 2)
+    >>> len(cache), cache.stats.evictions          # bound enforced
+    (2, 1)
     """
 
     def __init__(self, max_entries: int = 1024) -> None:

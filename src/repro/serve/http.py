@@ -42,7 +42,16 @@ __all__ = ["SimilarityHTTPServer", "ranking_to_dict", "serve_http"]
 
 
 def ranking_to_dict(ranking: Ranking) -> dict:
-    """A JSON-ready rendering of a :class:`~repro.engine.Ranking`."""
+    """A JSON-ready rendering of a :class:`~repro.engine.Ranking`.
+
+    >>> import numpy as np
+    >>> from repro import Ranking
+    >>> from repro.serve import ranking_to_dict
+    >>> document = ranking_to_dict(Ranking.from_scores(
+    ...     np.array([0.2, 0.9]), query=0, k=1, labels=["a", "b"]))
+    >>> document["results"]
+    [{'node': 1, 'label': 'b', 'score': 0.9}]
+    """
     return {
         "query": ranking.query,
         "query_label": ranking.query_label,
@@ -142,7 +151,16 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class SimilarityHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`ServingService`."""
+    """A threading HTTP server bound to one :class:`ServingService`.
+
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import ServingService, SimilarityHTTPServer
+    >>> service = ServingService(figure1_citation_graph())
+    >>> server = SimilarityHTTPServer(("127.0.0.1", 0), service)
+    >>> server.url.startswith("http://127.0.0.1:")
+    True
+    >>> server.server_close()
+    """
 
     daemon_threads = True
     # the default listen backlog (5) resets connections under the
@@ -207,6 +225,21 @@ def serve_http(
     ``serve_forever()`` (or ``start_background()``) yourself. The
     service's background loop must be running
     (:meth:`ServingService.start_background`) for queries to succeed.
+
+    Examples
+    --------
+    A real HTTP round-trip against an ephemeral port:
+
+    >>> import json, urllib.request
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import ServingService, serve_http
+    >>> service = ServingService(figure1_citation_graph())
+    >>> service.start_background()
+    >>> server = serve_http(service, background=True)
+    >>> with urllib.request.urlopen(server.url + "/healthz") as reply:
+    ...     json.loads(reply.read())
+    {'ok': True}
+    >>> server.stop(); service.close()
     """
     server = SimilarityHTTPServer((host, port), service, verbose=verbose)
     if background:

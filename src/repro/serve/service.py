@@ -64,6 +64,35 @@ class ServingService:
         rebuilding, and freshly built precomputation is persisted
         there on warmup/mutate. See
         :class:`~repro.serve.snapshot.SnapshotManager`.
+    workers:
+        ``0`` (default) answers batches with the in-process engine.
+        Any positive count scales out instead: a
+        :class:`~repro.cluster.WorkerPool` of that many worker
+        *processes* is forked when the service starts, each
+        memory-mapping the same persisted index (one shared page
+        cache), and every coalesced micro-batch is split into
+        per-worker column shards by a
+        :class:`~repro.cluster.ShardRouter`. Mutations run the
+        two-phase worker swap automatically; a dead worker is
+        respawned and its shard retried, never dropped.
+    mp_context / shard_timeout:
+        Cluster-only knobs, passed to the
+        :class:`~repro.cluster.WorkerPool`.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import ServingService
+    >>> async def demo():
+    ...     async with ServingService(
+    ...             figure1_citation_graph(), measure="gSR*",
+    ...             num_iterations=10) as service:
+    ...         ranking = await service.top_k("h", k=2)
+    ...         score = await service.score("h", "d")
+    ...     return len(ranking), score > 0
+    >>> asyncio.run(demo())
+    (2, True)
     """
 
     def __init__(
@@ -75,6 +104,9 @@ class ServingService:
         max_wait_ms: float = 2.0,
         cache_entries: int = 1024,
         index_path=None,
+        workers: int = 0,
+        mp_context: str = "spawn",
+        shard_timeout: float = 120.0,
         **overrides,
     ) -> None:
         self.snapshots = SnapshotManager(
@@ -83,11 +115,26 @@ class ServingService:
         self.cache = (
             ResultCache(cache_entries) if cache_entries else None
         )
+        self.cluster = None
+        if workers:
+            from repro.cluster import ShardRouter, WorkerPool
+
+            self.cluster = ShardRouter(
+                WorkerPool(
+                    workers=workers,
+                    mp_context=mp_context,
+                    shard_timeout=shard_timeout,
+                ),
+                self.snapshots,
+            )
+            self.snapshots.pre_swap = self.cluster.pre_swap
+            self.snapshots.post_swap = self.cluster.post_swap
         self.broker = QueryBroker(
             self.snapshots,
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             cache=self.cache,
+            router=self.cluster,
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -101,11 +148,20 @@ class ServingService:
     # async lifecycle + queries
     # ------------------------------------------------------------------
     async def __aenter__(self) -> "ServingService":
+        if self.cluster is not None and not self.cluster.started:
+            # forking + priming K workers blocks; keep it off the loop
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.cluster.start
+            )
         await self.broker.start()
         return self
 
     async def __aexit__(self, *exc_info) -> None:
         await self.broker.stop()
+        if self.cluster is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.cluster.stop
+            )
 
     async def top_k(
         self, query, k: int = 10, include_query: bool = False
@@ -123,9 +179,15 @@ class ServingService:
     # background-loop lifecycle + sync queries
     # ------------------------------------------------------------------
     def start_background(self) -> None:
-        """Run the broker on a private event loop in a daemon thread."""
+        """Run the broker on a private event loop in a daemon thread.
+
+        In cluster mode (``workers=K``) this is also what forks the
+        worker pool — construction alone never spawns a process.
+        """
         if self._thread is not None:
             raise RuntimeError("service already running in background")
+        if self.cluster is not None and not self.cluster.started:
+            self.cluster.start()
         loop = asyncio.new_event_loop()
         started = threading.Event()
 
@@ -146,13 +208,14 @@ class ServingService:
         started.wait()
 
     def close(self, timeout: float | None = 10.0) -> None:
-        """Stop the background loop (no-op if not running)."""
-        if self._thread is None:
-            return
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout)
-        self._thread = None
-        self._loop = None
+        """Stop the background loop and the worker pool (idempotent)."""
+        if self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+            self._thread = None
+            self._loop = None
+        if self.cluster is not None:
+            self.cluster.stop()
 
     def submit(self, coro):
         """Schedule a coroutine on the service loop (thread-safe).
@@ -240,4 +303,9 @@ class ServingService:
                 else None
             ),
             "snapshots": self.snapshots.describe(),
+            "cluster": (
+                self.cluster.describe()
+                if self.cluster is not None
+                else None
+            ),
         }

@@ -50,6 +50,18 @@ class Snapshot:
     version:
         The underlying graph's mutation counter at snapshot build
         time — part of every result-cache key.
+
+    Examples
+    --------
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import SnapshotManager
+    >>> manager = SnapshotManager(
+    ...     figure1_citation_graph(), measure="gSR*")
+    >>> snapshot = manager.current
+    >>> snapshot.seq, snapshot.graph.num_nodes
+    (0, 11)
+    >>> snapshot.describe()["measure"]
+    'gSR*'
     """
 
     __slots__ = ("engine", "seq", "version")
@@ -111,6 +123,36 @@ class SnapshotManager:
     persist_index:
         Set ``False`` to load from ``index_path`` but never write it
         (read-only replicas sharing a file owned by a primary).
+
+    Attributes
+    ----------
+    pre_swap / post_swap:
+        Optional hot-swap hooks (``None`` by default). ``pre_swap(fresh)``
+        runs after the replacement snapshot is built and warmed but
+        *before* the pointer swap — raising from it aborts the
+        mutation with the old snapshot still serving.
+        ``post_swap(old, fresh)`` runs right after the pointer swap.
+        :class:`~repro.cluster.ShardRouter` wires these to the
+        two-phase worker swap (``prepare`` everywhere, then
+        ``commit`` + deferred release), which is how a
+        multi-process deployment keeps the zero-failed-requests
+        guarantee across a mutation.
+
+    Examples
+    --------
+    A mutation never touches the serving snapshot — it builds a new
+    one and swaps the pointer:
+
+    >>> from repro.graph import figure1_citation_graph
+    >>> from repro.serve import SnapshotManager
+    >>> manager = SnapshotManager(
+    ...     figure1_citation_graph(), measure="gSR*")
+    >>> before = manager.current
+    >>> fresh = manager.mutate(add=[("a", "k")])
+    >>> (before.seq, fresh.seq, manager.current is fresh)
+    (0, 1, True)
+    >>> before.graph.num_edges < fresh.graph.num_edges
+    True
     """
 
     def __init__(
@@ -139,6 +181,8 @@ class SnapshotManager:
         self.index_loads = 0
         self.index_saves = 0
         self.index_load_errors = 0
+        self.pre_swap = None
+        self.post_swap = None
         self._last_persisted: SimilarityEngine | None = None
         engine = self._engine_for(graph.copy() if copy else graph)
         self._current = Snapshot(engine, seq=0)
@@ -182,6 +226,18 @@ class SnapshotManager:
             # nothing new to put on disk
             return
         engine.export_index().save(self.index_path)
+        self._last_persisted = engine
+        self.index_saves += 1
+
+    def mark_persisted(self, engine: SimilarityEngine) -> None:
+        """Record that ``engine``'s artifacts already sit on
+        ``index_path`` (written by another layer).
+
+        :class:`~repro.cluster.ShardRouter` calls this after mirroring
+        a generation's index file onto ``index_path``, so the manager
+        does not serialise the identical artifacts a second time at
+        the end of the same mutation.
+        """
         self._last_persisted = engine
         self.index_saves += 1
 
@@ -250,9 +306,17 @@ class SnapshotManager:
                 engine.compressed
             self.builds += 1
             fresh = Snapshot(engine, seq=base.seq + 1)
+            if self.pre_swap is not None:
+                # two-phase swap, phase one: remote holders (cluster
+                # workers) build their replacement engines while the
+                # old snapshot keeps serving. Raising aborts the
+                # mutation with serving untouched.
+                self.pre_swap(fresh)
             with self._swap_lock:
                 self._current = fresh
                 self.swaps += 1
+            if self.post_swap is not None:
+                self.post_swap(base, fresh)
             # persist only after the swap: the disk write (checksums
             # + full file) must not extend how long traffic is served
             # by the stale snapshot
