@@ -1,0 +1,512 @@
+"""Monte-Carlo single-source estimation over a :class:`WalkIndex`.
+
+The exact blocked kernel evaluates the truncated series
+
+    ``S[u, q] = sum_{alpha, beta} coef[beta, alpha]
+                * sum_w Q^alpha[u, w] * (Q^T)^beta[w, q]``
+
+with ``O(L)`` sparse matrix products per query batch — every answer
+touches all ``n`` nodes. :class:`ApproxEstimator` evaluates the same
+sum as a *meeting probability* of reverse walks, splitting it
+asymmetrically (the SLING-style near/far split):
+
+* **query side, exact** — the vectors ``p_beta = (Q^T)^beta e_q`` are
+  tiny for real graphs, so they are propagated *sparsely* (scatter
+  through ``Q``'s rows, consolidate, keep the heaviest
+  ``support_cap`` entries). No sampling noise on the query's side of
+  the meeting.
+* **source side, near levels exact** — level ``alpha = 0`` is the
+  identity and level ``alpha = 1`` is one row of ``Q`` per source,
+  reachable backwards through ``Q^T``'s rows at
+  ``O(support * degree)`` cost — both are applied analytically.
+  These two levels carry most of the series mass (the coefficients
+  decay geometrically in ``alpha + beta``), so the dominant terms are
+  noise-free.
+* **source side, far levels sampled** — for ``alpha >= 2``,
+  ``Q^alpha[u, w]`` is replaced by the empirical endpoint frequency
+  of the precomputed walks, read through the walk index's inverted
+  buckets: every stored walk that lands on a query-support node ``w``
+  at level ``alpha`` pays ``m_alpha(w) / samples`` to its source,
+  where ``m_alpha(w) = sum_beta coef[beta, alpha] * p_beta(w)`` is
+  the coefficient-merged query-side weight.
+
+Per query the cost is ``O(support * samples)`` gathered walk entries,
+independent of ``n``; :meth:`ApproxEstimator.topk_scores` additionally
+stops walking levels once the running top-``k`` set is provably
+stable (the remaining levels' total weight cannot reorder the
+``k``/``k+1`` boundary) — the confidence-bound early termination the
+serving tier reports as ``early_terminations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.approx.walks import WalkIndex
+
+__all__ = ["ApproxEstimator", "ApproxStats"]
+
+#: First walk level scored from samples; levels below it are analytic.
+_FIRST_SAMPLED_LEVEL = 2
+
+#: Per-support fraction of l1 mass the sort-free trims may drop — far
+#: below the Monte-Carlo noise floor at any supported sample budget.
+_TAIL_MASS = 1e-3
+
+#: Query-side pushes stop this many levels past the walk depth: the
+#: series coefficients decay geometrically in ``alpha + beta``, so
+#: once the source side is truncated at ``walk_length`` the terms with
+#: ``beta > walk_length + margin`` are below the truncation error the
+#: walk depth already accepts.
+_QUERY_DEPTH_MARGIN = 2
+
+
+def _multi_range(
+    starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Flat indices covering ``[starts[i], starts[i] + lengths[i])``.
+
+    The vectorised many-slices gather both the bucket reads and the
+    sparse pushes are built on.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_starts = np.cumsum(lengths) - lengths
+    return np.repeat(starts - seg_starts, lengths) + np.arange(
+        total, dtype=np.int64
+    )
+
+
+@dataclass
+class ApproxStats:
+    """Counters for the approx tier (surfaced via ``/status``).
+
+    ``samples_drawn`` counts walk-index entries actually gathered —
+    the estimator's unit of work; ``early_terminations`` counts
+    top-k queries that stopped before exhausting the walk levels;
+    ``support_truncations`` counts query-side vectors clipped to
+    ``support_cap`` (a non-zero value means ``epsilon`` is doing real
+    work on this graph).
+
+    Examples
+    --------
+    >>> stats = ApproxStats()
+    >>> stats.columns += 1
+    >>> stats.snapshot()["columns"]
+    1
+    """
+
+    columns: int = 0
+    topk_queries: int = 0
+    samples_drawn: int = 0
+    early_terminations: int = 0
+    support_truncations: int = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (handy for logging and assertions)."""
+        return dict(self.__dict__)
+
+
+class ApproxEstimator:
+    """Estimate single-source score columns from precomputed walks.
+
+    Parameters
+    ----------
+    walks:
+        The :class:`~repro.approx.WalkIndex` to read meeting counts
+        from.
+    transition / transition_t:
+        The backward transition matrix ``Q`` and its transpose (CSR) —
+        used only for the exact sparse parts (query-side propagation
+        and the analytic level-1 scatter), never densified.
+    coefficients:
+        The ``(L+1, L+1)`` series table from
+        :func:`repro.core.multi_source.series_coefficients` (or the
+        one persisted in a :class:`~repro.index.SimilarityIndex`).
+    truncation:
+        Series truncation ``L`` — how deep the query side propagates.
+        The source side is bounded by ``walks.walk_length``, which may
+        be smaller (the dropped tail mass is the scheme's documented
+        truncation error).
+    dtype:
+        Accumulator precision (defaults to ``float64``).
+    support_cap:
+        Query-side support bound per level; heavier-tailed graphs trade
+        a little accuracy for bounded per-query cost.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.graph.digraph import DiGraph
+    >>> from repro.graph.matrices import backward_transition_matrix
+    >>> from repro.core.multi_source import series_coefficients
+    >>> from repro.core.weights import GeometricWeights
+    >>> from repro.approx.walks import WalkIndex
+    >>> g = DiGraph(4, edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+    >>> q = backward_transition_matrix(g)
+    >>> qt = q.T.tocsr()
+    >>> walks = WalkIndex.build(q, walk_length=2, samples=32, seed=1)
+    >>> coef = series_coefficients(4, GeometricWeights(0.6))
+    >>> est = ApproxEstimator(walks, q, qt, coef, truncation=4)
+    >>> column = est.column(2)
+    >>> column.shape
+    (4,)
+    >>> bool(column[3] > 0)      # 2 and 3 share both in-neighbours
+    True
+    >>> est.stats.snapshot()["columns"]
+    1
+
+    Same walks, same query — same estimate, bit for bit:
+
+    >>> est2 = ApproxEstimator(walks, q, qt, coef, truncation=4)
+    >>> bool(np.array_equal(est2.column(2), column))
+    True
+    """
+
+    def __init__(
+        self,
+        walks: WalkIndex,
+        transition: sp.csr_array,
+        transition_t: sp.csr_array,
+        coefficients: np.ndarray,
+        truncation: int,
+        dtype: np.dtype | str = np.float64,
+        support_cap: int = 8192,
+    ) -> None:
+        if transition.shape[0] != walks.num_nodes:
+            raise ValueError(
+                f"transition is over {transition.shape[0]} nodes but "
+                f"the walk index covers {walks.num_nodes}"
+            )
+        coefficients = np.asarray(coefficients, dtype=np.float64)
+        if coefficients.shape != (truncation + 1, truncation + 1):
+            raise ValueError(
+                f"coefficients table has shape {coefficients.shape}; "
+                f"truncation={truncation} needs "
+                f"{(truncation + 1, truncation + 1)}"
+            )
+        if support_cap < 1:
+            raise ValueError("support_cap must be >= 1")
+        self.walks = walks
+        self._n = int(walks.num_nodes)
+        self.truncation = int(truncation)
+        self._query_depth = min(
+            int(truncation), walks.walk_length + _QUERY_DEPTH_MARGIN
+        )
+        self.support_cap = int(support_cap)
+        self.dtype = np.dtype(dtype)
+        self.stats = ApproxStats()
+        self._coef = coefficients
+        self._q_indptr = np.asarray(transition.indptr, dtype=np.int64)
+        self._q_indices = np.asarray(
+            transition.indices, dtype=np.int64
+        )
+        self._q_data = np.asarray(transition.data, dtype=np.float64)
+        self._qt_indptr = np.asarray(
+            transition_t.indptr, dtype=np.int64
+        )
+        self._qt_indices = np.asarray(
+            transition_t.indices, dtype=np.int64
+        )
+        self._qt_data = np.asarray(
+            transition_t.data, dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    # exact sparse query side
+    # ------------------------------------------------------------------
+    def _trim(
+        self, nodes: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bound a support's size with provably small dropped mass.
+
+        Two-stage cut, both sort-free: entries below
+        ``tail_mass * total / support_size`` are dropped first — if
+        every dropped entry is under the per-entry budget, the dropped
+        *total* is under ``tail_mass * total`` — then a hard
+        ``support_cap`` argpartition catches adversarial residues.
+        """
+        if nodes.size <= self.support_cap:
+            threshold = _TAIL_MASS * float(values.sum()) / max(
+                nodes.size, 1
+            )
+            keep = values > threshold
+            if not keep.all():
+                self.stats.support_truncations += 1
+                return nodes[keep], values[keep]
+            return nodes, values
+        self.stats.support_truncations += 1
+        keep = np.argpartition(values, -self.support_cap)[
+            -self.support_cap:
+        ]
+        keep.sort()
+        return nodes[keep], values[keep]
+
+    def _push(
+        self, nodes: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One exact step ``p -> Q^T p`` on a sparse support.
+
+        Consolidation goes through a dense ``bincount`` accumulator —
+        ``O(n + pushed)`` with no sort — and the mass-bounded tail cut
+        is applied *on the dense vector*, so the (large, diffuse) raw
+        support is never materialised as an index array.
+        """
+        starts = self._q_indptr[nodes]
+        lengths = self._q_indptr[nodes + 1] - starts
+        idx = _multi_range(starts, lengths)
+        out_nodes = self._q_indices[idx]
+        if out_nodes.size == 0:
+            return out_nodes, np.empty(0, dtype=np.float64)
+        out_vals = self._q_data[idx] * np.repeat(values, lengths)
+        if out_nodes.size <= 4096:
+            # small supports (deep levels on DAGs) consolidate by a
+            # local sort — no O(n) dense passes for an O(100) result
+            uniq, inverse = np.unique(out_nodes, return_inverse=True)
+            return self._trim(
+                uniq, np.bincount(inverse, weights=out_vals)
+            )
+        dense = np.bincount(
+            out_nodes, weights=out_vals, minlength=self._n
+        )
+        support = int(np.count_nonzero(dense))
+        threshold = _TAIL_MASS * float(out_vals.sum()) / max(support, 1)
+        uniq = np.nonzero(dense > threshold)[0]
+        kept = dense[uniq]
+        if uniq.size < support:
+            self.stats.support_truncations += 1
+        if uniq.size > self.support_cap:
+            self.stats.support_truncations += 1
+            keep = np.argpartition(kept, -self.support_cap)[
+                -self.support_cap:
+            ]
+            keep.sort()
+            return uniq[keep], kept[keep]
+        return uniq, kept
+
+    def _query_side(
+        self, query: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``p_beta = (Q^T)^beta e_q`` up to the useful query depth."""
+        nodes = np.array([query], dtype=np.int64)
+        values = np.array([1.0], dtype=np.float64)
+        supports = [(nodes, values)]
+        for _ in range(self._query_depth):
+            nodes, values = self._push(nodes, values)
+            supports.append((nodes, values))
+            if nodes.size == 0:
+                break
+        return supports
+
+    def _merged_weights(
+        self, supports: list[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``m_alpha = sum_beta coef[beta, alpha] p_beta``, all levels.
+
+        Returns ``(union, weights)`` where ``union`` is the sorted
+        union of the query-side supports and ``weights[:, alpha]`` is
+        ``m_alpha`` evaluated on it. All the per-level merges collapse
+        into one ``(support x beta) @ coef`` product over the union —
+        a single dense scan instead of one consolidation per level.
+        """
+        max_alpha = min(self.walks.walk_length, self.truncation)
+        active = [
+            (beta, nodes, values)
+            for beta, (nodes, values) in enumerate(supports)
+            if nodes.size
+        ]
+        if not active:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, max_alpha + 1), dtype=np.float64),
+            )
+        occupancy = np.bincount(
+            np.concatenate([nodes for _, nodes, _ in active]),
+            minlength=self._n,
+        )
+        union = np.nonzero(occupancy)[0]
+        stacked = np.zeros(
+            (union.size, len(active)), dtype=np.float64
+        )
+        for col, (_, nodes, values) in enumerate(active):
+            stacked[np.searchsorted(union, nodes), col] = values
+        coef = self._coef[
+            [beta for beta, _, _ in active], : max_alpha + 1
+        ]
+        return union, stacked @ coef
+
+    # ------------------------------------------------------------------
+    # analytic near levels
+    # ------------------------------------------------------------------
+    def _gather_level_one(
+        self, nodes: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact ``sum_w Q[u, w] m_1(w)`` contributions via ``Q^T`` rows.
+
+        ``Q^T``'s row ``w`` lists exactly the nodes one reverse step
+        away from ``w`` with their ``Q`` weights, so the level-1 term
+        — the heaviest sampled level would otherwise be — is scored
+        with zero variance at ``O(support * degree)`` cost. Returns
+        ``(targets, contributions)`` for the caller's shared flush.
+        """
+        nodes, values = self._trim(nodes, values)
+        starts = self._qt_indptr[nodes]
+        lengths = self._qt_indptr[nodes + 1] - starts
+        idx = _multi_range(starts, lengths)
+        return self._qt_indices[idx], self._qt_data[idx] * np.repeat(
+            values, lengths
+        )
+
+    # ------------------------------------------------------------------
+    # sampled far levels
+    # ------------------------------------------------------------------
+    def _gather_level(
+        self, level: int, nodes: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``count * m_level(w) / samples`` per walk landing on ``w``.
+
+        The support is mass-trimmed first: bucket reads are the
+        estimator's dominant cost and the trimmed tail is bounded far
+        below the sampling noise it rides on. Returns
+        ``(sources, contributions)`` for the caller's shared flush.
+        """
+        nodes, values = self._trim(nodes, values)
+        walks = self.walks
+        row = walks.indptr[level - 1]
+        base = int(walks.level_offsets[level - 1])
+        starts = base + row[nodes]
+        lengths = row[nodes + 1] - row[nodes]
+        idx = _multi_range(
+            np.asarray(starts, dtype=np.int64),
+            np.asarray(lengths, dtype=np.int64),
+        )
+        hit_sources = walks.sources[idx]
+        weights = np.repeat(
+            values / walks.samples, lengths
+        ) * walks.counts[idx]
+        self.stats.samples_drawn += int(hit_sources.size)
+        return hit_sources, weights
+
+    def _flush(
+        self,
+        acc: np.ndarray,
+        pending: list[tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Accumulate gathered contributions in one dense pass.
+
+        All pending levels share a single ``bincount`` over the
+        concatenated gathers — the ``O(n)`` accumulator passes are
+        paid once per flush, not once per level.
+        """
+        targets = [t for t, _ in pending if t.size]
+        if not targets:
+            pending.clear()
+            return
+        acc += np.bincount(
+            np.concatenate(targets),
+            weights=np.concatenate(
+                [w for _, w in pending if w.size]
+            ),
+            minlength=acc.size,
+        ).astype(acc.dtype)
+        pending.clear()
+
+    # ------------------------------------------------------------------
+    # public estimates
+    # ------------------------------------------------------------------
+    def column(self, query: int) -> np.ndarray:
+        """The estimated score column of ``query`` (dense ``(n,)``).
+
+        Entry ``u`` estimates ``S[u, query]`` under the engine's
+        truncated series. All walk levels are consumed — no early
+        termination — so the result is reusable as a memoized column.
+        """
+        union, weights = self._merged_weights(
+            self._query_side(int(query))
+        )
+        acc = np.zeros(self._n, dtype=self.dtype)
+        if union.size:
+            acc[union] += weights[:, 0].astype(self.dtype)
+            pending = []
+            if weights.shape[1] > 1:
+                pending.append(
+                    self._gather_level_one(union, weights[:, 1])
+                )
+            for alpha in range(_FIRST_SAMPLED_LEVEL, weights.shape[1]):
+                pending.append(
+                    self._gather_level(alpha, union, weights[:, alpha])
+                )
+            self._flush(acc, pending)
+        self.stats.columns += 1
+        return acc
+
+    def topk_scores(self, query: int, k: int) -> np.ndarray:
+        """A score column good enough to rank ``query``'s top ``k``.
+
+        Identical to :meth:`column` except that the sampled walk
+        levels are consumed in ascending order and the sweep stops as
+        soon as the gap between the current ``k``-th and ``(k+1)``-th
+        best scores exceeds the total weight the remaining levels
+        could still move — at that point no remaining evidence can
+        change which ``k`` nodes win. Scores outside the stable
+        top-``k`` set may be partial.
+        """
+        union, weights = self._merged_weights(
+            self._query_side(int(query))
+        )
+        acc = np.zeros(self._n, dtype=self.dtype)
+        self.stats.topk_queries += 1
+        if not union.size:
+            return acc
+        level_caps = weights.max(axis=0)
+        level_entries = np.diff(self.walks.level_offsets)
+        acc[union] += weights[:, 0].astype(self.dtype)
+        pending = []
+        if weights.shape[1] > 1:
+            pending.append(
+                self._gather_level_one(union, weights[:, 1])
+            )
+        for alpha in range(_FIRST_SAMPLED_LEVEL, weights.shape[1]):
+            # everything level alpha and beyond could still add,
+            # per candidate: sum over r of count * m(endpoint) /
+            # samples <= max m. The O(n) stability partition is only
+            # worth its price when the levels it could skip hold
+            # several accumulator scans' worth of bucket entries, so
+            # cheap tail levels (walks die fast on DAGs) are just
+            # played out — and checking forces a flush first.
+            remaining = float(level_caps[alpha:].sum())
+            skippable = int(level_entries[alpha - 1:].sum())
+            if (
+                alpha > _FIRST_SAMPLED_LEVEL
+                and remaining > 0.0
+                and skippable >= 3 * acc.size
+            ):
+                self._flush(acc, pending)
+                if self._topk_stable(acc, k, remaining):
+                    self.stats.early_terminations += 1
+                    break
+            pending.append(
+                self._gather_level(alpha, union, weights[:, alpha])
+            )
+        self._flush(acc, pending)
+        return acc
+
+    def _topk_stable(
+        self, acc: np.ndarray, k: int, remaining: float
+    ) -> bool:
+        if acc.size <= k:
+            return False
+        # k+1 largest of the dense accumulator, ascending; one O(n)
+        # partition beats bookkeeping the ever-growing touched set
+        top = np.partition(acc, acc.size - k - 1)[-(k + 1):]
+        return bool(top[1] - top[0] > remaining)
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproxEstimator(truncation={self.truncation}, "
+            f"walks={self.walks!r}, support_cap={self.support_cap})"
+        )

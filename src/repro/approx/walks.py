@@ -1,0 +1,382 @@
+"""Reverse-random-walk sample store — the approx tier's precomputation.
+
+The Monte-Carlo estimator (:mod:`repro.approx.estimator`) rewrites the
+truncated SimRank* series as an expectation over *reverse* random
+walks: ``Q^alpha[u, w]`` — the weight the exact kernel computes by
+``alpha`` sparse products — is exactly the probability that a length-
+``alpha`` walk from ``u`` along the backward transition matrix ``Q``
+ends at ``w``. A :class:`WalkIndex` materialises that distribution
+empirically: ``samples`` independent walks from every node, with the
+endpoint after each step ``1 .. walk_length`` recorded in aligned
+``uint32`` arrays.
+
+Two layouts of the same data are stored, because the estimator needs
+both directions:
+
+* ``endpoints[l - 1, i, r]`` — where walk ``r`` from node ``i`` stands
+  after ``l`` steps (:data:`DEAD` once the walk hits an in-degree-0
+  node, mirroring the absorbing zero rows of ``Q``);
+* an **inverted index** per level — ``bucket(l, w)`` lists every walk
+  source whose step-``l`` endpoint is ``w``, stored *run-length
+  deduplicated*: each (source, endpoint) pair appears once in
+  ``sources`` with its multiplicity in the aligned ``counts`` array.
+  Walks concentrate heavily on hub endpoints (several walks from one
+  source often meet at the same node), so deduplication both shrinks
+  the index and cuts the estimator's dominant gather volume.
+
+Both are plain contiguous arrays, which is what lets
+:mod:`repro.index.store` persist them as optional ``.simidx`` segments
+and :mod:`repro.cluster` workers share one memory-mapped copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["DEAD", "WalkIndex"]
+
+#: Endpoint sentinel for an absorbed walk (a walk that reached a node
+#: with no in-neighbours — ``Q``'s zero rows). ``uint32``'s maximum,
+#: so it can never collide with a real node id (the store rejects
+#: graphs that large long before this matters).
+DEAD = 0xFFFF_FFFF
+
+
+def _validate_build_args(walk_length: int, samples: int) -> None:
+    if not isinstance(walk_length, int) or isinstance(walk_length, bool):
+        raise TypeError(f"walk_length must be an int, got {walk_length!r}")
+    if walk_length < 0:
+        raise ValueError(f"walk_length must be >= 0, got {walk_length}")
+    if (
+        not isinstance(samples, int)
+        or isinstance(samples, bool)
+        or samples < 1
+    ):
+        raise ValueError(f"samples must be a positive int, got {samples!r}")
+    if samples > 0xFFFF:
+        raise ValueError(
+            f"samples must fit the uint16 bucket counts, got {samples}"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class WalkIndex:
+    """``samples`` reverse walks per node, endpoint-indexed per level.
+
+    Attributes
+    ----------
+    endpoints:
+        ``uint32`` array of shape ``(walk_length, num_nodes, samples)``;
+        ``endpoints[l - 1, i, r]`` is walk ``r`` of node ``i`` after
+        ``l`` steps, or :data:`DEAD` if the walk was absorbed.
+    sources:
+        ``uint32`` concatenation of every level's inverted buckets,
+        one entry per distinct (source, endpoint) pair.
+    counts:
+        ``uint16`` array aligned with :attr:`sources`; how many of the
+        source's walks end on the bucket's node at that level (at most
+        ``samples``, which the build caps at ``uint16`` range).
+    indptr:
+        ``int64`` array of shape ``(walk_length, num_nodes + 1)``;
+        per-level CSR-style bucket boundaries (level-local offsets).
+    level_offsets:
+        ``int64`` array of shape ``(walk_length + 1,)``; where each
+        level's buckets start inside :attr:`sources`.
+    seed:
+        The RNG seed the walks were drawn with — part of the index
+        fingerprint, so equal seeds mean bit-identical estimates.
+
+    Examples
+    --------
+    Walks die at in-degree-0 nodes, exactly like the exact kernel's
+    absorbing transition rows:
+
+    >>> import numpy as np
+    >>> from repro.graph.digraph import DiGraph
+    >>> from repro.graph.matrices import backward_transition_matrix
+    >>> g = DiGraph(3, edges=[(0, 1), (0, 2), (1, 2)])
+    >>> q = backward_transition_matrix(g)
+    >>> walks = WalkIndex.build(q, walk_length=2, samples=4, seed=0)
+    >>> walks.endpoints.shape
+    (2, 3, 4)
+    >>> bool((walks.endpoints[0, 0] == DEAD).all())  # 0 has no in-edges
+    True
+    >>> sorted(set(walks.endpoints[0, 2].tolist())) == [0, 1]
+    True
+
+    The inverted buckets are the same data keyed by endpoint — every
+    source in ``bucket(l, w)`` has ``w`` as its step-``l`` endpoint:
+
+    >>> all(
+    ...     walks.endpoints[0, int(src)].tolist().count(1) > 0
+    ...     for src in walks.bucket(1, 1)
+    ... )
+    True
+
+    Buckets are deduplicated; the aligned counts preserve the walk
+    multiplicities, so no sampled mass is lost:
+
+    >>> level_one = walks.counts[: int(walks.level_offsets[1])]
+    >>> int(level_one.sum()) == int((walks.endpoints[0] != DEAD).sum())
+    True
+    >>> WalkIndex.build(q, walk_length=2, samples=4, seed=0) == walks
+    True
+    """
+
+    endpoints: np.ndarray
+    sources: np.ndarray
+    counts: np.ndarray
+    indptr: np.ndarray
+    level_offsets: np.ndarray
+    seed: int
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        transition: sp.csr_array,
+        walk_length: int,
+        samples: int,
+        seed: int = 0,
+    ) -> "WalkIndex":
+        """Draw ``samples`` reverse walks per node along ``transition``.
+
+        ``transition`` is the backward transition matrix ``Q`` in CSR
+        form (row ``i`` holds the uniform step distribution over
+        ``i``'s in-neighbours). Sampling is fully vectorised — one
+        gather/draw pass per step over all ``num_nodes * samples``
+        walks at once — and deterministic per ``seed``.
+        """
+        _validate_build_args(walk_length, samples)
+        n = int(transition.shape[0])
+        if n >= DEAD:
+            raise ValueError(
+                f"graph has {n} nodes; walk endpoints are uint32 with "
+                f"{DEAD:#x} reserved for absorbed walks"
+            )
+        csr_indptr = np.asarray(transition.indptr, dtype=np.int64)
+        csr_indices = np.asarray(transition.indices, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        # walk w = i * samples + r starts at node i
+        state = np.repeat(np.arange(n, dtype=np.int64), samples)
+        dead = np.zeros(n * samples, dtype=bool)
+        endpoints = np.empty((walk_length, n * samples), dtype=np.uint32)
+        for step in range(walk_length):
+            deg = np.where(
+                dead, 0, csr_indptr[state + 1] - csr_indptr[state]
+            )
+            dead |= deg == 0
+            draws = rng.random(state.size)
+            offset = np.minimum(
+                (draws * deg).astype(np.int64), np.maximum(deg - 1, 0)
+            )
+            choice = np.where(dead, 0, csr_indptr[state] + offset)
+            state = np.where(dead, state, csr_indices[choice])
+            endpoints[step] = np.where(dead, DEAD, state)
+        sources, counts, indptr, level_offsets = cls._invert(
+            endpoints, n, samples
+        )
+        return cls(
+            endpoints=endpoints.reshape(walk_length, n, samples),
+            sources=sources,
+            counts=counts,
+            indptr=indptr,
+            level_offsets=level_offsets,
+            seed=seed,
+        )
+
+    @staticmethod
+    def _invert(
+        endpoints_flat: np.ndarray, num_nodes: int, samples: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-level deduplicated endpoint-to-sources buckets.
+
+        Absorbed walks drop out; repeat (source, endpoint) pairs
+        collapse to one entry with a multiplicity count.
+        """
+        walk_length = endpoints_flat.shape[0]
+        walk_source = np.repeat(
+            np.arange(num_nodes, dtype=np.int64), samples
+        )
+        source_parts, count_parts = [], []
+        indptr = np.zeros(
+            (walk_length, num_nodes + 1), dtype=np.int64
+        )
+        for step in range(walk_length):
+            level = endpoints_flat[step]
+            alive = level != DEAD
+            keys = level[alive].astype(np.int64) * num_nodes + (
+                walk_source[alive]
+            )
+            pairs, multiplicity = np.unique(keys, return_counts=True)
+            source_parts.append(
+                (pairs % num_nodes).astype(np.uint32)
+            )
+            count_parts.append(multiplicity.astype(np.uint16))
+            bucket_sizes = np.bincount(
+                pairs // num_nodes, minlength=num_nodes
+            )
+            np.cumsum(bucket_sizes, out=indptr[step, 1:])
+        level_offsets = np.zeros(walk_length + 1, dtype=np.int64)
+        if source_parts:
+            np.cumsum(
+                [p.size for p in source_parts], out=level_offsets[1:]
+            )
+        sources = (
+            np.concatenate(source_parts)
+            if source_parts
+            else np.empty(0, dtype=np.uint32)
+        )
+        counts = (
+            np.concatenate(count_parts)
+            if count_parts
+            else np.empty(0, dtype=np.uint16)
+        )
+        return sources, counts, indptr, level_offsets
+
+    @classmethod
+    def from_arrays(
+        cls,
+        endpoints: np.ndarray,
+        sources: np.ndarray,
+        counts: np.ndarray,
+        indptr: np.ndarray,
+        level_offsets: np.ndarray,
+        seed: int = 0,
+    ) -> "WalkIndex":
+        """Reassemble a walk index from its (possibly mmap'd) arrays.
+
+        The persistence layer's constructor: shape and dtype
+        consistency is checked here (cheap, structural); content
+        integrity (checksums, bucket invariants) is the store's
+        ``verify_index`` job.
+        """
+        endpoints = np.asarray(endpoints)
+        sources = np.asarray(sources)
+        counts = np.asarray(counts)
+        indptr = np.asarray(indptr)
+        level_offsets = np.asarray(level_offsets)
+        if endpoints.ndim != 3 or endpoints.dtype != np.uint32:
+            raise ValueError(
+                "endpoints must be a uint32 array of shape "
+                f"(walk_length, num_nodes, samples), got "
+                f"{endpoints.dtype} {endpoints.shape}"
+            )
+        walk_length, num_nodes, _ = endpoints.shape
+        if indptr.shape != (walk_length, num_nodes + 1):
+            raise ValueError(
+                f"indptr shape {indptr.shape} disagrees with "
+                f"endpoints shape {endpoints.shape}"
+            )
+        if level_offsets.shape != (walk_length + 1,):
+            raise ValueError(
+                f"level_offsets shape {level_offsets.shape} disagrees "
+                f"with walk_length {walk_length}"
+            )
+        if sources.ndim != 1 or sources.dtype != np.uint32:
+            raise ValueError(
+                "sources must be a flat uint32 array, got "
+                f"{sources.dtype} shape {sources.shape}"
+            )
+        if counts.shape != sources.shape or counts.dtype != np.uint16:
+            raise ValueError(
+                "counts must be a uint16 array aligned with sources, "
+                f"got {counts.dtype} shape {counts.shape}"
+            )
+        if walk_length and int(level_offsets[-1]) != sources.size:
+            raise ValueError(
+                f"sources has {sources.size} entries but level_offsets "
+                f"ends at {int(level_offsets[-1])}"
+            )
+        return cls(
+            endpoints=endpoints,
+            sources=sources,
+            counts=counts,
+            indptr=indptr,
+            level_offsets=level_offsets,
+            seed=int(seed),
+        )
+
+    # ------------------------------------------------------------------
+    # shape / access
+    # ------------------------------------------------------------------
+    @property
+    def walk_length(self) -> int:
+        """Number of recorded step levels (level 0 is analytic)."""
+        return int(self.endpoints.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.endpoints.shape[1])
+
+    @property
+    def samples(self) -> int:
+        """Independent walks drawn per node."""
+        return int(self.endpoints.shape[2])
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all stored arrays (mmap'd or not)."""
+        return int(
+            self.endpoints.nbytes
+            + self.sources.nbytes
+            + self.counts.nbytes
+            + self.indptr.nbytes
+            + self.level_offsets.nbytes
+        )
+
+    def bucket(self, level: int, node: int) -> np.ndarray:
+        """Walk sources whose step-``level`` endpoint is ``node``.
+
+        ``level`` is 1-based (level 0 would be the identity — every
+        node trivially "meets itself", which the estimator handles
+        analytically). Returns a zero-copy slice of :attr:`sources`
+        with one entry per distinct source; the matching slice of
+        :attr:`counts` carries the walk multiplicities.
+        """
+        if not 1 <= level <= self.walk_length:
+            raise IndexError(
+                f"level must be in [1, {self.walk_length}], got {level}"
+            )
+        row = self.indptr[level - 1]
+        base = int(self.level_offsets[level - 1])
+        return self.sources[
+            base + int(row[node]): base + int(row[node + 1])
+        ]
+
+    def describe(self) -> dict:
+        """A JSON-ready shape/size summary (for ``/status`` + CLI)."""
+        return {
+            "walk_length": self.walk_length,
+            "num_nodes": self.num_nodes,
+            "samples": self.samples,
+            "seed": self.seed,
+            "nbytes": self.nbytes,
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, WalkIndex):
+            return NotImplemented
+        return (
+            self.seed == other.seed
+            and self.endpoints.shape == other.endpoints.shape
+            and bool(np.array_equal(self.endpoints, other.endpoints))
+            and bool(np.array_equal(self.sources, other.sources))
+            and bool(np.array_equal(self.counts, other.counts))
+            and bool(np.array_equal(self.indptr, other.indptr))
+            and bool(
+                np.array_equal(self.level_offsets, other.level_offsets)
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkIndex(walk_length={self.walk_length}, "
+            f"num_nodes={self.num_nodes}, samples={self.samples}, "
+            f"seed={self.seed})"
+        )

@@ -8,6 +8,7 @@ Typical uses::
     python -m repro.bench --list                   # enumerate cases
     python -m repro.bench --serve --tag PR3        # + serving load test
     python -m repro.bench --cluster --tag PR5      # + worker scaling
+    python -m repro.bench --approx --tag PR6       # + approx-vs-exact tier
 
 Compare mode exits non-zero when a case regresses beyond
 ``--threshold`` times its baseline or a gated batching speedup falls
@@ -18,7 +19,11 @@ under the ``"serving"`` key of ``BENCH_<tag>.json``; ``--cluster``
 runs the multi-process worker-scaling case the same way (under
 ``"cluster"``), whose ``speedup_workers_<b>_vs_<a>`` ratio joins the
 gated derived speedups when the machine has enough CPUs to express
-it.
+it. ``--approx`` runs the exact-vs-approx large-graph comparison
+(:mod:`repro.bench.approx`) on seeded scale-free graphs, embeds its
+document under ``"approx"``, copies ``speedup_approx_vs_exact`` into
+the gated derived speedups, and exits non-zero when precision@k falls
+below its floor.
 """
 
 from __future__ import annotations
@@ -66,6 +71,19 @@ SERVE_FULL = {"clients": 32, "requests_per_client": 4}
 #: and high worker counts of the ``speedup_workers_4_vs_1`` gate.
 CLUSTER_QUICK = {"batches": 4, "batch_size": 32}
 CLUSTER_FULL = {"batches": 8, "batch_size": 64}
+
+#: Approx-tier workloads (``--approx``): the full setting is the
+#: acceptance regime (10^4 and 10^5-node scale-free graphs, 10x floor
+#: at the largest), quick shrinks the graphs to CI size — too small
+#: for the asymptotic speedup, so only precision is gated there.
+APPROX_QUICK = {
+    "node_counts": (2_000, 10_000), "queries": 8,
+    "speedup_floor": None,
+}
+APPROX_FULL = {
+    "node_counts": (10_000, 100_000), "queries": 12,
+    "speedup_floor": 10.0,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,6 +187,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-scaling: comma-separated worker counts, low to "
         "high (default 1,4 — the gated speedup_workers_4_vs_1 pair)",
     )
+    parser.add_argument(
+        "--approx", action="store_true",
+        help="also run the exact-vs-approx comparison on scale-free "
+        "graphs (repro.bench.approx) and embed its document under "
+        "the 'approx' key; its speedup_approx_vs_exact joins the "
+        "gated derived ratios and its precision@k floor is an exit "
+        "gate",
+    )
+    parser.add_argument(
+        "--approx-nodes", default=None, metavar="A,B",
+        help="approx tier: comma-separated graph sizes, ascending "
+        "(default 10000,100000 full / 2000,10000 quick); the speedup "
+        "is taken at the largest",
+    )
+    parser.add_argument(
+        "--approx-queries", type=int, default=None,
+        help="approx tier: top-k queries per scale (default 12 full "
+        "/ 8 quick)",
+    )
+    parser.add_argument(
+        "--approx-epsilon", type=float, default=None,
+        help="approx tier: estimator accuracy knob (default: the "
+        "tier's 0.05)",
+    )
+    parser.add_argument(
+        "--approx-speedup-floor", type=float, default=None,
+        help="approx tier: required speedup at the largest scale "
+        "(default 10.0 full / ungated quick — small graphs cannot "
+        "express the asymptotic ratio)",
+    )
     return parser
 
 
@@ -194,6 +242,17 @@ def list_cases(args, preset: dict) -> int:
         "  cluster_scaling  "
         f"[{preset['nodes']} nodes, {preset['edges']} edges, "
         f"worker counts {args.worker_counts}, sharded column plane]"
+    )
+    approx = APPROX_QUICK if args.quick else APPROX_FULL
+    sizes = args.approx_nodes or ",".join(
+        str(n) for n in approx["node_counts"]
+    )
+    print("approx-tier scenario (--approx):")
+    print(
+        "  approx_compare  "
+        f"[scale-free graphs at {sizes} nodes, exact vs "
+        "mode=approx top-k: latency, precision@k, walk-index "
+        "build]"
     )
     return 0
 
@@ -272,6 +331,37 @@ def main(argv: list[str] | None = None) -> int:
         )
         key = document["cluster"]["speedup_key"]
         document["derived"][key] = document["cluster"][key]
+    approx_ok = True
+    if args.approx:
+        from repro.bench.approx import run_approx_compare
+
+        approx_defaults = APPROX_QUICK if args.quick else APPROX_FULL
+        node_counts = tuple(
+            int(n) for n in args.approx_nodes.split(",")
+        ) if args.approx_nodes else approx_defaults["node_counts"]
+        floor = (
+            args.approx_speedup_floor
+            if args.approx_speedup_floor is not None
+            else approx_defaults["speedup_floor"]
+        )
+        document["approx"] = run_approx_compare(
+            node_counts=node_counts,
+            queries=(
+                args.approx_queries or approx_defaults["queries"]
+            ),
+            k=args.k,
+            epsilon=args.approx_epsilon,
+            num_terms=preset["num_terms"],
+            dtype=args.dtype,
+            seed=args.seed,
+            speedup_floor=floor,
+            progress=lambda name: print(
+                f"  running {name} ...", flush=True
+            ),
+        )
+        key = document["approx"]["speedup_key"]
+        document["derived"][key] = document["approx"][key]
+        approx_ok = all(document["approx"]["checks"].values())
     print(f"\n== repro.bench [{tag}] ==")
     for name, result in document["results"].items():
         print(
@@ -303,6 +393,21 @@ def main(argv: list[str] | None = None) -> int:
             f"  cluster_scaling              {sides} "
             f"-> {cluster[cluster['speedup_key']]:.2f}x"
         )
+    if args.approx:
+        approx = document["approx"]
+        for size, scale in approx["scales"].items():
+            print(
+                f"  approx_compare@{size:<13} "
+                f"exact "
+                f"{scale['exact']['seconds_per_query'] * 1e3:8.2f} ms"
+                f" vs approx "
+                f"{scale['approx']['seconds_per_query'] * 1e3:7.2f} "
+                f"ms -> {scale['speedup']:.1f}x, "
+                f"precision@{approx['k']} "
+                f"{scale['precision_at_k']:.3f}"
+            )
+        for name, passed in approx["checks"].items():
+            print(f"  {'ok' if passed else 'FAIL'} approx {name}")
     if not args.no_write:
         out_path = Path(args.output or f"BENCH_{tag}.json")
         out_path.write_text(json.dumps(document, indent=2) + "\n")
@@ -327,6 +432,9 @@ def main(argv: list[str] | None = None) -> int:
             print("regression detected", file=sys.stderr)
             return 1
         print("no regression")
+    if not approx_ok:
+        print("approx gates FAILED", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,182 @@
+"""Exact-vs-approx comparison for the Monte-Carlo walk-index tier.
+
+Where :mod:`repro.bench.runner` times the exact kernels against each
+other, this module measures what the approx tier buys *at scale*: it
+generates seeded scale-free graphs
+(:func:`repro.datasets.scale_free_graph`) at each requested node
+count, serves the same top-k queries through an exact engine and a
+``mode="approx"`` engine, and records per-query latency, peak
+allocation, walk-index build time and size, and precision@k of the
+approximate ranking against the exact one.
+
+``python -m repro.bench --approx`` embeds this document under the
+``"approx"`` key of ``BENCH_<tag>.json`` and copies its
+``speedup_approx_vs_exact`` ratio (measured at the largest scale)
+into the gated derived speedups — the acceptance regime is a 10x+
+per-query speedup at 10^5 nodes with precision@10 >= 0.9.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+import numpy as np
+
+from repro.bench.memory import measure_peak_memory
+
+__all__ = ["run_approx_compare"]
+
+
+def _time_topk(engine, queries, k: int) -> tuple[float, int]:
+    """Mean seconds/query and peak bytes of ``top_k`` over ``queries``.
+
+    Timing and peak-allocation are measured in separate passes (the
+    first queries are fresh, the tracemalloc pass repeats one) so the
+    tracing overhead never distorts the latency numbers.
+    """
+    start = time.perf_counter()
+    for query in queries:
+        engine.top_k(query, k=k)
+    seconds = (time.perf_counter() - start) / len(queries)
+    _, peak = measure_peak_memory(engine.top_k, queries[0], k=k)
+    return seconds, int(peak)
+
+
+def run_approx_compare(
+    node_counts=(10_000, 100_000),
+    avg_out_degree: float = 16.0,
+    queries: int = 12,
+    k: int = 10,
+    epsilon: float | None = None,
+    num_terms: int = 10,
+    dtype: str = "float64",
+    seed: int = 42,
+    precision_floor: float = 0.9,
+    speedup_floor: float | None = None,
+    progress=None,
+) -> dict:
+    """Benchmark approx against exact top-k across graph scales.
+
+    For each node count a scale-free graph is generated, an exact and
+    an approx engine are warmed on it, and ``queries`` hub-skewed
+    query nodes are answered by both. The returned document carries a
+    per-scale table plus the derived ``speedup_approx_vs_exact``
+    (largest scale) and the ``precision_at_k`` gate outcome;
+    ``checks`` is the pass/fail map ``python -m repro.bench --approx``
+    turns into its exit code.
+
+    Parameters
+    ----------
+    node_counts:
+        Graph sizes, ascending; the speedup is taken at the last one.
+    avg_out_degree:
+        Edge density of the generated graphs. Defaults to 16 — the
+        density of real web/social corpora (LiveJournal averages ~17
+        links per node) and the regime the approx tier targets: exact
+        per-query cost grows with ``edges * num_terms`` while the
+        sampled walk reads do not.
+    epsilon:
+        Approx accuracy knob (``None`` = the tier's default 0.05).
+    precision_floor:
+        Required mean precision@k at every scale.
+    speedup_floor:
+        Optional required speedup at the largest scale (``None``
+        skips that check — small quick-mode graphs cannot express
+        the asymptotic ratio).
+    """
+    from repro.datasets import scale_free_graph
+    from repro.engine.config import SimilarityConfig
+    from repro.engine.engine import SimilarityEngine
+
+    exact_config = SimilarityConfig(
+        measure="gSR*", num_iterations=num_terms, dtype=dtype
+    )
+    approx_config = exact_config.replace(
+        mode="approx", epsilon=epsilon, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    scales: dict[str, dict] = {}
+    for nodes in node_counts:
+        if progress is not None:
+            progress(f"approx_compare n={nodes}")
+        graph = scale_free_graph(
+            int(nodes), avg_out_degree=avg_out_degree, seed=seed
+        )
+        # hub-skewed queries: half from the high in-degree head (the
+        # traffic magnets), half uniform
+        in_degrees = graph.in_degrees()
+        head = np.argsort(in_degrees)[::-1][: max(2 * queries, 64)]
+        count = min(queries, graph.num_nodes)
+        picks = [
+            int(q) for q in rng.choice(head, size=count // 2, replace=False)
+        ] + [
+            int(q)
+            for q in rng.choice(
+                graph.num_nodes, size=count - count // 2, replace=False
+            )
+        ]
+        exact = SimilarityEngine(graph, exact_config)
+        exact.transition_t  # warm shared artifacts off the clock
+        exact_seconds, exact_peak = _time_topk(exact, picks, k)
+
+        approx = SimilarityEngine(graph, approx_config)
+        approx.transition_t
+        walk_start = time.perf_counter()
+        walks = approx.walk_index
+        walk_build_seconds = time.perf_counter() - walk_start
+        approx_seconds, approx_peak = _time_topk(approx, picks, k)
+
+        hits = 0
+        for query in picks:
+            exact_top = set(exact.top_k(query, k=k).nodes)
+            approx_top = set(approx.top_k(query, k=k).nodes)
+            hits += len(exact_top & approx_top)
+        precision = hits / (len(picks) * k)
+        status = approx.approx_status() or {}
+        scales[str(int(nodes))] = {
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "exact": {
+                "seconds_per_query": exact_seconds,
+                "peak_bytes": exact_peak,
+            },
+            "approx": {
+                "seconds_per_query": approx_seconds,
+                "peak_bytes": approx_peak,
+                "walk_build_seconds": walk_build_seconds,
+                "walk_index_bytes": int(walks.nbytes),
+                "walk_length": walks.walk_length,
+                "samples_per_node": walks.samples,
+                "estimator": status.get("estimator"),
+            },
+            "precision_at_k": precision,
+            "speedup": exact_seconds / approx_seconds,
+        }
+    largest = scales[str(int(max(node_counts)))]
+    precisions = [s["precision_at_k"] for s in scales.values()]
+    checks = {
+        "precision_at_k": min(precisions) >= precision_floor,
+    }
+    if speedup_floor is not None:
+        checks["speedup_at_largest_scale"] = (
+            largest["speedup"] >= speedup_floor
+        )
+    return {
+        "epsilon": epsilon,
+        "k": k,
+        "queries": queries,
+        "num_terms": num_terms,
+        "dtype": dtype,
+        "seed": seed,
+        "avg_out_degree": avg_out_degree,
+        "scales": scales,
+        "rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        * 1024,
+        "precision_floor": precision_floor,
+        "precision_at_k_min": min(precisions),
+        "speedup_floor": speedup_floor,
+        "speedup_key": "speedup_approx_vs_exact",
+        "speedup_approx_vs_exact": largest["speedup"],
+        "checks": checks,
+    }

@@ -46,6 +46,7 @@ GATED_SPEEDUPS = (
     "speedup_engine_batch_vs_loop",
     "speedup_index_load_vs_rebuild",
     "speedup_workers_4_vs_1",
+    "speedup_approx_vs_exact",
 )
 
 #: ``speedup_workers_<b>_vs_<a>`` ratios (``python -m repro.bench

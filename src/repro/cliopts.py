@@ -1,11 +1,11 @@
 """Shared argparse fragments for the ``python -m repro.*`` CLIs.
 
 ``repro.serve`` and ``repro.index`` accept the same graph sources
-(seeded random digraph, edge-list file, the paper's Figure 1 graph)
-and the same core similarity configuration. Defining those options
-once keeps the two CLIs from drifting apart — a new graph source or a
-changed default lands in both, and ``docs/operations.md`` can
-truthfully document them as shared.
+(seeded random digraph, scale-free generator, edge-list file, the
+paper's Figure 1 graph) and the same core similarity configuration.
+Defining those options once keeps the CLIs from drifting apart — a new
+graph source or a changed default lands in all of them, and
+``docs/operations.md`` can truthfully document them as shared.
 
 >>> import argparse
 >>> from repro.cliopts import add_graph_options, build_graph
@@ -54,6 +54,12 @@ def add_graph_options(parser: argparse.ArgumentParser) -> None:
         "--figure1", action="store_true",
         help="use the paper's 11-node Figure 1 citation graph",
     )
+    parser.add_argument(
+        "--scale-free", action="store_true",
+        help="use the seeded preferential-attachment generator "
+        "(heavy-tailed in-degrees; the large-graph benchmark tier) "
+        "with --nodes nodes and about --edges edges",
+    )
 
 
 def build_graph(args: argparse.Namespace):
@@ -66,6 +72,10 @@ def build_graph(args: argparse.Namespace):
     >>> graph = build_graph(args)
     >>> graph.num_nodes, graph.num_edges
     (20, 40)
+    >>> scale_free = build_graph(parser.parse_args(
+    ...     ["--scale-free", "--nodes", "50", "--edges", "200"]))
+    >>> scale_free.num_nodes
+    50
     """
     if args.figure1:
         from repro.graph import figure1_citation_graph
@@ -75,6 +85,14 @@ def build_graph(args: argparse.Namespace):
         from repro.graph.io import read_edge_list
 
         return read_edge_list(args.edge_file)
+    if getattr(args, "scale_free", False):
+        from repro.datasets import scale_free_graph
+
+        return scale_free_graph(
+            args.nodes,
+            avg_out_degree=max(1.0, args.edges / max(1, args.nodes)),
+            seed=args.seed,
+        )
     from repro.graph.generators import random_digraph
 
     return random_digraph(args.nodes, args.edges, seed=args.seed)
@@ -86,9 +104,9 @@ def add_config_options(parser: argparse.ArgumentParser) -> None:
     >>> import argparse
     >>> parser = argparse.ArgumentParser()
     >>> add_config_options(parser)
-    >>> args = parser.parse_args(["-c", "0.8"])
-    >>> args.measure, args.damping
-    ('gSR*', 0.8)
+    >>> args = parser.parse_args(["-c", "0.8", "--mode", "approx"])
+    >>> args.measure, args.damping, args.mode
+    ('gSR*', 0.8, 'approx')
     """
     parser.add_argument("--measure", default="gSR*")
     parser.add_argument("-c", "--damping", type=float, default=0.6)
@@ -96,10 +114,27 @@ def add_config_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dtype", choices=("float64", "float32"), default="float64"
     )
+    parser.add_argument(
+        "--mode", choices=("exact", "approx"), default="exact",
+        help="exact kernels (default) or the Monte-Carlo walk-index "
+        "tier",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=None,
+        help="accuracy target; in --mode approx it sizes the walk "
+        "sample budget (default 0.05), in exact mode it replaces "
+        "--num-iterations via the series error bound",
+    )
 
 
 def config_from_args(args: argparse.Namespace):
     """A :class:`~repro.engine.SimilarityConfig` from the parsed options.
+
+    In exact mode an explicit ``--epsilon`` takes over truncation
+    duty, so ``--num-iterations``'s default does not collide with it;
+    in approx mode the two coexist (truncation from one, sample
+    budget from the other). The graph options' ``--seed`` doubles as
+    the approx sampling seed — one seed pins the whole run.
 
     >>> import argparse
     >>> parser = argparse.ArgumentParser()
@@ -107,13 +142,22 @@ def config_from_args(args: argparse.Namespace):
     >>> config_from_args(parser.parse_args(["--measure", "eSR*"]))
     SimilarityConfig(measure='eSR*', c=0.6, num_iterations=10, \
 epsilon=None, weights='auto', dtype='float64', \
-max_cached_columns=None, column_policy='lru')
+max_cached_columns=None, column_policy='lru', mode='exact', seed=0)
+    >>> config_from_args(parser.parse_args(
+    ...     ["--mode", "approx", "--epsilon", "0.1"])).mode
+    'approx'
     """
     from repro.engine.config import SimilarityConfig
 
+    num_iterations = args.num_iterations
+    if args.mode == "exact" and args.epsilon is not None:
+        num_iterations = None
     return SimilarityConfig(
         measure=args.measure,
         c=args.damping,
-        num_iterations=args.num_iterations,
+        num_iterations=num_iterations,
+        epsilon=args.epsilon,
         dtype=args.dtype,
+        mode=args.mode,
+        seed=getattr(args, "seed", None) or 0,
     )

@@ -149,6 +149,9 @@ def _build_engine(payload: dict) -> tuple[Any, dict]:
         engine.transition_t
     if "compressed" in engine.measure.uses:
         engine.compressed
+    if engine.config.mode == "approx":
+        # adopt (mmap) or build the walk index before serving shards
+        engine.walk_index
     return engine, info
 
 

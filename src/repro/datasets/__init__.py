@@ -22,6 +22,7 @@ from repro.datasets.registry import (
     figure5_rows,
     load_dataset,
 )
+from repro.datasets.scale_free import scale_free_graph
 from repro.datasets.web import web_graph
 
 __all__ = [
@@ -33,5 +34,6 @@ __all__ = [
     "dataset_names",
     "figure5_rows",
     "load_dataset",
+    "scale_free_graph",
     "web_graph",
 ]

@@ -24,6 +24,7 @@ from repro.validation import (
 __all__ = [
     "COLUMN_POLICIES",
     "DTYPES",
+    "MODES",
     "SimilarityConfig",
     "WEIGHT_SCHEMES",
 ]
@@ -46,6 +47,14 @@ DTYPES = ("float64", "float32")
 #: that never repeats).
 COLUMN_POLICIES = ("lru", "fifo")
 
+#: Recognised values of :attr:`SimilarityConfig.mode`. ``"exact"``
+#: (default) serves every column through the deterministic kernels;
+#: ``"approx"`` routes single-source/top-k answers through the
+#: Monte-Carlo walk-index tier (:mod:`repro.approx`), trading a small
+#: bounded estimation error for per-query cost that no longer scales
+#: with the full series walk.
+MODES = ("exact", "approx")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -59,11 +68,19 @@ class SimilarityConfig:
     c:
         Damping factor in ``(0, 1)``; the paper's default is 0.6.
     num_iterations:
-        Truncation length ``K``. Mutually exclusive with ``epsilon``;
-        when both are omitted the measure's default is used.
+        Truncation length ``K``. In ``mode="exact"`` this is mutually
+        exclusive with ``epsilon``; when both are omitted the
+        measure's default is used.
     epsilon:
-        Accuracy target in ``(0, 1)``; converted to an iteration count
-        via the measure's error bound (Lemma 3 / Eq. (12)).
+        Accuracy target in ``(0, 1)``. In ``mode="exact"`` it is
+        converted to an iteration count via the measure's error bound
+        (Lemma 3 / Eq. (12)) and may not be combined with
+        ``num_iterations``. In ``mode="approx"`` it is the estimator's
+        accuracy knob — it sizes the walk sample budget
+        (:func:`repro.approx.samples_for_epsilon`) and, when
+        ``num_iterations`` is omitted, still resolves the truncation —
+        so the two may be given together there (truncation from
+        ``num_iterations``, sampling budget from ``epsilon``).
     weights:
         Length-weight scheme for the single-source series path.
         ``"auto"`` (default) uses the measure's own scheme; naming a
@@ -87,6 +104,17 @@ class SimilarityConfig:
         Eviction order of the bounded column memo: ``"lru"`` (default)
         or ``"fifo"``. Ignored while ``max_cached_columns`` is
         ``None``.
+    mode:
+        ``"exact"`` (default) or ``"approx"``. Approx mode serves
+        single-source columns and top-k rankings from the
+        precomputed reverse-random-walk index (:mod:`repro.approx`)
+        instead of the exact series kernels; it requires a measure
+        with single-source (series) support.
+    seed:
+        Random seed of the approx tier's walk sampling. Part of the
+        index fingerprint in approx mode — two engines with the same
+        seed (and epsilon) produce bit-identical estimates. Ignored
+        in exact mode.
 
     Examples
     --------
@@ -100,6 +128,8 @@ class SimilarityConfig:
     Traceback (most recent call last):
         ...
     ValueError: damping factor C must lie in (0, 1), got 1.5
+    >>> SimilarityConfig(mode="approx", epsilon=0.05, seed=7).mode
+    'approx'
     """
 
     measure: str = "gSR*"
@@ -110,6 +140,8 @@ class SimilarityConfig:
     dtype: str = "float64"
     max_cached_columns: int | None = None
     column_policy: str = "lru"
+    mode: str = "exact"
+    seed: int = 0
 
     def __post_init__(self) -> None:
         validate_damping(self.c)
@@ -122,7 +154,25 @@ class SimilarityConfig:
                 f"dtype must be one of {DTYPES}, got {self.dtype!r}"
             )
         object.__setattr__(self, "dtype", canonical)
-        if self.num_iterations is not None and self.epsilon is not None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if (
+            not isinstance(self.seed, int)
+            or isinstance(self.seed, bool)
+            or self.seed < 0
+        ):
+            raise ValueError(
+                f"seed must be a non-negative int, got {self.seed!r}"
+            )
+        if (
+            self.mode == "exact"
+            and self.num_iterations is not None
+            and self.epsilon is not None
+        ):
+            # in approx mode the two coexist: num_iterations pins the
+            # truncation, epsilon sizes the Monte-Carlo sample budget
             raise ValueError("pass either num_iterations or epsilon")
         if self.num_iterations is not None:
             validate_iterations(self.num_iterations)
@@ -182,10 +232,13 @@ class SimilarityConfig:
 
         ``variant`` (``"geometric"`` / ``"exponential"``) selects the
         error bound used to convert an ``epsilon`` target; ``default``
-        is the measure's fallback when nothing was specified.
+        is the measure's fallback when nothing was specified. An
+        explicit ``num_iterations`` wins — relevant only in approx
+        mode, where it may coexist with an ``epsilon`` whose job is
+        the sampling budget.
         """
-        if self.epsilon is not None:
-            return iterations_for_accuracy(self.c, self.epsilon, variant)
         if self.num_iterations is not None:
             return self.num_iterations
+        if self.epsilon is not None:
+            return iterations_for_accuracy(self.c, self.epsilon, variant)
         return default

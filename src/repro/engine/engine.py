@@ -36,8 +36,11 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.approx import ApproxEstimator, ApproxStats, approx_params
+from repro.approx.walks import WalkIndex
 from repro.bigraph.compressed import CompressedGraph
 from repro.core.multi_source import multi_source as _series_block
+from repro.core.multi_source import series_coefficients
 from repro.core.weights import (
     ExponentialWeights,
     GeometricWeights,
@@ -72,6 +75,7 @@ class EngineStats:
 
     transition_builds: int = 0
     compression_builds: int = 0
+    walk_builds: int = 0
     index_adoptions: int = 0
     matrix_builds: int = 0
     column_computes: int = 0
@@ -143,6 +147,8 @@ class _Caches:
     transition: sp.csr_array | None = None
     transition_t: sp.csr_array | None = None
     compressed: CompressedGraph | None = None
+    walks: WalkIndex | None = None
+    estimator: ApproxEstimator | None = None
     matrix: ScoreMatrix | None = None
     columns: ColumnMemo = field(default_factory=ColumnMemo)
 
@@ -204,6 +210,15 @@ class SimilarityEngine:
                 f"measure {config.measure!r} uses "
                 f"{self._spec.weight_scheme!r} length weights; "
                 f"config requested {config.weights!r}"
+            )
+        if (
+            config.mode == "approx"
+            and not self._spec.supports_single_source
+        ):
+            raise ValueError(
+                f"measure {config.measure!r} has no single-source "
+                "series support; mode='approx' estimates the series "
+                "and cannot serve it"
             )
         self.stats = EngineStats()
         # Reentrant: artifact builds nest (transition_t -> transition,
@@ -381,6 +396,94 @@ class SimilarityEngine:
                 cached = self._caches.compressed
         return cached
 
+    @property
+    def walk_index(self) -> WalkIndex:
+        """The reverse-walk sample store of the approx tier.
+
+        Adopted from the attached index when it carries walk segments
+        (the memory-mapped cluster path — counted in
+        ``EngineStats.index_adoptions``), else drawn once from the
+        engine's ``Q`` with the geometry
+        :func:`repro.approx.approx_params` resolves from the
+        configuration (counted in ``EngineStats.walk_builds``).
+        Thread-safe first touch, like every other artifact.
+        """
+        cached = self._caches.walks
+        if cached is None:
+            with self._lock:
+                if self._caches.walks is None:
+                    if (
+                        self._index is not None
+                        and self._index.walks is not None
+                    ):
+                        self._caches.walks = self._index.walks
+                        self.stats.index_adoptions += 1
+                    else:
+                        walk_length, samples = approx_params(
+                            self.truncation, self._config.epsilon
+                        )
+                        self._caches.walks = WalkIndex.build(
+                            self.transition,
+                            walk_length=walk_length,
+                            samples=samples,
+                            seed=self._config.seed,
+                        )
+                        self.stats.walk_builds += 1
+                cached = self._caches.walks
+        return cached
+
+    @property
+    def _approx_estimator(self) -> ApproxEstimator:
+        cached = self._caches.estimator
+        if cached is None:
+            with self._lock:
+                if self._caches.estimator is None:
+                    coefficients = (
+                        self._index.coefficients
+                        if self._index is not None
+                        and self._index.coefficients is not None
+                        else series_coefficients(
+                            self.truncation, self._weight_scheme()
+                        )
+                    )
+                    self._caches.estimator = ApproxEstimator(
+                        self.walk_index,
+                        self.transition,
+                        self.transition_t,
+                        coefficients,
+                        self.truncation,
+                        dtype=self._config.np_dtype,
+                    )
+                cached = self._caches.estimator
+        return cached
+
+    def approx_status(self) -> dict | None:
+        """Approx-tier counters for ``/status`` (``None`` when exact).
+
+        Reports the resolved walk geometry, the walk index's byte
+        size (0 until built/adopted), and the estimator's counters —
+        samples drawn, early terminations, support truncations.
+        """
+        if self._config.mode != "approx":
+            return None
+        walk_length, samples = approx_params(
+            self.truncation, self._config.epsilon
+        )
+        walks = self._caches.walks
+        estimator = self._caches.estimator
+        return {
+            "epsilon": self._config.epsilon,
+            "seed": self._config.seed,
+            "walk_length": walk_length,
+            "samples_per_node": samples,
+            "index_bytes": walks.nbytes if walks is not None else 0,
+            "estimator": (
+                estimator.stats.snapshot()
+                if estimator is not None
+                else ApproxStats().snapshot()
+            ),
+        }
+
     def export_index(self) -> SimilarityIndex:
         """The engine's precomputation as a persistable index.
 
@@ -405,6 +508,11 @@ class SimilarityEngine:
             ),
             compressed=(
                 self.compressed if "compressed" in spec.uses else None
+            ),
+            walks=(
+                self.walk_index
+                if self._config.mode == "approx"
+                else None
             ),
         )
 
@@ -504,7 +612,10 @@ class SimilarityEngine:
                     fresh.append(q)
             if fresh:
                 self.stats.misses += len(fresh)
-                if (
+                if self._config.mode == "approx":
+                    for q in fresh:
+                        out[q] = self._approx_column(q)
+                elif (
                     self._spec.supports_single_source
                     and self._caches.matrix is None
                 ):
@@ -513,6 +624,14 @@ class SimilarityEngine:
                     for q in fresh:
                         out[q] = self._column_from_matrix(q)
         return out
+
+    def _approx_column(self, q: int) -> np.ndarray:
+        """One fresh Monte-Carlo column (memoized like exact ones)."""
+        scores = self._approx_estimator.column(q)
+        scores.flags.writeable = False
+        self._caches.columns.put(q, scores)
+        self.stats.column_computes += 1
+        return scores
 
     def _compute_columns(
         self, queries: Sequence[int]
@@ -596,10 +715,27 @@ class SimilarityEngine:
 
         ``exclude`` drops specific nodes (ids or labels) from the
         ranking — e.g. a recommender excluding already-linked nodes.
+
+        In approx mode an uncached query is answered by the
+        estimator's early-terminating top-k sweep
+        (:meth:`~repro.approx.ApproxEstimator.topk_scores`) — cost
+        bounded by the sample budget, never ``O(n)`` — and the
+        partial score column is *not* memoized; a column already
+        memoized by :meth:`columns` / :meth:`score` is reused as-is.
         """
         self._check_stale()
         q = self._resolve(query)
-        scores = self.single_source(q)
+        if self._config.mode == "approx":
+            with self._lock:
+                cached = self._caches.columns.get(q)
+                if cached is not None:
+                    self.stats.hits += 1
+                    scores = cached
+                else:
+                    self.stats.misses += 1
+                    scores = self._approx_estimator.topk_scores(q, k)
+        else:
+            scores = self.single_source(q)
         return Ranking.from_scores(
             scores,
             query=q,

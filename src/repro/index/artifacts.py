@@ -39,6 +39,7 @@ from repro.graph.matrices import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.approx.walks import WalkIndex
     from repro.engine.config import SimilarityConfig
 
 __all__ = [
@@ -55,7 +56,7 @@ __all__ = [
 
 #: Every artifact an index may carry, in canonical order.
 ARTIFACT_NAMES = (
-    "transition", "transition_t", "factors", "coefficients"
+    "transition", "transition_t", "factors", "coefficients", "walks"
 )
 
 _SCHEMES = {
@@ -179,14 +180,16 @@ def _resolve_config(config: "SimilarityConfig"):
     )
 
 
-def planned_artifacts(spec) -> tuple[str, ...]:
+def planned_artifacts(spec, mode: str = "exact") -> tuple[str, ...]:
     """Which artifacts an index for ``spec`` carries.
 
     ``Q``/``Q^T`` whenever the measure consumes a transition matrix or
     serves columns through the series walk (which always needs them);
     the compressed factors when the measure's callable accepts
     ``compressed=``; the coefficient table whenever the series walk
-    applies.
+    applies; the reverse-walk sample store when ``mode="approx"``
+    (which requires a series-capable measure — the walk estimator is
+    built on the series decomposition).
     """
     out: list[str] = []
     if spec.supports_single_source or "transition" in spec.uses:
@@ -195,6 +198,14 @@ def planned_artifacts(spec) -> tuple[str, ...]:
         out.append("factors")
     if spec.supports_single_source:
         out.append("coefficients")
+    if mode == "approx":
+        if not spec.supports_single_source:
+            raise ValueError(
+                f"measure {spec.name!r} has no single-source series "
+                "support; mode='approx' estimates the series and "
+                "cannot serve it"
+            )
+        out.append("walks")
     return tuple(out)
 
 
@@ -209,6 +220,12 @@ class IndexMeta:
     ``epsilon`` accuracy target converts to its concrete iteration
     count, ``weights="auto"`` to the measure's own scheme), so two
     configurations that imply the same artifacts match the same index.
+    Approx-mode indexes additionally pin the walk geometry —
+    ``walk_length`` / ``walk_samples`` (resolved from ``epsilon``) and
+    the sampling ``seed`` — because walks drawn with different
+    parameters estimate from different evidence. The approx fields
+    default to their exact-mode values, so headers written before the
+    approx tier existed still load.
 
     Examples
     --------
@@ -218,6 +235,8 @@ class IndexMeta:
     ...     DiGraph(3, edges=[(0, 1)]), measure="gSR*", c=0.6).meta
     >>> meta.measure, meta.num_nodes, meta.weight_scheme
     ('gSR*', 3, 'geometric')
+    >>> meta.mode, meta.walk_samples
+    ('exact', 0)
     >>> IndexMeta.from_dict(meta.to_dict()) == meta
     True
     """
@@ -231,6 +250,11 @@ class IndexMeta:
     num_edges: int
     graph_digest: str
     artifacts: tuple[str, ...]
+    mode: str = "exact"
+    epsilon: float | None = None
+    seed: int = 0
+    walk_length: int = 0
+    walk_samples: int = 0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__, artifacts=list(self.artifacts))
@@ -263,6 +287,9 @@ class SimilarityIndex:
     coefficients:
         The ``(L+1) x (L+1)`` series coefficient table of the blocked
         multi-source kernel, or ``None``.
+    walks:
+        The :class:`~repro.approx.WalkIndex` sample store for
+        ``mode="approx"`` serving, or ``None`` for exact indexes.
 
     Examples
     --------
@@ -290,6 +317,7 @@ class SimilarityIndex:
         field(repr=False, default=None)
     )
     coefficients: np.ndarray | None = field(repr=False, default=None)
+    walks: "WalkIndex | None" = field(repr=False, default=None)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -303,12 +331,13 @@ class SimilarityIndex:
         transition: sp.csr_array | None = None,
         transition_t: sp.csr_array | None = None,
         compressed: CompressedGraph | None = None,
+        walks: "WalkIndex | None" = None,
         **overrides,
     ) -> "SimilarityIndex":
         """Build every artifact ``config``'s measure can consume.
 
-        ``transition`` / ``transition_t`` / ``compressed`` reuse
-        already-built artifacts (this is how
+        ``transition`` / ``transition_t`` / ``compressed`` / ``walks``
+        reuse already-built artifacts (this is how
         :meth:`SimilarityEngine.export_index` avoids rebuilding what
         the engine has already warmed); anything not supplied is built
         here.
@@ -320,7 +349,7 @@ class SimilarityIndex:
         elif overrides:
             config = config.replace(**overrides)
         spec, truncation, scheme = _resolve_config(config)
-        wanted = planned_artifacts(spec)
+        wanted = planned_artifacts(spec, config.mode)
         q = qt = factors = coefficients = None
         if "transition" in wanted:
             q, qt = build_transition_pair(
@@ -339,6 +368,36 @@ class SimilarityIndex:
             coefficients = series_coefficients(
                 truncation, _SCHEMES[scheme](config.c)
             )
+        walk_length = walk_samples = 0
+        if "walks" in wanted:
+            from repro.approx import approx_params
+            from repro.approx.walks import WalkIndex
+
+            walk_length, walk_samples = approx_params(
+                truncation, config.epsilon
+            )
+            if walks is None:
+                walks = WalkIndex.build(
+                    q,
+                    walk_length=walk_length,
+                    samples=walk_samples,
+                    seed=config.seed,
+                )
+            elif (
+                walks.walk_length != walk_length
+                or walks.samples != walk_samples
+                or walks.seed != config.seed
+            ):
+                raise ValueError(
+                    "supplied walk index geometry "
+                    f"(length={walks.walk_length}, "
+                    f"samples={walks.samples}, seed={walks.seed}) "
+                    "disagrees with the configuration's "
+                    f"(length={walk_length}, samples={walk_samples}, "
+                    f"seed={config.seed})"
+                )
+        else:
+            walks = None
         fingerprint = graph_fingerprint(graph)
         meta = IndexMeta(
             measure=config.measure,
@@ -350,6 +409,11 @@ class SimilarityIndex:
             num_edges=fingerprint["num_edges"],
             graph_digest=fingerprint["digest"],
             artifacts=wanted,
+            mode=config.mode,
+            epsilon=config.epsilon,
+            seed=config.seed if config.mode == "approx" else 0,
+            walk_length=walk_length,
+            walk_samples=walk_samples,
         )
         return cls(
             meta=meta,
@@ -357,6 +421,7 @@ class SimilarityIndex:
             transition_t=qt,
             factors=factors,
             coefficients=coefficients,
+            walks=walks,
         )
 
     def save(self, path: str | Path) -> Path:
@@ -415,6 +480,15 @@ class SimilarityIndex:
             c=self.meta.c,
             num_iterations=self.meta.truncation,
             dtype=self.meta.dtype,
+            mode=self.meta.mode,
+            # approx mode carries both: truncation came from
+            # num_iterations above, epsilon re-sizes the sample budget
+            epsilon=(
+                self.meta.epsilon
+                if self.meta.mode == "approx"
+                else None
+            ),
+            seed=self.meta.seed,
         )
         return config.replace(**overrides) if overrides else config
 
@@ -451,13 +525,26 @@ class SimilarityIndex:
                     f"{fingerprint['digest'][:12]}...)"
                 )
         spec, truncation, scheme = _resolve_config(config)
-        for name, ours, theirs in (
+        pairs = [
             ("measure", self.meta.measure, config.measure),
             ("c", self.meta.c, config.c),
             ("truncation", self.meta.truncation, truncation),
             ("weight_scheme", self.meta.weight_scheme, scheme),
             ("dtype", self.meta.dtype, config.dtype),
-        ):
+            ("mode", self.meta.mode, config.mode),
+        ]
+        if self.meta.mode == "approx" and config.mode == "approx":
+            from repro.approx import approx_params
+
+            walk_length, walk_samples = approx_params(
+                truncation, config.epsilon
+            )
+            pairs += [
+                ("walk_length", self.meta.walk_length, walk_length),
+                ("walk_samples", self.meta.walk_samples, walk_samples),
+                ("seed", self.meta.seed, config.seed),
+            ]
+        for name, ours, theirs in pairs:
             if ours != theirs:
                 problems.append(
                     f"config mismatch: index {name}={ours!r}, "
@@ -494,6 +581,8 @@ class SimilarityIndex:
             )
         if self.coefficients is not None:
             total += self.coefficients.nbytes
+        if self.walks is not None:
+            total += self.walks.nbytes
         return total
 
     def _csr_items(self) -> dict[str, sp.csr_array]:
@@ -524,6 +613,8 @@ class SimilarityIndex:
                 "shape": list(self.coefficients.shape),
                 "dtype": str(self.coefficients.dtype),
             }
+        if self.walks is not None:
+            arrays["walks"] = self.walks.describe()
         return {
             "meta": self.meta.to_dict(),
             "arrays": arrays,

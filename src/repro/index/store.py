@@ -96,6 +96,17 @@ def _flat_arrays(index) -> tuple[dict[str, np.ndarray], dict]:
         arrays["coefficients"] = np.ascontiguousarray(
             index.coefficients
         )
+    if index.walks is not None:
+        walks = index.walks
+        arrays["walks/endpoints"] = np.ascontiguousarray(
+            walks.endpoints
+        )
+        arrays["walks/sources"] = np.ascontiguousarray(walks.sources)
+        arrays["walks/counts"] = np.ascontiguousarray(walks.counts)
+        arrays["walks/indptr"] = np.ascontiguousarray(walks.indptr)
+        arrays["walks/level_offsets"] = np.ascontiguousarray(
+            walks.level_offsets
+        )
     return arrays, csr_shapes
 
 
@@ -355,6 +366,28 @@ def load_index(path: str | Path, mmap: bool = True):
         and h_in is not None
         else None
     )
+    walks = None
+    if "walks/endpoints" in arrays:
+        from repro.approx.walks import WalkIndex
+
+        try:
+            walks = WalkIndex.from_arrays(
+                array("walks/endpoints"),
+                array("walks/sources"),
+                array("walks/counts"),
+                array("walks/indptr"),
+                array("walks/level_offsets"),
+                seed=meta.seed,
+            )
+        except IndexFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            # same contract as the csr loader: a header describing
+            # inconsistent walk buffers is corruption, not a caller
+            # error
+            raise IndexFormatError(
+                f"{path}: walk segments are unreadable: {exc}"
+            ) from exc
     return SimilarityIndex(
         meta=meta,
         transition=csr("transition"),
@@ -365,6 +398,7 @@ def load_index(path: str | Path, mmap: bool = True):
             if "coefficients" in arrays
             else None
         ),
+        walks=walks,
     )
 
 
@@ -446,4 +480,87 @@ def verify_index(path: str | Path) -> list[str]:
             indices.min() < 0 or indices.max() >= cols
         ):
             problems.append(f"{name}: column index out of range")
+    problems.extend(_verify_walks(path, payload_start, header))
+    return problems
+
+
+def _verify_walks(
+    path: Path, payload_start: int, header: dict
+) -> list[str]:
+    """Structural invariants of the optional walk segments.
+
+    Checksums (already verified by the caller) catch flipped bytes;
+    these checks catch a header/payload combination that is internally
+    consistent but describes impossible walks — endpoints outside the
+    node range, non-monotone bucket boundaries, a sources array that
+    disagrees with its level offsets.
+    """
+    arrays = header["arrays"]
+    if "walks/endpoints" not in arrays:
+        return []
+    from repro.approx.walks import DEAD
+
+    problems: list[str] = []
+
+    def load(name: str) -> np.ndarray:
+        return _load_array(
+            path, payload_start, arrays[name], mmap=False
+        )
+
+    try:
+        endpoints = load("walks/endpoints")
+        sources = load("walks/sources")
+        counts = load("walks/counts")
+        indptr = load("walks/indptr")
+        level_offsets = load("walks/level_offsets")
+    except (KeyError, IndexFormatError) as exc:
+        return [f"walks: segment set incomplete or unreadable: {exc}"]
+    if endpoints.ndim != 3:
+        return [f"walks: endpoints has rank {endpoints.ndim}, not 3"]
+    walk_length, num_nodes, samples = endpoints.shape
+    if indptr.shape != (walk_length, num_nodes + 1):
+        problems.append(
+            f"walks: indptr shape {indptr.shape} disagrees with "
+            f"endpoints {endpoints.shape}"
+        )
+        return problems
+    if level_offsets.shape != (walk_length + 1,):
+        problems.append(
+            f"walks: level_offsets shape {level_offsets.shape} "
+            f"disagrees with walk_length {walk_length}"
+        )
+        return problems
+    live = endpoints[endpoints != DEAD]
+    if live.size and live.max() >= num_nodes:
+        problems.append(
+            f"walks: endpoint {int(live.max())} out of range for "
+            f"{num_nodes} nodes"
+        )
+    if np.any(np.diff(indptr, axis=-1) < 0) or np.any(
+        indptr[:, 0] != 0
+    ):
+        problems.append("walks: bucket indptr not monotone from 0")
+    if np.any(np.diff(level_offsets) < 0) or (
+        walk_length and int(level_offsets[-1]) != sources.size
+    ):
+        problems.append(
+            "walks: level offsets disagree with sources length"
+        )
+    if sources.size and int(sources.max()) >= num_nodes:
+        problems.append(
+            f"walks: source {int(sources.max())} out of range for "
+            f"{num_nodes} nodes"
+        )
+    if counts.shape != sources.shape:
+        problems.append(
+            f"walks: counts length {counts.size} disagrees with "
+            f"sources length {sources.size}"
+        )
+    elif counts.size and (
+        int(counts.min()) < 1 or int(counts.max()) > samples
+    ):
+        problems.append(
+            "walks: bucket count outside [1, samples] "
+            f"(samples={samples})"
+        )
     return problems

@@ -42,7 +42,12 @@ import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.cliopts import add_config_options, add_graph_options, build_graph
+from repro.cliopts import (
+    add_config_options,
+    add_graph_options,
+    build_graph,
+    config_from_args,
+)
 from repro.serve.http import serve_http
 from repro.serve.service import ServingService
 
@@ -84,14 +89,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_service(args) -> ServingService:
-    return ServingService(
-        build_graph(args),
-        measure=args.measure,
-        c=args.damping,
-        num_iterations=args.num_iterations,
-        dtype=args.dtype,
+    config = config_from_args(args).replace(
         max_cached_columns=args.max_cached_columns or None,
         column_policy=args.column_policy,
+    )
+    return ServingService(
+        build_graph(args),
+        config,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_entries=args.cache_entries,
@@ -264,7 +268,8 @@ def render_status(document: dict) -> str:
         f"(snapshot seq {current.get('seq', '?')})",
         f"config        measure={config.get('measure')} "
         f"c={config.get('c')} dtype={config.get('dtype')} "
-        f"iterations={config.get('num_iterations')}",
+        f"iterations={config.get('num_iterations')} "
+        f"mode={config.get('mode', 'exact')}",
         f"broker        batches={broker.get('batches', 0)} "
         f"dispatched={broker.get('dispatched', 0)} "
         f"coalesced={broker.get('coalesced_requests', 0)} "
@@ -289,6 +294,17 @@ def render_status(document: dict) -> str:
         f"matrix={engine.get('matrix_builds', 0)}; "
         f"index_adoptions={engine.get('index_adoptions', 0)}"
     )
+    approx = document.get("approx")
+    if approx:
+        estimator = approx.get("estimator", {})
+        lines.append(
+            f"approx        epsilon={approx.get('epsilon')} "
+            f"walks={approx.get('walk_length')}x"
+            f"{approx.get('samples_per_node')} "
+            f"index_bytes={approx.get('index_bytes', 0)} "
+            f"samples_drawn={estimator.get('samples_drawn', 0)} "
+            f"early_term={estimator.get('early_terminations', 0)}"
+        )
     lines.append(
         f"snapshots     builds={snapshots.get('builds', 0)} "
         f"swaps={snapshots.get('swaps', 0)}"
@@ -422,6 +438,12 @@ def _cmd_smoke(args) -> int:
         swapped = status["snapshots"]["swaps"] >= 1
         checks["mutation_swapped_mid_traffic"] = swapped and bool(
             mutate_result.get("snapshot")
+        )
+    if args.mode == "approx":
+        approx = status.get("approx") or {}
+        checks["approx_stats_reported"] = (
+            approx.get("walk_length", 0) > 0
+            and approx.get("index_bytes", 0) > 0
         )
     cluster = status.get("cluster")
     if cluster is not None:

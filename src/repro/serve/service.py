@@ -276,11 +276,14 @@ class ServingService:
         :class:`~repro.engine.engine.EngineStats` (artifact builds
         vs. index adoptions, column memo hits / misses / evictions),
         and ``snapshots`` the hot-swap and persistent-index counters.
+        In approx mode an ``approx`` section adds the Monte-Carlo
+        tier's walk geometry and estimator counters (samples drawn,
+        early terminations, walk-index bytes).
         """
+        engine = self.snapshots.current.engine
         return {
-            "engine": (
-                self.snapshots.current.engine.stats.snapshot()
-            ),
+            "engine": engine.stats.snapshot(),
+            "approx": engine.approx_status(),
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "config": {
                 "measure": self.config.measure,
@@ -291,6 +294,8 @@ class ServingService:
                 "dtype": self.config.dtype,
                 "max_cached_columns": self.config.max_cached_columns,
                 "column_policy": self.config.column_policy,
+                "mode": self.config.mode,
+                "seed": self.config.seed,
             },
             "batching": {
                 "max_batch": self.broker.max_batch,

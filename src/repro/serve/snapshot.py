@@ -268,6 +268,8 @@ class SnapshotManager:
         engine.transition_t  # builds transition as a dependency
         if "compressed" in engine.measure.uses:
             engine.compressed
+        if engine.config.mode == "approx":
+            engine.walk_index
         self._persist_index(engine)
         return engine.stats.snapshot()
 
@@ -304,6 +306,8 @@ class SnapshotManager:
             engine.transition_t
             if "compressed" in engine.measure.uses:
                 engine.compressed
+            if engine.config.mode == "approx":
+                engine.walk_index
             self.builds += 1
             fresh = Snapshot(engine, seq=base.seq + 1)
             if self.pre_swap is not None:

@@ -31,7 +31,13 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 
 #: Namespaces whose exports must be documented with examples.
-AUDITED_MODULES = ("repro", "repro.serve", "repro.index", "repro.cluster")
+AUDITED_MODULES = (
+    "repro",
+    "repro.serve",
+    "repro.index",
+    "repro.cluster",
+    "repro.approx",
+)
 
 #: Modules whose doctests make up the executable-example tier.
 DOCTEST_MODULES = (
@@ -59,6 +65,10 @@ DOCTEST_MODULES = (
     "repro.cluster.pool",
     "repro.cluster.router",
     "repro.cluster",
+    "repro.approx",
+    "repro.approx.walks",
+    "repro.approx.estimator",
+    "repro.datasets.scale_free",
 )
 
 MARKDOWN_FILES = sorted(
