@@ -9,6 +9,8 @@ Typical uses::
     python -m repro.bench --serve --tag PR3        # + serving load test
     python -m repro.bench --cluster --tag PR5      # + worker scaling
     python -m repro.bench --approx --tag PR6       # + approx-vs-exact tier
+    python -m repro.bench --mutate --tag PR7       # + delta-vs-rebuild tier
+    python -m repro.bench --history                # trend over BENCH_*.json
 
 Compare mode exits non-zero when a case regresses beyond
 ``--threshold`` times its baseline or a gated batching speedup falls
@@ -23,7 +25,14 @@ it. ``--approx`` runs the exact-vs-approx large-graph comparison
 (:mod:`repro.bench.approx`) on seeded scale-free graphs, embeds its
 document under ``"approx"``, copies ``speedup_approx_vs_exact`` into
 the gated derived speedups, and exits non-zero when precision@k falls
-below its floor.
+below its floor. ``--mutate`` runs the delta-vs-rebuild mutation
+comparison (:mod:`repro.bench.mutate`): identical seeded 1%-of-edges
+batch swaps pushed through a ``delta_mode="off"`` and a
+``delta_mode="auto"`` :class:`~repro.serve.SnapshotManager`, with the
+median-swap ratio recorded as ``speedup_delta_swap_vs_rebuild`` and
+bit-parity between the two maintenance histories gated. ``--history``
+renders the trend table over every committed ``BENCH_*.json`` in the
+current directory (commit order) and exits without timing anything.
 """
 
 from __future__ import annotations
@@ -84,6 +93,15 @@ APPROX_FULL = {
     "node_counts": (10_000, 100_000), "queries": 12,
     "speedup_floor": 10.0,
 }
+
+#: Mutation-tier workloads (``--mutate``): the full setting is the
+#: acceptance regime (1%-of-edges batch swaps on a 10^5-node
+#: scale-free graph, 10x floor for the delta path over full rebuild);
+#: quick shrinks the graph to CI size, where the rebuild is cheap
+#: enough that the asymptotic ratio cannot be expressed — only the
+#: path/parity checks are gated there.
+MUTATE_QUICK = {"nodes": 10_000, "batches": 3, "speedup_floor": None}
+MUTATE_FULL = {"nodes": 100_000, "batches": 3, "speedup_floor": 10.0}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +235,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 10.0 full / ungated quick — small graphs cannot "
         "express the asymptotic ratio)",
     )
+    parser.add_argument(
+        "--mutate", action="store_true",
+        help="also run the delta-vs-rebuild mutation comparison "
+        "(repro.bench.mutate) and embed its document under the "
+        "'mutate' key; its speedup_delta_swap_vs_rebuild joins the "
+        "gated derived ratios and its path/parity checks are exit "
+        "gates",
+    )
+    parser.add_argument(
+        "--mutate-nodes", type=int, default=None,
+        help="mutation tier: scale-free graph size (default 100000 "
+        "full / 10000 quick)",
+    )
+    parser.add_argument(
+        "--mutate-batches", type=int, default=None,
+        help="mutation tier: seeded 1%%-of-edges batch swaps pushed "
+        "through both maintenance paths (default 3)",
+    )
+    parser.add_argument(
+        "--mutate-speedup-floor", type=float, default=None,
+        help="mutation tier: required (rebuild median) / (delta "
+        "median) swap-time ratio (default 10.0 full / ungated quick "
+        "— small graphs rebuild too fast to express the ratio)",
+    )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="print the trend table over every BENCH_*.json in the "
+        "current directory (commit order) and exit; nothing is timed",
+    )
     return parser
 
 
@@ -254,11 +301,24 @@ def list_cases(args, preset: dict) -> int:
         "mode=approx top-k: latency, precision@k, walk-index "
         "build]"
     )
+    mutate = MUTATE_QUICK if args.quick else MUTATE_FULL
+    print("mutation-tier scenario (--mutate):")
+    print(
+        "  mutate_compare  "
+        f"[scale-free graph at {args.mutate_nodes or mutate['nodes']} "
+        "nodes, identical 1%-of-edges batch swaps: delta_mode=auto "
+        "vs delta_mode=off SnapshotManager, bit-parity gated]"
+    )
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.history:
+        from repro.bench.history import collect_history, render_history
+
+        print(render_history(collect_history()))
+        return 0
     preset = dict(QUICK if args.quick else FULL)
     for key in list(preset):
         override = getattr(args, key.replace("-", "_"), None)
@@ -362,6 +422,35 @@ def main(argv: list[str] | None = None) -> int:
         key = document["approx"]["speedup_key"]
         document["derived"][key] = document["approx"][key]
         approx_ok = all(document["approx"]["checks"].values())
+    mutate_ok = True
+    if args.mutate:
+        # a fresh subprocess per comparison: the tiers above leave
+        # allocator churn that measurably inflates sub-second delta
+        # swaps timed in the same process
+        from repro.bench.mutate import run_mutate_compare_isolated
+
+        mutate_defaults = MUTATE_QUICK if args.quick else MUTATE_FULL
+        floor = (
+            args.mutate_speedup_floor
+            if args.mutate_speedup_floor is not None
+            else mutate_defaults["speedup_floor"]
+        )
+        document["mutate"] = run_mutate_compare_isolated(
+            nodes=args.mutate_nodes or mutate_defaults["nodes"],
+            batches=(
+                args.mutate_batches or mutate_defaults["batches"]
+            ),
+            num_terms=preset["num_terms"],
+            dtype=args.dtype,
+            seed=args.seed,
+            speedup_floor=floor,
+            progress=lambda name: print(
+                f"  running {name} ...", flush=True
+            ),
+        )
+        key = document["mutate"]["speedup_key"]
+        document["derived"][key] = document["mutate"][key]
+        mutate_ok = all(document["mutate"]["checks"].values())
     print(f"\n== repro.bench [{tag}] ==")
     for name, result in document["results"].items():
         print(
@@ -408,6 +497,19 @@ def main(argv: list[str] | None = None) -> int:
             )
         for name, passed in approx["checks"].items():
             print(f"  {'ok' if passed else 'FAIL'} approx {name}")
+    if args.mutate:
+        mutate = document["mutate"]
+        medians = mutate["swap_seconds_median"]
+        print(
+            f"  mutate_compare@{mutate['nodes']:<13} "
+            f"rebuild {medians['rebuild'] * 1e3:9.1f} ms vs delta "
+            f"{medians['delta'] * 1e3:8.1f} ms per swap -> "
+            f"{mutate[mutate['speedup_key']]:.1f}x "
+            f"({mutate['batches']} batches, "
+            f"{mutate['edits_per_batch']} edits each)"
+        )
+        for name, passed in mutate["checks"].items():
+            print(f"  {'ok' if passed else 'FAIL'} mutate {name}")
     if not args.no_write:
         out_path = Path(args.output or f"BENCH_{tag}.json")
         out_path.write_text(json.dumps(document, indent=2) + "\n")
@@ -434,6 +536,9 @@ def main(argv: list[str] | None = None) -> int:
         print("no regression")
     if not approx_ok:
         print("approx gates FAILED", file=sys.stderr)
+        return 1
+    if not mutate_ok:
+        print("mutate gates FAILED", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,148 @@
+"""Trend table over the committed ``BENCH_*.json`` artifacts.
+
+Every PR that moves performance commits its ``BENCH_<tag>.json``
+document; this module lines those artifacts up **in commit order**
+(the order their current content entered git history, falling back to
+file mtime for uncommitted runs) and renders one row per metric —
+case timings in milliseconds and derived speedup ratios — so a
+regression that crept in over several PRs is visible as a trend, not
+just as one compare-vs-baseline delta.
+
+``python -m repro.bench --history`` prints the table and exits;
+nothing is timed and nothing is written.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+__all__ = ["collect_history", "render_history"]
+
+
+def _commit_timestamp(path: Path) -> float:
+    """When ``path``'s current content entered history.
+
+    Uses the author time of the newest commit touching the file, so a
+    re-recorded baseline sorts by its re-record, not its first
+    appearance. Uncommitted (or non-git) files fall back to mtime —
+    which naturally sorts a fresh local run after the committed ones.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "log", "-1", "--format=%at", "--", path.name],
+            cwd=path.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return path.stat().st_mtime
+    stamp = out.stdout.strip()
+    if out.returncode != 0 or not stamp:
+        return path.stat().st_mtime
+    return float(stamp)
+
+
+def collect_history(
+    directory: str | Path = ".", pattern: str = "BENCH_*.json"
+) -> list[dict]:
+    """Parsed bench documents under ``directory``, commit-ordered.
+
+    Each entry is ``{"path", "tag", "timestamp", "document"}``;
+    unreadable or non-bench JSON files are skipped silently (the
+    directory may hold other reports).
+    """
+    entries = []
+    for path in sorted(Path(directory).glob(pattern)):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(document, dict) or "results" not in document:
+            continue
+        entries.append(
+            {
+                "path": path,
+                "tag": str(document.get("tag", path.stem)),
+                "timestamp": _commit_timestamp(path),
+                "document": document,
+            }
+        )
+    entries.sort(key=lambda e: (e["timestamp"], e["path"].name))
+    return entries
+
+
+def _metric_rows(entries: list[dict]) -> list[tuple[str, list[str]]]:
+    """(metric label, one cell per run) rows for the table body."""
+    case_names: list[str] = []
+    derived_names: list[str] = []
+    for entry in entries:
+        document = entry["document"]
+        for name in document.get("results", {}):
+            if name not in case_names:
+                case_names.append(name)
+        for name in document.get("derived", {}):
+            if name not in derived_names:
+                derived_names.append(name)
+    rows = []
+    for name in case_names:
+        cells = []
+        for entry in entries:
+            result = entry["document"]["results"].get(name)
+            cells.append(
+                f"{result['seconds_min'] * 1e3:.2f}"
+                if result is not None else "-"
+            )
+        rows.append((f"{name} (ms)", cells))
+    for name in derived_names:
+        cells = []
+        for entry in entries:
+            value = entry["document"].get("derived", {}).get(name)
+            cells.append(
+                f"{value:.2f}" if value is not None else "-"
+            )
+        rows.append((f"{name} (x)", cells))
+    return rows
+
+
+def render_history(entries: list[dict]) -> str:
+    """The trend table as a printable string.
+
+    One column per run (headed by its tag), one row per metric.
+    Timings are each case's ``seconds_min`` in milliseconds; derived
+    speedups are plain ratios. ``-`` marks a metric a run did not
+    record — suites grow over PRs, so early columns are sparse.
+    """
+    if not entries:
+        return "no BENCH_*.json artifacts found"
+    rows = _metric_rows(entries)
+    label_width = max(
+        [len(label) for label, _ in rows] + [len("metric")]
+    )
+    col_widths = [
+        max(
+            len(entry["tag"]),
+            max((len(cells[i]) for _, cells in rows), default=0),
+        )
+        for i, entry in enumerate(entries)
+    ]
+    header = "metric".ljust(label_width) + "".join(
+        f"  {entry['tag']:>{col_widths[i]}}"
+        for i, entry in enumerate(entries)
+    )
+    lines = [
+        f"== bench history ({len(entries)} runs, commit order) ==",
+        header,
+        "-" * len(header),
+    ]
+    for label, cells in rows:
+        lines.append(
+            label.ljust(label_width)
+            + "".join(
+                f"  {cell:>{col_widths[i]}}"
+                for i, cell in enumerate(cells)
+            )
+        )
+    return "\n".join(lines)

@@ -154,6 +154,10 @@ class WorkerPool:
         self._owns_index_dir = index_dir is None
         self._workers: list[_Worker] = []
         self._generations: dict[int, dict] = {}  # seq -> payload
+        # released generations still referenced as the base of a live
+        # delta chain: their payloads and files must survive (respawn
+        # replays the whole chain) until the chain itself is released
+        self._parked: dict[int, dict] = {}
         self.current_seq = -1
         self.started = False
         self._lock = threading.Lock()  # guards workers + generations
@@ -161,6 +165,7 @@ class WorkerPool:
         self._maintenance: threading.Thread | None = None
         self.index_saves = 0
         self.releases = 0
+        self.delta_generations = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -223,6 +228,7 @@ class WorkerPool:
             self._index_dir = None
         with self._lock:
             self._generations.clear()
+            self._parked.clear()
         self.current_seq = -1
 
     # ------------------------------------------------------------------
@@ -234,25 +240,63 @@ class WorkerPool:
             raise ClusterError("pool has no index directory yet")
         return self._index_dir / f"gen-{seq}.simidx"
 
+    def delta_path(self, seq: int) -> Path:
+        """Where generation ``seq``'s delta segment lives."""
+        if self._index_dir is None:
+            raise ClusterError("pool has no index directory yet")
+        return self._index_dir / f"delta-{seq}.simidx"
+
     def _register_generation(self, snapshot) -> dict:
-        """Persist ``snapshot``'s engine and record its payload."""
+        """Persist ``snapshot``'s artifacts and record its payload.
+
+        A snapshot produced by the manager's delta path — and whose
+        base generation is still registered — ships as a *delta
+        payload*: only the tiny chained segment is written and sent;
+        workers splice it onto the base engine they already hold
+        (``O(delta)`` per worker, no graph arrays on the pipe). Every
+        other snapshot ships the classic full ``gen-<seq>.simidx``.
+        """
         from repro.cluster.worker import graph_to_payload
 
-        path = self.generation_path(snapshot.seq)
-        snapshot.engine.export_index().save(path)
-        self.index_saves += 1
-        payload = dict(
-            graph_to_payload(snapshot.graph),
-            config=snapshot.engine.config,
-            index_path=str(path),
-            # spawned workers re-import only the built-in measures;
-            # shipping the measure's defining module lets them re-run
-            # a custom @register_measure registration before building
-            # (measures defined in unimportable places — a REPL, a
-            # notebook — cannot be served by workers and fail prepare
-            # with the registry's unknown-measure error)
-            measure_module=snapshot.engine.measure.compute.__module__,
-        )
+        delta = getattr(snapshot, "delta", None)
+        base_seq = getattr(snapshot, "base_seq", None)
+        with self._lock:
+            base_live = base_seq in self._generations
+        if delta is not None and base_live:
+            from repro.index.delta import save_delta
+
+            path = self.delta_path(snapshot.seq)
+            save_delta(delta, path)
+            self.index_saves += 1
+            self.delta_generations += 1
+            payload = dict(
+                kind="delta",
+                base_seq=base_seq,
+                delta_path=str(path),
+                config=snapshot.engine.config,
+                measure_module=(
+                    snapshot.engine.measure.compute.__module__
+                ),
+            )
+        else:
+            path = self.generation_path(snapshot.seq)
+            snapshot.engine.export_index().save(path)
+            self.index_saves += 1
+            payload = dict(
+                graph_to_payload(snapshot.graph),
+                config=snapshot.engine.config,
+                index_path=str(path),
+                # spawned workers re-import only the built-in
+                # measures; shipping the measure's defining module
+                # lets them re-run a custom @register_measure
+                # registration before building (measures defined in
+                # unimportable places — a REPL, a notebook — cannot
+                # be served by workers and fail prepare with the
+                # registry's unknown-measure error)
+                measure_module=(
+                    snapshot.engine.measure.compute.__module__
+                ),
+            )
         with self._lock:
             self._generations[snapshot.seq] = payload
         return payload
@@ -271,7 +315,7 @@ class WorkerPool:
         """
         if not self.started:
             return []
-        self._register_generation(snapshot)
+        payload = self._register_generation(snapshot)
 
         def prepare_one(worker: _Worker) -> dict:
             try:
@@ -300,7 +344,9 @@ class WorkerPool:
                     worker.send(("release", snapshot.seq))
                 except (OSError, ValueError, AttributeError):
                     continue
-            self.generation_path(snapshot.seq).unlink(missing_ok=True)
+            Path(
+                payload.get("delta_path") or payload["index_path"]
+            ).unlink(missing_ok=True)
             raise
 
     def _prepare_worker(self, worker: _Worker, seq: int) -> dict:
@@ -347,24 +393,77 @@ class WorkerPool:
         Queued for the maintenance thread: the caller may hold the
         router's pin lock, and a worker busy computing a shard would
         otherwise block the release behind its reply.
+
+        A generation that is still the base of a live delta chain is
+        *parked* instead of dropped — workers keep its engine and its
+        file stays on disk (a respawn must replay the whole chain) —
+        and is freed automatically once nothing chains onto it.
         """
         with self._lock:
-            self._generations.pop(seq, None)
+            payload = self._generations.pop(seq, None)
+            if payload is not None:
+                self._parked[seq] = payload
         self._release_queue.put(seq)
+
+    def _referenced_bases(self) -> set[int]:
+        """Seqs some live (or still-parked) delta generation chains to.
+
+        Caller holds ``self._lock``.
+        """
+        refs: set[int] = set()
+        frontier = [
+            p for p in self._generations.values()
+            if p.get("kind") == "delta"
+        ]
+        while frontier:
+            base_seq = frontier.pop()["base_seq"]
+            if base_seq in refs:
+                continue
+            refs.add(base_seq)
+            base = (
+                self._generations.get(base_seq)
+                or self._parked.get(base_seq)
+            )
+            if base is not None and base.get("kind") == "delta":
+                frontier.append(base)
+        return refs
 
     def _maintenance_loop(self) -> None:
         while True:
             seq = self._release_queue.get()
             if seq is None or not self.started:
                 return
-            for worker in self._workers:
-                try:
-                    worker.send(("release", seq))
-                except (OSError, ValueError):
-                    continue  # dead worker: respawn replays live gens
-            path = self.generation_path(seq)
-            path.unlink(missing_ok=True)
-            self.releases += 1
+            with self._lock:
+                refs = self._referenced_bases()
+                freeable = [
+                    (s, p) for s, p in sorted(self._parked.items())
+                    if s not in refs
+                ]
+                for s, _payload in freeable:
+                    self._parked.pop(s, None)
+                parked = sorted(self._parked)
+            # workers drop a released generation's engine right away,
+            # parked or not: a parked base survives only as its
+            # on-disk payload, which a respawn replays in order before
+            # the delta chained onto it
+            for s in parked:
+                for worker in self._workers:
+                    try:
+                        worker.send(("release", s))
+                    except (OSError, ValueError):
+                        continue
+            for s, payload in freeable:
+                for worker in self._workers:
+                    try:
+                        worker.send(("release", s))
+                    except (OSError, ValueError):
+                        continue  # dead: respawn replays live gens
+                Path(
+                    payload.get("delta_path")
+                    or payload.get("index_path")
+                    or str(self.generation_path(s))
+                ).unlink(missing_ok=True)
+                self.releases += 1
 
     # ------------------------------------------------------------------
     # dispatch + supervision
@@ -481,7 +580,12 @@ class WorkerPool:
         worker.process = process
         worker.conn = parent_conn
         with self._lock:
-            replay = sorted(self._generations.items())
+            # parked bases must replay before the deltas chained onto
+            # them; sorting by seq gives exactly that order (a delta's
+            # base always has a lower sequence number)
+            replay = sorted(
+                {**self._parked, **self._generations}.items()
+            )
         for seq, payload in replay:
             worker.send(("prepare", seq, payload))
             kind, got_seq, info = self._recv(
@@ -492,6 +596,13 @@ class WorkerPool:
                     f"respawned worker {worker.index} could not "
                     f"prepare generation {seq}: {info}"
                 )
+        with self._lock:
+            parked = sorted(set(self._parked) - set(self._generations))
+        for seq in parked:
+            # a parked base was only replayed so the deltas chained
+            # onto it could build; drop its engine again to converge
+            # with the rest of the fleet
+            worker.send(("release", seq))
         if self.current_seq >= 0:
             worker.send(("commit", self.current_seq))
 
@@ -544,11 +655,19 @@ class WorkerPool:
         """JSON-ready pool state (embedded under ``/status``)."""
         with self._lock:
             generations = sorted(self._generations)
+            parked = sorted(self._parked)
+            delta_gens = sorted(
+                s for s, p in self._generations.items()
+                if p.get("kind") == "delta"
+            )
         return {
             "workers": self.size,
             "started": self.started,
             "current_seq": self.current_seq,
             "generations": generations,
+            "delta_generations": delta_gens,
+            "parked": parked,
+            "delta_registered": self.delta_generations,
             "index_dir": (
                 str(self._index_dir)
                 if self._index_dir is not None else None

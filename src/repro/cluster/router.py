@@ -164,7 +164,15 @@ class ShardRouter:
         serialisation + checksums) at the end of the same mutation.
         Best-effort: on any IO error the manager's own persist path
         still runs.
+
+        Delta snapshots are skipped: their generation file is a tiny
+        chained segment, not a full index — copying it over the
+        manager's base file would destroy the chain. The manager
+        persists those itself (as ``.delta-<n>`` siblings of its
+        ``index_path``).
         """
+        if getattr(snapshot, "delta", None) is not None:
+            return
         manager = self.snapshots
         path = getattr(manager, "index_path", None)
         if path is None or not getattr(manager, "persist_index", True):

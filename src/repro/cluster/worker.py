@@ -18,6 +18,14 @@ PR 4 container format.  A missing, corrupt, or mismatched index file is
 payload graph (counted in its status as ``prepare_rebuilds``) so a
 two-phase swap always completes.
 
+A *delta* payload (``kind="delta"``) carries no graph arrays at all:
+just the path of a chained :mod:`repro.index.delta` segment and the
+sequence number of the base generation the worker already holds. The
+worker splices the segment onto the base engine's index and edits the
+base graph with :meth:`~repro.graph.DiGraph.copy_with_edits` — the
+whole prepare is ``O(delta)``, which is what keeps a small mutation's
+two-phase swap cheap across K processes.
+
 Protocol (parent -> worker, worker -> parent):
 
 ====================================  ===================================
@@ -99,6 +107,66 @@ def graph_from_payload(payload: dict):
     return graph
 
 
+def _warm_engine(engine) -> None:
+    # warm the shared artifacts now, off the query path, so the first
+    # sharded batch after a commit pays only its own walk
+    if (
+        engine.measure.supports_single_source
+        or "transition" in engine.measure.uses
+    ):
+        engine.transition_t
+    if "compressed" in engine.measure.uses:
+        engine.compressed
+    if engine.config.mode == "approx":
+        # adopt (mmap) or build the walk index before serving shards
+        engine.walk_index
+
+
+def _build_engine_delta(payload: dict, engines: dict) -> tuple[Any, dict]:
+    """An engine for a *delta* generation payload.
+
+    The payload carries no graph arrays — only the path of the chained
+    delta segment and the base generation's sequence number. The graph
+    is rebuilt ``O(delta)`` from the base engine's graph
+    (:meth:`~repro.graph.DiGraph.copy_with_edits`) and the artifacts by
+    splicing the segment onto the base engine's index. A segment that
+    loads but fails to apply falls back to a full artifact build over
+    the edited graph (counted as a rebuild); a missing base engine or
+    unreadable segment raises, failing the prepare — the parent then
+    aborts the delta swap and retries with a full payload.
+    """
+    from repro.engine.engine import SimilarityEngine
+    from repro.index.artifacts import IndexMismatchError
+    from repro.index.delta import apply_delta_file, load_delta
+    from repro.index.store import IndexFormatError
+
+    base_engine = engines.get(payload["base_seq"])
+    if base_engine is None:
+        raise RuntimeError(
+            f"delta payload chains to generation "
+            f"{payload['base_seq']}, which this worker does not hold"
+        )
+    delta_path = payload["delta_path"]
+    delta = load_delta(delta_path)  # raises on corrupt/missing
+    graph = base_engine.graph.copy_with_edits(
+        [tuple(e) for e in delta.added],
+        [tuple(e) for e in delta.removed],
+    )
+    config = payload["config"]
+    info = {"adopted": False, "rebuilt": False, "delta": True}
+    try:
+        new_index, _ = apply_delta_file(
+            base_engine.export_index(), delta_path
+        )
+        engine = SimilarityEngine.from_index(new_index, graph, config)
+        info["adopted"] = True
+    except (IndexFormatError, IndexMismatchError, OSError, ValueError):
+        engine = SimilarityEngine(graph, config)
+        info["rebuilt"] = True
+    _warm_engine(engine)
+    return engine, info
+
+
 def _build_engine(payload: dict) -> tuple[Any, dict]:
     """An engine for one generation payload, warmed and query-ready.
 
@@ -140,18 +208,7 @@ def _build_engine(payload: dict) -> tuple[Any, dict]:
     if engine is None:
         engine = SimilarityEngine(graph, config)
         info["rebuilt"] = True
-    # warm the shared artifacts now, off the query path, so the first
-    # sharded batch after a commit pays only its own walk
-    if (
-        engine.measure.supports_single_source
-        or "transition" in engine.measure.uses
-    ):
-        engine.transition_t
-    if "compressed" in engine.measure.uses:
-        engine.compressed
-    if engine.config.mode == "approx":
-        # adopt (mmap) or build the walk index before serving shards
-        engine.walk_index
+    _warm_engine(engine)
     return engine, info
 
 
@@ -188,6 +245,7 @@ def worker_main(conn) -> None:
     engines: dict[int, Any] = {}
     current_seq = -1
     prepare_rebuilds = 0
+    delta_prepares = 0
     columns_served = 0
     while True:
         try:
@@ -200,13 +258,20 @@ def worker_main(conn) -> None:
         if kind == "prepare":
             _, seq, payload = message
             try:
-                engine, info = _build_engine(payload)
+                if payload.get("kind") == "delta":
+                    engine, info = _build_engine_delta(
+                        payload, engines
+                    )
+                else:
+                    engine, info = _build_engine(payload)
             except Exception as exc:  # noqa: BLE001 - reported upward
                 conn.send(("prepare_failed", seq, repr(exc)))
                 continue
             engines[seq] = engine
             if info["rebuilt"]:
                 prepare_rebuilds += 1
+            if info.get("delta"):
+                delta_prepares += 1
             conn.send(("prepared", seq, info))
         elif kind == "commit":
             current_seq = max(current_seq, message[1])
@@ -243,6 +308,7 @@ def worker_main(conn) -> None:
                     "generations": sorted(engines),
                     "columns_served": columns_served,
                     "prepare_rebuilds": prepare_rebuilds,
+                    "delta_prepares": delta_prepares,
                 })
             )
         else:  # unknown message: answer nothing it could hang on

@@ -41,6 +41,7 @@ from repro.approx.walks import WalkIndex
 from repro.bigraph.compressed import CompressedGraph
 from repro.core.multi_source import multi_source as _series_block
 from repro.core.multi_source import series_coefficients
+from repro.core.overlay import CsrOverlay
 from repro.core.weights import (
     ExponentialWeights,
     GeometricWeights,
@@ -87,6 +88,19 @@ class EngineStats:
     def snapshot(self) -> dict:
         """A plain-dict copy (handy for logging and assertions)."""
         return dict(self.__dict__)
+
+    def count_column_eviction(self) -> None:
+        """:class:`ColumnMemo` eviction hook.
+
+        Bound to the stats object, *not* the engine: an
+        engine-bound callback would close the
+        ``engine -> caches -> memo -> engine`` reference cycle,
+        leaving every replaced engine generation (graph, artifacts —
+        hundreds of MB at serving scale) to the cyclic collector
+        instead of dying by refcount the moment a snapshot swap
+        drops it.
+        """
+        self.column_evictions += 1
 
 
 class ColumnMemo:
@@ -422,8 +436,11 @@ class SimilarityEngine:
                         walk_length, samples = approx_params(
                             self.truncation, self._config.epsilon
                         )
+                        q = self.transition
+                        if isinstance(q, CsrOverlay):
+                            q = q.tocsr()
                         self._caches.walks = WalkIndex.build(
-                            self.transition,
+                            q,
                             walk_length=walk_length,
                             samples=samples,
                             seed=self._config.seed,
@@ -446,9 +463,13 @@ class SimilarityEngine:
                             self.truncation, self._weight_scheme()
                         )
                     )
+                    q = self.transition
+                    if isinstance(q, CsrOverlay):
+                        # the estimator walks raw CSR buffers
+                        q = q.tocsr()
                     self._caches.estimator = ApproxEstimator(
                         self.walk_index,
-                        self.transition,
+                        q,
                         self.transition_t,
                         coefficients,
                         self.truncation,
@@ -534,16 +555,15 @@ class SimilarityEngine:
             self._fingerprint = self._graph_fingerprint()
 
     def _fresh_caches(self) -> _Caches:
+        # the eviction hook binds to the stats object, never to the
+        # engine — see EngineStats.count_column_eviction for why
         return _Caches(
             columns=ColumnMemo(
                 self._config.max_cached_columns,
                 self._config.column_policy,
-                on_evict=self._count_eviction,
+                on_evict=self.stats.count_column_eviction,
             )
         )
-
-    def _count_eviction(self) -> None:
-        self.stats.column_evictions += 1
 
     def add_edge(self, u, v) -> None:
         """Insert an edge (ids or labels) and invalidate the caches."""
@@ -798,7 +818,12 @@ class SimilarityEngine:
     def _build_matrix(self) -> None:
         kwargs = {}
         if "transition" in self._spec.uses:
-            kwargs["transition"] = self.transition
+            q = self.transition
+            if isinstance(q, CsrOverlay):
+                # measure callables expect a real scipy CSR; the
+                # overlay only serves the spmm-based column kernels
+                q = q.tocsr()
+            kwargs["transition"] = q
         if "compressed" in self._spec.uses:
             kwargs["compressed"] = self.compressed
         if "dtype" in self._spec.uses:

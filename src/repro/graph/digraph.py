@@ -56,6 +56,11 @@ class DiGraph:
         self._n = int(num_nodes)
         self._out: list[set[int]] = [set() for _ in range(self._n)]
         self._in: list[set[int]] = [set() for _ in range(self._n)]
+        # copy-on-write bookkeeping: None means every adjacency set is
+        # privately owned; a set holds the indices this instance has
+        # re-materialised since the last `copy_with_edits` share
+        self._own_out: set[int] | None = None
+        self._own_in: set[int] | None = None
         self._m = 0
         self._version = 0
         self._edge_arrays_cache: tuple | None = None
@@ -115,8 +120,16 @@ class DiGraph:
         self._check_node(u)
         self._check_node(v)
         if v not in self._out[u]:
-            self._out[u].add(v)
-            self._in[v].add(u)
+            # inline the copy-on-write check: ``_own_out is None``
+            # (this graph owns every set — the overwhelmingly common
+            # case, including bulk construction) must not pay a helper
+            # call per edge
+            if self._own_out is not None:
+                self._writable_out(u).add(v)
+                self._writable_in(v).add(u)
+            else:
+                self._out[u].add(v)
+                self._in[v].add(u)
             self._m += 1
             self._version += 1
 
@@ -126,8 +139,12 @@ class DiGraph:
         self._check_node(v)
         if v not in self._out[u]:
             raise KeyError(f"edge {u} -> {v} not in graph")
-        self._out[u].remove(v)
-        self._in[v].remove(u)
+        if self._own_out is not None:
+            self._writable_out(u).remove(v)
+            self._writable_in(v).remove(u)
+        else:
+            self._out[u].remove(v)
+            self._in[v].remove(u)
         self._m -= 1
         self._version += 1
 
@@ -294,6 +311,149 @@ class DiGraph:
         """An independent structural copy."""
         return DiGraph(self._n, edges=self.edges(), labels=self._labels)
 
+    def copy_with_edits(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> "DiGraph":
+        """An independent copy with an edge batch already applied.
+
+        Unlike ``copy()`` + per-edge ``add_edge`` / ``remove_edge`` —
+        which re-inserts every edge through a Python loop — this shares
+        the adjacency sets copy-on-write (both graphs re-materialise a
+        set only when they first mutate it, at ``O(degree)`` cost),
+        applies only the ``O(delta)`` edits, and splices the cached
+        :meth:`edge_arrays` with vectorised numpy surgery — the clone
+        never pays an ``O(m)`` traversal or copy.
+
+        ``added`` edges must be absent from this graph and ``removed``
+        edges present (``ValueError`` / ``KeyError`` otherwise); the two
+        batches must be disjoint. Duplicates within a batch collapse.
+        """
+        add = {(int(u), int(v)) for u, v in added}
+        rem = {(int(u), int(v)) for u, v in removed}
+        overlap = add & rem
+        if overlap:
+            u, v = next(iter(overlap))
+            raise ValueError(
+                f"edge {u} -> {v} appears in both added and removed"
+            )
+        n = self._n
+        # validate both batches in bulk: bounds via one comparison per
+        # batch, membership via searchsorted against the sorted edge
+        # keys — the keys are reused below to splice the edge arrays,
+        # so validation costs no extra O(m) pass
+        add_keys = rem_keys = None
+        keys = np.empty(0, dtype=np.int64)
+        if n:
+            heads, tails = self.edge_arrays()
+            keys = heads.astype(np.int64) * n + tails.astype(np.int64)
+
+        def _checked_keys(pairs: set, batch: str) -> np.ndarray:
+            flat = np.fromiter(
+                (x for uv in pairs for x in uv),
+                dtype=np.int64,
+                count=2 * len(pairs),
+            )
+            bad = flat[(flat < 0) | (flat >= n)]
+            if bad.size:
+                raise IndexError(
+                    f"node {int(bad[0])} out of range for graph "
+                    f"with {n} nodes"
+                )
+            pair_keys = flat[0::2] * n + flat[1::2]
+            pair_keys.sort()
+            pos = np.searchsorted(keys, pair_keys)
+            hit = np.zeros(pair_keys.size, dtype=bool)
+            in_range = pos < keys.size
+            hit[in_range] = keys[pos[in_range]] == pair_keys[in_range]
+            if batch == "added" and hit.any():
+                key = int(pair_keys[hit][0])
+                raise ValueError(
+                    f"edge {key // n} -> {key % n} already in graph"
+                )
+            if batch == "removed" and not hit.all():
+                key = int(pair_keys[~hit][0])
+                raise KeyError(
+                    f"edge {key // n} -> {key % n} not in graph"
+                )
+            return pair_keys
+
+        if add:
+            add_keys = _checked_keys(add, "added")
+        if rem:
+            rem_keys = _checked_keys(rem, "removed")
+
+        clone = DiGraph.__new__(DiGraph)
+        clone._n = self._n
+        # share the adjacency sets copy-on-write: after this point
+        # neither graph owns any set (a list of references is O(n)
+        # pointers, not O(m) elements); the first in-place mutation of
+        # a set on either side re-materialises just that set
+        clone._out = list(self._out)
+        clone._in = list(self._in)
+        if self._own_out is None:
+            self._own_out = set()
+            self._own_in = set()
+        else:
+            self._own_out.clear()
+            self._own_in.clear()
+        clone._own_out = set()
+        clone._own_in = set()
+        clone._m = self._m + len(add) - len(rem)
+        clone._version = 0
+        clone._labels = (
+            list(self._labels) if self._labels is not None else None
+        )
+        clone._label_to_node = dict(self._label_to_node)
+        own_out, out = clone._own_out, clone._out
+        own_in, inn = clone._own_in, clone._in
+        for u, v in add:
+            s = out[u]
+            if u not in own_out:
+                s = out[u] = set(s)
+                own_out.add(u)
+            s.add(v)
+            s = inn[v]
+            if v not in own_in:
+                s = inn[v] = set(s)
+                own_in.add(v)
+            s.add(u)
+        for u, v in rem:
+            s = out[u]
+            if u not in own_out:
+                s = out[u] = set(s)
+                own_out.add(u)
+            s.remove(v)
+            s = inn[v]
+            if v not in own_in:
+                s = inn[v] = set(s)
+                own_in.add(v)
+            s.remove(u)
+
+        # Splice the sorted (head, tail) arrays instead of re-deriving
+        # them: the validated keys encode pairs as head * n + tail
+        # (monotone in the edge sort order) — delete removed keys,
+        # insert added keys.
+        if n:
+            if rem_keys is not None:
+                keep = np.ones(keys.size, dtype=bool)
+                keep[np.searchsorted(keys, rem_keys)] = False
+                keys = keys[keep]
+            if add_keys is not None:
+                keys = np.insert(
+                    keys, np.searchsorted(keys, add_keys), add_keys
+                )
+            new_heads = (keys // n).astype(np.intp)
+            new_tails = (keys % n).astype(np.intp)
+        else:
+            new_heads = np.empty(0, dtype=np.intp)
+            new_tails = np.empty(0, dtype=np.intp)
+        new_heads.flags.writeable = False
+        new_tails.flags.writeable = False
+        clone._edge_arrays_cache = (clone._version, new_heads, new_tails)
+        return clone
+
     def is_symmetric(self) -> bool:
         """True iff every edge has its reverse (i.e. undirected)."""
         return all(u in self._out[v] for u, v in self.edges())
@@ -336,3 +496,17 @@ class DiGraph:
             raise IndexError(
                 f"node {v} out of range for graph with {self._n} nodes"
             )
+
+    def _writable_out(self, u: int) -> set:
+        own = self._own_out
+        if own is not None and u not in own:
+            self._out[u] = set(self._out[u])
+            own.add(u)
+        return self._out[u]
+
+    def _writable_in(self, v: int) -> set:
+        own = self._own_in
+        if own is not None and v not in own:
+            self._in[v] = set(self._in[v])
+            own.add(v)
+        return self._in[v]

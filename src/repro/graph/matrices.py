@@ -67,7 +67,13 @@ def row_normalize(matrix: sp.sparray) -> sp.csr_array:
     diag = sp.dia_array(
         (scale[np.newaxis, :], [0]), shape=(len(scale), len(scale))
     )
-    return sp.csr_array(diag @ csr, dtype=dtype)
+    out = sp.csr_array(diag @ csr, dtype=dtype)
+    # the dia @ csr product leaves column indices unsorted within a
+    # row; canonicalise so every build of the same matrix is
+    # byte-identical — the contract delta application (CSR row
+    # surgery against sorted rows) and artifact checksums rely on
+    out.sort_indices()
+    return out
 
 
 def backward_transition_matrix(

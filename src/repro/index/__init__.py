@@ -21,9 +21,17 @@ rebuilds in-process:
   rebuild cost.
 * :exc:`IndexMismatchError` — raised (instead of silently serving
   wrong scores) when an index is attached to a graph or configuration
-  it was not built for.
-* ``python -m repro.index build|inspect|verify|smoke`` — the
-  operational CLI.
+  it was not built for; carries the structured per-field
+  ``mismatches`` list describing exactly what diverged.
+* :mod:`repro.index.delta` — ``O(delta)`` incremental maintenance:
+  :func:`apply_delta` splices an edge batch into every artifact
+  (bit-identical to a from-scratch rebuild), :func:`save_delta` /
+  :func:`load_delta` persist the batch as a tiny checksummed,
+  fingerprint-chained segment, and :func:`apply_delta_file` replays
+  one onto its exact base generation.
+* ``python -m repro.index build|inspect|verify|smoke|compact`` — the
+  operational CLI (``compact`` folds a base + its delta chain into a
+  fresh base offline).
 
 Consumers: :class:`~repro.engine.SimilarityEngine` accepts ``index=``
 (or ``SimilarityEngine.from_index``) and adopts the artifacts instead
@@ -41,6 +49,15 @@ from repro.index.artifacts import (
     build_transition_pair,
     graph_fingerprint,
 )
+from repro.index.delta import (
+    IndexDelta,
+    apply_delta,
+    apply_delta_file,
+    delta_sibling_path,
+    find_delta_siblings,
+    load_delta,
+    save_delta,
+)
 from repro.index.store import (
     FORMAT_VERSION,
     IndexFormatError,
@@ -52,16 +69,23 @@ from repro.index.store import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "IndexDelta",
     "IndexFormatError",
     "IndexMeta",
     "IndexMismatchError",
     "SimilarityIndex",
+    "apply_delta",
+    "apply_delta_file",
     "build_compressed",
     "build_transition",
     "build_transition_pair",
+    "delta_sibling_path",
+    "find_delta_siblings",
     "graph_fingerprint",
+    "load_delta",
     "load_index",
     "read_header",
+    "save_delta",
     "save_index",
     "verify_index",
 ]

@@ -10,6 +10,9 @@ Subcommands::
              process, assert score parity against a freshly built
              engine, and assert that load + first query beats full
              artifact rebuild + first query
+    compact  fold a base index and the ``.delta-<n>`` segments the
+             serving layer persisted beside it into one fresh base
+             file (offline chain maintenance)
 
 Examples::
 
@@ -19,6 +22,7 @@ Examples::
     python -m repro.index verify bench.simidx
     python -m repro.index smoke --index bench.simidx \
         --nodes 2000 --edges 12000 --measure memo-gSR*
+    python -m repro.index compact bench.simidx
 
 ``smoke`` regenerates the (seeded) graph itself, so running ``build``
 and ``smoke`` as two separate processes exercises the real restart
@@ -112,6 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument(
         "--output", default="INDEX_smoke.json",
         help="machine-readable report path (default INDEX_smoke.json)",
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="apply every .delta-<n> segment found beside the base "
+        "index onto it and write the folded result back (atomic); "
+        "applied segments are removed unless --keep-deltas",
+    )
+    compact.add_argument("path")
+    compact.add_argument(
+        "--output", default=None,
+        help="write the folded index here instead of replacing the "
+        "base file in place (segments are then kept)",
+    )
+    compact.add_argument(
+        "--keep-deltas", action="store_true",
+        help="do not delete the segments that were folded in",
     )
     return parser
 
@@ -267,6 +288,59 @@ def _cmd_smoke(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    from repro.index.artifacts import IndexMismatchError
+    from repro.index.delta import apply_delta_file, find_delta_siblings
+
+    path = Path(args.path)
+    try:
+        index = SimilarityIndex.load(path, mmap=True)
+    except IndexFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    siblings = find_delta_siblings(path)
+    if not siblings:
+        print(f"{path}: no delta segments to fold")
+        return 0
+    start = time.perf_counter()
+    applied_paths = []
+    for seq, segment in siblings:
+        try:
+            index, delta = apply_delta_file(index, segment)
+        except (IndexFormatError, IndexMismatchError) as exc:
+            # a broken link ends the chain — fold what applied
+            # cleanly, keep the rest on disk for inspection
+            print(
+                f"warning: stopping at {segment.name}: {exc}",
+                file=sys.stderr,
+            )
+            break
+        applied_paths.append(segment)
+        print(
+            f"  applied {segment.name}: +{delta.added.shape[0]} "
+            f"-{delta.removed.shape[0]} edges "
+            f"(chain depth {delta.chain_depth})"
+        )
+    if not applied_paths:
+        print("error: no segment applied cleanly", file=sys.stderr)
+        return 1
+    out = Path(args.output) if args.output else path
+    index.save(out)  # compacts any overlay, writes atomically
+    elapsed = time.perf_counter() - start
+    if out == path and not args.keep_deltas:
+        for segment in applied_paths:
+            segment.unlink(missing_ok=True)
+        removed = f", removed {len(applied_paths)} segment(s)"
+    else:
+        removed = ""
+    print(
+        f"folded {len(applied_paths)} of {len(siblings)} segment(s) "
+        f"into {out} in {elapsed * 1e3:.1f} ms "
+        f"({out.stat().st_size / 1e6:.2f} MB){removed}"
+    )
+    return 0 if len(applied_paths) == len(siblings) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "build":
@@ -277,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

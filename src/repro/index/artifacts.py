@@ -73,6 +73,14 @@ class IndexMismatchError(ValueError):
     silently serving scores computed for a different graph or a
     different similarity configuration.
 
+    Every divergence is reported *field by field*: the exception
+    carries a ``mismatches`` list of ``{"kind", "field", "expected",
+    "found"}`` dicts (``kind`` is ``"graph"`` for content divergence,
+    ``"config"`` for resolved-configuration divergence, ``"chain"``
+    for a delta segment applied onto the wrong base generation), and
+    the message spells each one out — so a stale-delta-chain
+    rejection is diagnosable straight from a log line.
+
     Examples
     --------
     >>> from repro import DiGraph, SimilarityIndex, IndexMismatchError
@@ -81,7 +89,41 @@ class IndexMismatchError(ValueError):
     >>> index.matches(DiGraph(3, edges=[(0, 2)]),
     ...               index.similarity_config())
     False
+    >>> try:
+    ...     index.verify_compatible(
+    ...         DiGraph(3, edges=[(0, 2)]), index.similarity_config())
+    ... except IndexMismatchError as exc:
+    ...     exc.mismatches[0]["kind"], exc.mismatches[0]["field"]
+    ('graph', 'graph_digest')
     """
+
+    def __init__(
+        self, message: str, mismatches: list[dict] | None = None
+    ) -> None:
+        super().__init__(message)
+        #: Structured ``{"kind", "field", "expected", "found"}`` records,
+        #: one per diverging field.
+        self.mismatches: list[dict] = list(mismatches or [])
+
+
+def _mismatch(kind: str, field: str, expected, found) -> dict:
+    return {
+        "kind": kind,
+        "field": field,
+        "expected": expected,
+        "found": found,
+    }
+
+
+def _mismatch_error(
+    mismatches: list[dict], preamble: str
+) -> IndexMismatchError:
+    details = "; ".join(
+        f"{m['kind']} mismatch: {m['field']} expected "
+        f"{m['expected']!r}, found {m['found']!r}"
+        for m in mismatches
+    )
+    return IndexMismatchError(f"{preamble}: {details}", mismatches)
 
 
 # ---------------------------------------------------------------------------
@@ -501,29 +543,31 @@ class SimilarityIndex:
         The graph check is content-based (edge-set digest), so it
         catches mutations that preserve node and edge counts; the
         config check compares the *resolved* artifact-relevant fields.
+        The raised error carries structured
+        :attr:`IndexMismatchError.mismatches` — one
+        ``{"kind", "field", "expected", "found"}`` record per
+        diverging field, ``expected`` being what this index was built
+        for and ``found`` what it was handed.
         """
-        problems: list[str] = []
-        if (
-            graph.num_nodes != self.meta.num_nodes
-            or graph.num_edges != self.meta.num_edges
-        ):
-            # obviously different: skip the O(m) digest entirely
-            problems.append(
-                "graph mismatch: index was built for a graph with "
-                f"{self.meta.num_nodes} nodes / {self.meta.num_edges} "
-                f"edges, got {graph.num_nodes} nodes / "
-                f"{graph.num_edges} edges"
-            )
-        else:
+        mismatches: list[dict] = []
+        if graph.num_nodes != self.meta.num_nodes:
+            mismatches.append(_mismatch(
+                "graph", "num_nodes",
+                self.meta.num_nodes, graph.num_nodes,
+            ))
+        if graph.num_edges != self.meta.num_edges:
+            mismatches.append(_mismatch(
+                "graph", "num_edges",
+                self.meta.num_edges, graph.num_edges,
+            ))
+        if not mismatches:
+            # counts agree: only now pay the O(m) content digest
             fingerprint = graph_fingerprint(graph)
             if fingerprint["digest"] != self.meta.graph_digest:
-                problems.append(
-                    "graph mismatch: same node/edge counts "
-                    f"({self.meta.num_nodes} / {self.meta.num_edges}) "
-                    "but different edge content (digest "
-                    f"{self.meta.graph_digest[:12]}... vs "
-                    f"{fingerprint['digest'][:12]}...)"
-                )
+                mismatches.append(_mismatch(
+                    "graph", "graph_digest",
+                    self.meta.graph_digest, fingerprint["digest"],
+                ))
         spec, truncation, scheme = _resolve_config(config)
         pairs = [
             ("measure", self.meta.measure, config.measure),
@@ -546,14 +590,14 @@ class SimilarityIndex:
             ]
         for name, ours, theirs in pairs:
             if ours != theirs:
-                problems.append(
-                    f"config mismatch: index {name}={ours!r}, "
-                    f"engine {name}={theirs!r}"
+                mismatches.append(
+                    _mismatch("config", name, ours, theirs)
                 )
-        if problems:
-            raise IndexMismatchError(
+        if mismatches:
+            raise _mismatch_error(
+                mismatches,
                 "refusing to serve from a stale/mismatched index "
-                "(scores would be wrong): " + "; ".join(problems)
+                "(scores would be wrong)",
             )
 
     def matches(
@@ -569,11 +613,34 @@ class SimilarityIndex:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def compacted(self) -> "SimilarityIndex":
+        """This index with any CSR overlay folded to a clean CSR.
+
+        Delta application (:func:`repro.index.delta.apply_delta`) may
+        leave ``transition`` as a
+        :class:`~repro.core.overlay.CsrOverlay`; serialisation and
+        factor reconstruction want plain CSR. Returns ``self`` when
+        nothing is an overlay.
+        """
+        from dataclasses import replace
+
+        from repro.core.overlay import CsrOverlay
+
+        if not isinstance(self.transition, CsrOverlay):
+            return self
+        return replace(self, transition=self.transition.tocsr())
+
     @property
     def nbytes(self) -> int:
         """Total bytes across every array buffer."""
         total = 0
+        parts = []
         for matrix in self._csr_items().values():
+            if hasattr(matrix, "data"):
+                parts.append(matrix)
+            else:  # CsrOverlay: base plus the patch rows
+                parts.extend((matrix.base, matrix.patch))
+        for matrix in parts:
             total += (
                 matrix.data.nbytes
                 + matrix.indices.nbytes

@@ -44,10 +44,12 @@ __all__ = [
     "DEFAULT_SUFFIX",
     "FORMAT_VERSION",
     "IndexFormatError",
+    "container_kind",
     "load_index",
     "read_header",
     "save_index",
     "verify_index",
+    "write_container",
 ]
 
 MAGIC = b"SIMIDX01"
@@ -110,6 +112,71 @@ def _flat_arrays(index) -> tuple[dict[str, np.ndarray], dict]:
     return arrays, csr_shapes
 
 
+def write_container(
+    path: str | Path, header_fields: dict, arrays: dict[str, np.ndarray]
+) -> Path:
+    """Write a generic ``.simidx`` container atomically.
+
+    Shared by full-index saves and ``delta-<seq>.simidx`` segments:
+    the caller supplies the header sections specific to its payload
+    kind (``meta``, ``csr_shapes``, ``kind``, ``delta`` ...); this
+    function adds ``format_version`` and the checksummed array table,
+    lays the segments out 64-byte aligned, and renames a temp file
+    into place so concurrent readers never see a torn write.
+    """
+    path = Path(path)
+    table: dict[str, dict] = {}
+    offset = 0
+    contiguous = {
+        name: np.ascontiguousarray(array)
+        for name, array in arrays.items()
+    }
+    for name, array in contiguous.items():
+        offset = _align(offset)
+        table[name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+            "sha256": hashlib.sha256(memoryview(array)).hexdigest(),
+        }
+        offset += array.nbytes
+    header = dict(header_fields)
+    header["format_version"] = FORMAT_VERSION
+    header["arrays"] = table
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    payload_start = _align(16 + len(header_bytes))
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(struct.pack("<Q", len(header_bytes)))
+            handle.write(header_bytes)
+            handle.write(
+                b"\0" * (payload_start - 16 - len(header_bytes))
+            )
+            position = 0
+            for name, array in contiguous.items():
+                padded = _align(position)
+                handle.write(b"\0" * (padded - position))
+                handle.write(memoryview(array))  # no bytes copy
+                position = padded + array.nbytes
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+    return path
+
+
+def container_kind(header: dict) -> str:
+    """The payload kind a container header declares.
+
+    Headers written before delta segments existed carry no ``kind``
+    field; they are full indexes.
+    """
+    return header.get("kind", "index")
+
+
 def save_index(index, path: str | Path) -> Path:
     """Write ``index`` to ``path`` atomically (temp file + rename).
 
@@ -133,48 +200,16 @@ def save_index(index, path: str | Path) -> Path:
     >>> load_index(path).meta == index.meta
     True
     """
-    path = Path(path)
+    if hasattr(index, "compacted"):
+        # delta-applied indexes may hold a CsrOverlay transition; the
+        # on-disk form is always a clean CSR
+        index = index.compacted()
     arrays, csr_shapes = _flat_arrays(index)
-    table: dict[str, dict] = {}
-    offset = 0
-    for name, array in arrays.items():
-        offset = _align(offset)
-        table[name] = {
-            "dtype": array.dtype.str,
-            "shape": list(array.shape),
-            "offset": offset,
-            "nbytes": int(array.nbytes),
-            # arrays are C-contiguous here (ascontiguousarray in
-            # _flat_arrays), so the memoryview hashes without a copy
-            "sha256": hashlib.sha256(memoryview(array)).hexdigest(),
-        }
-        offset += array.nbytes
-    header = {
-        "format_version": FORMAT_VERSION,
-        "meta": index.meta.to_dict(),
-        "csr_shapes": csr_shapes,
-        "arrays": table,
-    }
-    header_bytes = json.dumps(header, sort_keys=True).encode()
-    payload_start = _align(16 + len(header_bytes))
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(struct.pack("<Q", len(header_bytes)))
-            handle.write(header_bytes)
-            handle.write(b"\0" * (payload_start - 16 - len(header_bytes)))
-            position = 0
-            for name, array in arrays.items():
-                padded = _align(position)
-                handle.write(b"\0" * (padded - position))
-                handle.write(memoryview(array))  # no bytes copy
-                position = padded + array.nbytes
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # pragma: no cover - only on a failed write
-            tmp.unlink()
-    return path
+    return write_container(
+        path,
+        {"meta": index.meta.to_dict(), "csr_shapes": csr_shapes},
+        arrays,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -322,6 +357,13 @@ def load_index(path: str | Path, mmap: bool = True):
 
     path = Path(path)
     header, payload_start = read_header(path)
+    if container_kind(header) != "index":
+        raise IndexFormatError(
+            f"{path} is a {container_kind(header)!r} segment, not a "
+            "full index — apply it onto its base generation "
+            "(repro.index.delta) or fold the chain with "
+            "`python -m repro.index compact`"
+        )
     arrays = header["arrays"]
 
     def array(name: str) -> np.ndarray:

@@ -15,7 +15,9 @@ Subcommands::
              concurrent clients, assert coalescing, write a latency
              histogram (the CI job); ``--workers`` /
              ``--mutate-mid-run`` turn it into the full multi-process
-             hot-swap drill
+             hot-swap drill, ``--mutate-stream N`` streams N
+             single-edge mutations under load and asserts they all
+             swapped through the O(delta) incremental path
 
 Examples::
 
@@ -27,6 +29,7 @@ Examples::
     python -m repro.serve status --url http://localhost:8321
     python -m repro.serve smoke --clients 64 --output smoke.json
     python -m repro.serve smoke --workers 2 --mutate-mid-run
+    python -m repro.serve smoke --workers 2 --mutate-stream 6
 
 Every subcommand and flag is documented in ``docs/operations.md``
 (cross-checked against these parsers by ``tests/test_docs.py``).
@@ -86,6 +89,23 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="seconds before a hung worker is killed and its shard "
         "retried (cluster mode only; default 120)",
     )
+    parser.add_argument(
+        "--delta-mode", choices=("auto", "off"), default="auto",
+        help="incremental index maintenance: 'auto' (default) applies "
+        "small edge batches as O(delta) artifact surgery "
+        "(bit-identical to a rebuild), 'off' rebuilds on every "
+        "mutation",
+    )
+    parser.add_argument(
+        "--max-delta-fraction", type=float, default=0.10,
+        help="largest edit batch (as a fraction of current edges) "
+        "still taking the delta path (default 0.10)",
+    )
+    parser.add_argument(
+        "--max-chain-depth", type=int, default=8,
+        help="delta generations that may stack before a mutation "
+        "folds the chain with a full rebuild (default 8)",
+    )
 
 
 def _build_service(args) -> ServingService:
@@ -102,6 +122,9 @@ def _build_service(args) -> ServingService:
         index_path=getattr(args, "index", None),
         workers=args.workers,
         shard_timeout=args.shard_timeout,
+        delta_mode=args.delta_mode,
+        max_delta_fraction=args.max_delta_fraction,
+        max_chain_depth=args.max_chain_depth,
     )
 
 
@@ -196,11 +219,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(default SERVE_smoke.json)",
     )
     smoke.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="persistent precomputation index file, as for serve; "
+        "with --mutate-stream every delta swap then persists a "
+        ".delta-<seq> segment beside it (the mutation-smoke CI job "
+        "compacts and verifies that chain afterwards)",
+    )
+    smoke.add_argument(
         "--mutate-mid-run", action="store_true",
         help="POST /mutate while the client load is in flight and "
         "assert the hot-swap completed with zero failed requests "
         "(with --workers: that every worker converged to the new "
         "snapshot)",
+    )
+    smoke.add_argument(
+        "--mutate-stream", type=int, default=0, metavar="N",
+        help="stream N single-edge mutations while the client load "
+        "is in flight and assert every one swapped through the "
+        "O(delta) incremental path with zero failed requests (the "
+        "mutation-smoke CI job); the swap-latency breakdown lands "
+        "in the report JSON",
     )
     smoke.set_defaults(nodes=800, edges=4800)
     return parser
@@ -305,10 +343,36 @@ def render_status(document: dict) -> str:
             f"samples_drawn={estimator.get('samples_drawn', 0)} "
             f"early_term={estimator.get('early_terminations', 0)}"
         )
+    delta = snapshots.get("delta", {})
     lines.append(
         f"snapshots     builds={snapshots.get('builds', 0)} "
-        f"swaps={snapshots.get('swaps', 0)}"
+        f"swaps={snapshots.get('swaps', 0)} "
+        f"(delta={delta.get('swaps', 0)} "
+        f"full={delta.get('full_swaps', 0)} "
+        f"fallbacks={delta.get('fallbacks', 0)})"
     )
+    if delta:
+        lines.append(
+            f"delta         mode={delta.get('mode')} "
+            f"chain_depth={delta.get('chain_depth', 0)}/"
+            f"{delta.get('max_chain_depth', 0)} "
+            f"max_fraction={delta.get('max_delta_fraction', 0.0)} "
+            f"segments_loaded={delta.get('segments_loaded', 0)}"
+        )
+    latency = snapshots.get("swap_latency", {})
+    for kind in ("delta", "full"):
+        entry = latency.get(kind) or {}
+        if not entry.get("count"):
+            continue
+        total = entry.get("total_s", {})
+        build = entry.get("build_s", {})
+        lines.append(
+            f"swap latency  {kind}: count={entry['count']} "
+            f"build p50={build.get('p50', 0.0) * 1e3:.1f} ms "
+            f"max={build.get('max', 0.0) * 1e3:.1f} ms; "
+            f"total p50={total.get('p50', 0.0) * 1e3:.1f} ms "
+            f"max={total.get('max', 0.0) * 1e3:.1f} ms"
+        )
     cluster = document.get("cluster")
     if cluster:
         pool = cluster.get("pool", {})
@@ -400,6 +464,7 @@ def _cmd_smoke(args) -> int:
         return lat
 
     mutate_result: dict = {}
+    streamed_mutations = 0
     wall_start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=args.clients) as pool:
         futures = [pool.submit(client, s) for s in streams]
@@ -414,6 +479,26 @@ def _cmd_smoke(args) -> int:
                 )
             except Exception as exc:
                 failures.append(f"mutate: {exc}")
+        if args.mutate_stream:
+            # stream single-edge mutations under load: self-loops are
+            # never generated by the random graphs, so each add is a
+            # genuinely new edge and each swap should go through the
+            # O(delta) incremental path (batch of 1 edge is always
+            # under --max-delta-fraction)
+            time.sleep(0.05)
+            span = max(1, nodes - 1)
+            for j in range(args.mutate_stream):
+                node = 1 + j % span  # node 0 belongs to mutate-mid-run
+                body = (
+                    {"add": [[node, node]]}
+                    if (j // span) % 2 == 0
+                    else {"remove": [[node, node]]}
+                )
+                try:
+                    _http_json(f"{url}/mutate", body)
+                    streamed_mutations += 1
+                except Exception as exc:
+                    failures.append(f"mutate-stream {j}: {exc}")
         for future in futures:
             latencies.extend(future.result())
     wall = time.perf_counter() - wall_start
@@ -439,6 +524,21 @@ def _cmd_smoke(args) -> int:
         checks["mutation_swapped_mid_traffic"] = swapped and bool(
             mutate_result.get("snapshot")
         )
+    if args.mutate_stream:
+        delta_stats = status["snapshots"].get("delta", {})
+        # every (max_chain_depth + 1)-th swap folds the chain with a
+        # full rebuild by design; all others must be delta swaps
+        cycle = args.max_chain_depth + 1
+        expected_delta = (
+            streamed_mutations - streamed_mutations // cycle
+        )
+        checks["mutation_stream_all_applied"] = (
+            streamed_mutations == args.mutate_stream
+        )
+        checks["mutations_swapped_via_delta_path"] = (
+            delta_stats.get("fallbacks", 0) == 0
+            and delta_stats.get("swaps", 0) >= expected_delta
+        )
     if args.mode == "approx":
         approx = status.get("approx") or {}
         checks["approx_stats_reported"] = (
@@ -457,7 +557,7 @@ def _cmd_smoke(args) -> int:
         checks["shards_dispatched"] = (
             cluster["shards_dispatched"] > 0
         )
-        if args.mutate_mid_run:
+        if args.mutate_mid_run or args.mutate_stream:
             target = cluster["pool"]["current_seq"]
             checks["workers_converged_to_new_snapshot"] = (
                 target >= 1
@@ -475,6 +575,9 @@ def _cmd_smoke(args) -> int:
         "latency": LatencyStats.from_seconds(latencies).to_dict(),
         "broker": broker,
         "cluster": cluster,
+        "mutations_streamed": streamed_mutations,
+        "delta": status["snapshots"].get("delta"),
+        "swap_latency": status["snapshots"].get("swap_latency"),
         "checks": checks,
         "failures": failures[:10],
     }

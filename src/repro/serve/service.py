@@ -78,6 +78,14 @@ class ServingService:
     mp_context / shard_timeout:
         Cluster-only knobs, passed to the
         :class:`~repro.cluster.WorkerPool`.
+    delta_mode / max_delta_fraction / max_chain_depth:
+        Incremental-maintenance knobs, passed to the
+        :class:`~repro.serve.snapshot.SnapshotManager`: small edge
+        batches go through ``O(delta)`` index surgery (bit-identical
+        results, chained ``.delta-<n>`` segments on disk, segment-only
+        two-phase swaps in cluster mode) instead of a full rebuild.
+        ``delta_mode="off"`` restores the rebuild-every-time
+        behaviour.
 
     Examples
     --------
@@ -107,10 +115,19 @@ class ServingService:
         workers: int = 0,
         mp_context: str = "spawn",
         shard_timeout: float = 120.0,
+        delta_mode: str = "auto",
+        max_delta_fraction: float = 0.10,
+        max_chain_depth: int = 8,
         **overrides,
     ) -> None:
         self.snapshots = SnapshotManager(
-            graph, config, index_path=index_path, **overrides
+            graph,
+            config,
+            index_path=index_path,
+            delta_mode=delta_mode,
+            max_delta_fraction=max_delta_fraction,
+            max_chain_depth=max_chain_depth,
+            **overrides,
         )
         self.cache = (
             ResultCache(cache_entries) if cache_entries else None

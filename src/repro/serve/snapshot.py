@@ -24,14 +24,27 @@ pointed at the same file share one page cache.
 
 from __future__ import annotations
 
+import gc
 import threading
+from collections import deque
+
+import numpy as np
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.engine.config import SimilarityConfig
 from repro.engine.engine import SimilarityEngine
 from repro.graph.digraph import DiGraph
 from repro.index.artifacts import IndexMismatchError, SimilarityIndex
+from repro.index.delta import (
+    IndexDelta,
+    apply_delta,
+    apply_delta_file,
+    delta_sibling_path,
+    find_delta_siblings,
+    save_delta,
+)
 from repro.index.store import IndexFormatError
 
 __all__ = ["Snapshot", "SnapshotManager"]
@@ -50,6 +63,12 @@ class Snapshot:
     version:
         The underlying graph's mutation counter at snapshot build
         time — part of every result-cache key.
+    delta:
+        The :class:`~repro.index.delta.IndexDelta` this generation was
+        derived through, or ``None`` when it came from a full build.
+    base_seq:
+        ``seq`` of the generation a delta snapshot chains onto
+        (``None`` for full builds).
 
     Examples
     --------
@@ -64,12 +83,20 @@ class Snapshot:
     'gSR*'
     """
 
-    __slots__ = ("engine", "seq", "version")
+    __slots__ = ("engine", "seq", "version", "delta", "base_seq")
 
-    def __init__(self, engine: SimilarityEngine, seq: int) -> None:
+    def __init__(
+        self,
+        engine: SimilarityEngine,
+        seq: int,
+        delta: IndexDelta | None = None,
+        base_seq: int | None = None,
+    ) -> None:
         self.engine = engine
         self.seq = seq
         self.version = engine.graph.version
+        self.delta = delta
+        self.base_seq = base_seq
 
     @property
     def graph(self) -> DiGraph:
@@ -84,6 +111,8 @@ class Snapshot:
             "nodes": graph.num_nodes,
             "edges": graph.num_edges,
             "measure": self.engine.measure.name,
+            "swap_kind": "delta" if self.delta is not None else "full",
+            "base_seq": self.base_seq,
             "engine_stats": self.engine.stats.snapshot(),
         }
 
@@ -123,6 +152,28 @@ class SnapshotManager:
     persist_index:
         Set ``False`` to load from ``index_path`` but never write it
         (read-only replicas sharing a file owned by a primary).
+    delta_mode:
+        ``"auto"`` (default) routes eligible mutations through
+        :func:`repro.index.delta.apply_delta` — ``O(delta)`` artifact
+        surgery instead of an ``O(graph)`` rebuild, with the result
+        bit-identical to a from-scratch build. ``"off"`` forces the
+        classic full-rebuild path for every mutation. Any failure on
+        the delta path falls back to a full rebuild automatically
+        (counted in ``delta_fallbacks``); correctness never depends
+        on the fast path.
+    max_delta_fraction:
+        A mutation batch qualifies for the delta path only while
+        ``num_edits <= max_delta_fraction * num_edges`` — past that,
+        row surgery approaches rebuild cost and a full build resets
+        the chain instead.
+    max_chain_depth:
+        Deltas stack (each chains onto the previous generation); once
+        a swap would exceed this depth the manager takes the full
+        path, folding the chain into a fresh base.
+    max_overlay_fraction:
+        Forwarded to :func:`~repro.index.delta.apply_delta`: how much
+        of ``Q`` may live in the overlay patch before the applied
+        index is compacted to a clean CSR.
 
     Attributes
     ----------
@@ -163,27 +214,54 @@ class SnapshotManager:
         copy: bool = True,
         index_path: str | Path | None = None,
         persist_index: bool = True,
+        delta_mode: str = "auto",
+        max_delta_fraction: float = 0.10,
+        max_chain_depth: int = 8,
+        max_overlay_fraction: float = 0.25,
         **overrides,
     ) -> None:
         if config is None:
             config = SimilarityConfig(**overrides)
         elif overrides:
             config = config.replace(**overrides)
+        if delta_mode not in ("auto", "off"):
+            raise ValueError(
+                f"delta_mode must be 'auto' or 'off', got {delta_mode!r}"
+            )
         self.config = config
         self.index_path = (
             Path(index_path) if index_path is not None else None
         )
         self.persist_index = persist_index
+        self.delta_mode = delta_mode
+        self.max_delta_fraction = float(max_delta_fraction)
+        self.max_chain_depth = int(max_chain_depth)
+        self.max_overlay_fraction = float(max_overlay_fraction)
         self._swap_lock = threading.Lock()   # guards `_current`
         self._build_lock = threading.Lock()  # serialises rebuilds
         self.builds = 0
         self.swaps = 0
+        self.full_swaps = 0
+        self.delta_swaps = 0
+        self.delta_fallbacks = 0
+        self.last_delta_fallback: str | None = None
+        self.delta_segments_loaded = 0
         self.index_loads = 0
         self.index_saves = 0
         self.index_load_errors = 0
         self.pre_swap = None
         self.post_swap = None
         self._last_persisted: SimilarityEngine | None = None
+        self._chain_depth = 0
+        self._loaded_chain_depth = 0
+        # delta segments are numbered independently of snapshot seq so
+        # a restart (seq resets to 0) never overwrites a live segment
+        self._delta_seq = 0
+        if self.index_path is not None:
+            siblings = find_delta_siblings(self.index_path)
+            if siblings:
+                self._delta_seq = siblings[-1][0]
+        self._swap_latency: deque[dict] = deque(maxlen=256)
         engine = self._engine_for(graph.copy() if copy else graph)
         self._current = Snapshot(engine, seq=0)
 
@@ -204,19 +282,45 @@ class SnapshotManager:
                 pass  # stale content: rebuild (and later overwrite)
             else:
                 self.index_loads += 1
+                self._chain_depth = self._loaded_chain_depth
                 return engine
+        self._chain_depth = 0
         return SimilarityEngine(graph, self.config)
 
     def _load_index(self) -> SimilarityIndex | None:
         if self.index_path is None or not self.index_path.exists():
             return None
         try:
-            return SimilarityIndex.load(self.index_path, mmap=True)
+            index = SimilarityIndex.load(self.index_path, mmap=True)
         except (IndexFormatError, OSError):
             # unreadable files are treated as absent, not fatal: the
             # next persist overwrites them with a healthy one
             self.index_load_errors += 1
             return None
+        # replay any delta segments persisted beside the base: a
+        # restart resumes the chained generation without a rebuild. A
+        # broken link ends the chain — serve what replays cleanly and
+        # let the fingerprint check decide whether it is current.
+        depth = 0
+        for _seq, path in find_delta_siblings(self.index_path):
+            try:
+                index, applied = apply_delta_file(
+                    index,
+                    path,
+                    max_overlay_fraction=self.max_overlay_fraction,
+                )
+            except (
+                IndexFormatError,
+                IndexMismatchError,
+                OSError,
+                ValueError,
+            ):
+                self.index_load_errors += 1
+                break
+            depth = applied.chain_depth
+            self.delta_segments_loaded += 1
+        self._loaded_chain_depth = depth
+        return index
 
     def _persist_index(self, engine: SimilarityEngine) -> None:
         if self.index_path is None or not self.persist_index:
@@ -227,6 +331,31 @@ class SnapshotManager:
             return
         engine.export_index().save(self.index_path)
         self._last_persisted = engine
+        self.index_saves += 1
+        # the fresh full base supersedes every delta segment chained
+        # onto the old one; leaving them behind would corrupt the next
+        # restart's replay
+        for _seq, path in find_delta_siblings(self.index_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._delta_seq = 0
+
+    def _persist_delta(self, delta: IndexDelta) -> None:
+        """Persist one delta segment beside the base index file.
+
+        Skipped (not an error) when there is no base on disk to chain
+        onto — the segment would be unreplayable at restart.
+        """
+        if self.index_path is None or not self.persist_index:
+            return
+        if not self.index_path.exists():
+            return
+        self._delta_seq += 1
+        save_delta(
+            delta, delta_sibling_path(self.index_path, self._delta_seq)
+        )
         self.index_saves += 1
 
     def mark_persisted(self, engine: SimilarityEngine) -> None:
@@ -286,6 +415,14 @@ class SnapshotManager:
         snapshot keeps serving until the atomic pointer swap, and
         in-flight queries that pinned it finish on it afterwards.
 
+        With ``delta_mode="auto"`` a batch that stays under
+        ``max_delta_fraction`` of the edge set goes through the
+        ``O(delta)`` incremental path (:func:`repro.index.delta
+        .apply_delta`): only the touched CSR rows and factor rows are
+        recomputed, the result is bit-identical to a full rebuild, and
+        only a tiny chained segment is persisted. Any delta-path
+        failure falls back to the full rebuild transparently.
+
         Returns the new :class:`Snapshot`. Raises (and swaps nothing)
         if any edit is invalid — a failed mutation leaves serving
         untouched.
@@ -293,39 +430,289 @@ class SnapshotManager:
         add = list(add)
         remove = list(remove)
         with self._build_lock:
-            base = self.current
-            graph = base.graph.copy()
-            resolve = base.engine.resolve_node
-            for u, v in add:
-                graph.add_edge(resolve(u), resolve(v))
-            for u, v in remove:
-                graph.remove_edge(resolve(u), resolve(v))
-            engine = self._engine_for(graph)
-            # warm the expensive shared artifacts *before* the swap so
-            # post-swap first queries pay only their own walk
-            engine.transition_t
-            if "compressed" in engine.measure.uses:
-                engine.compressed
-            if engine.config.mode == "approx":
-                engine.walk_index
-            self.builds += 1
-            fresh = Snapshot(engine, seq=base.seq + 1)
-            if self.pre_swap is not None:
-                # two-phase swap, phase one: remote holders (cluster
-                # workers) build their replacement engines while the
-                # old snapshot keeps serving. Raising aborts the
-                # mutation with serving untouched.
-                self.pre_swap(fresh)
-            with self._swap_lock:
-                self._current = fresh
-                self.swaps += 1
-            if self.post_swap is not None:
-                self.post_swap(base, fresh)
-            # persist only after the swap: the disk write (checksums
-            # + full file) must not extend how long traffic is served
-            # by the stale snapshot
-            self._persist_index(engine)
+            # pause the cyclic collector for the build: the clone/
+            # splice allocates tens of thousands of small containers,
+            # and each allocation burst otherwise triggers full GC
+            # passes over the millions of tracked adjacency sets of
+            # every live generation — O(live graphs) work swamping the
+            # O(delta) build. Mutation creates no cycles; whatever
+            # garbage it drops is reclaimed by refcounting or the next
+            # natural collection.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                fresh = self._mutate_locked(add, remove)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
         return fresh
+
+    def _mutate_locked(
+        self, add: list, remove: list
+    ) -> Snapshot:
+        base = self.current
+        add_ids = self._resolve_pairs(base.engine, add)
+        remove_ids = self._resolve_pairs(base.engine, remove)
+        # validate up front (KeyError on a bad removal) so *both*
+        # paths inherit the all-or-nothing contract
+        eff_add, eff_rem = self._effective_edits(
+            base.graph, add_ids, remove_ids
+        )
+        fresh: Snapshot | None = None
+        if self._delta_eligible(base, eff_add, eff_rem):
+            try:
+                fresh = self._mutate_delta(base, eff_add, eff_rem)
+            except Exception as exc:  # noqa: BLE001 — any delta
+                # failure must degrade to the always-correct full
+                # rebuild, never to a failed mutation
+                self.delta_fallbacks += 1
+                self.last_delta_fallback = (
+                    f"{type(exc).__name__}: {exc}"
+                )
+        if fresh is None:
+            fresh = self._mutate_full(base, add_ids, remove_ids)
+        return fresh
+
+    @staticmethod
+    def _resolve_pairs(
+        engine: SimilarityEngine, pairs: list
+    ) -> list[tuple[int, int]]:
+        """``(u, v)`` pairs resolved to dense node ids.
+
+        All-integer batches take a vectorised range check (integers
+        are always node ids — :meth:`SimilarityEngine.resolve_node`'s
+        rule); anything else falls back to per-pair label resolution.
+        A mutation batch at serving scale is tens of thousands of id
+        pairs, so the per-edge Python loop matters.
+        """
+        if not pairs:
+            return []
+        try:
+            raw = np.asarray(pairs)
+        except (TypeError, ValueError):
+            raw = np.empty(0, dtype=object)
+        if (
+            raw.dtype.kind in "iu"
+            and raw.ndim == 2
+            and raw.shape[1] == 2
+        ):
+            arr = raw.astype(np.int64, copy=False)
+            n = engine.graph.num_nodes
+            flat = arr.ravel()
+            bad = flat[(flat < 0) | (flat >= n)]
+            if bad.size:
+                raise IndexError(
+                    f"node {int(bad[0])} out of range for graph "
+                    f"with {n} nodes"
+                )
+            return arr
+        resolve = engine.resolve_node
+        return [(resolve(u), resolve(v)) for u, v in pairs]
+
+    @staticmethod
+    def _effective_edits(
+        graph: DiGraph,
+        add_ids,
+        remove_ids,
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Net ``(added, removed)`` batches against ``graph``.
+
+        Replicates the sequential adds-then-removes semantics of the
+        full path without touching a graph copy: adding an existing
+        edge is a no-op, removing a just-added edge cancels the add,
+        and removing an absent (or already-removed) edge raises
+        ``KeyError`` exactly like :meth:`DiGraph.remove_edge`. All
+        membership checks run vectorised against the graph's cached
+        sorted edge arrays — no per-edge ``has_edge`` loop.
+        """
+        n = graph.num_nodes
+        add_arr = np.asarray(add_ids, dtype=np.int64).reshape(-1, 2)
+        rem_arr = np.asarray(remove_ids, dtype=np.int64).reshape(-1, 2)
+        if n == 0 or (add_arr.size == 0 and rem_arr.size == 0):
+            return [], []
+        heads, tails = graph.edge_arrays()
+        keys = heads.astype(np.int64) * n + tails  # sorted ascending
+
+        def _present(candidates: np.ndarray) -> np.ndarray:
+            pos = np.searchsorted(keys, candidates)
+            pos_c = np.minimum(pos, max(0, keys.size - 1))
+            if keys.size == 0:
+                return np.zeros(candidates.size, dtype=bool)
+            return keys[pos_c] == candidates
+
+        add_keys = np.unique(add_arr[:, 0] * n + add_arr[:, 1])
+        added_keys = add_keys[~_present(add_keys)]
+        rem_keys = rem_arr[:, 0] * n + rem_arr[:, 1]
+        rem_unique, rem_counts = np.unique(
+            rem_keys, return_counts=True
+        )
+        if (rem_counts > 1).any():
+            # the second removal of the same edge sees it gone
+            dup = int(rem_unique[rem_counts > 1][0])
+            raise KeyError(
+                f"edge {dup // n} -> {dup % n} not in graph"
+            )
+        cancelled = np.isin(rem_unique, added_keys)
+        must_exist = rem_unique[~cancelled]
+        present = _present(must_exist)
+        if not present.all():
+            missing = int(must_exist[~present][0])
+            raise KeyError(
+                f"edge {missing // n} -> {missing % n} not in graph"
+            )
+        added_final = added_keys[~np.isin(added_keys, rem_unique)]
+        return (
+            [(int(k) // n, int(k) % n) for k in added_final],
+            [(int(k) // n, int(k) % n) for k in must_exist],
+        )
+
+    def _delta_eligible(
+        self,
+        base: Snapshot,
+        eff_add: list[tuple[int, int]],
+        eff_rem: list[tuple[int, int]],
+    ) -> bool:
+        if self.delta_mode != "auto":
+            return False
+        num_edits = len(eff_add) + len(eff_rem)
+        if num_edits == 0:
+            return False  # no-op batch: let the full path handle it
+        if self._chain_depth + 1 > self.max_chain_depth:
+            return False  # fold the chain into a fresh base
+        budget = self.max_delta_fraction * max(1, base.graph.num_edges)
+        return num_edits <= budget
+
+    def _warm(self, engine: SimilarityEngine) -> None:
+        # warm the expensive shared artifacts *before* the swap so
+        # post-swap first queries pay only their own walk
+        engine.transition_t
+        if "compressed" in engine.measure.uses:
+            engine.compressed
+        if engine.config.mode == "approx":
+            engine.walk_index
+
+    def _record_swap(
+        self, kind: str, build_s: float, prepare_s: float, commit_s: float
+    ) -> None:
+        self._swap_latency.append(
+            {
+                "kind": kind,
+                "build_s": build_s,
+                "prepare_s": prepare_s,
+                "commit_s": commit_s,
+                "total_s": build_s + prepare_s + commit_s,
+            }
+        )
+
+    def _swap_pointer(self, base: Snapshot, fresh: Snapshot) -> tuple:
+        """Two-phase swap; returns ``(prepare_s, commit_s)``."""
+        t_prepare = perf_counter()
+        if self.pre_swap is not None:
+            # two-phase swap, phase one: remote holders (cluster
+            # workers) build their replacement engines while the
+            # old snapshot keeps serving. Raising aborts the
+            # mutation with serving untouched.
+            self.pre_swap(fresh)
+        t_commit = perf_counter()
+        if self.pre_swap is not None:
+            prepare_s = t_commit - t_prepare
+        else:
+            prepare_s = 0.0
+        with self._swap_lock:
+            self._current = fresh
+            self.swaps += 1
+        if self.post_swap is not None:
+            self.post_swap(base, fresh)
+        return prepare_s, perf_counter() - t_commit
+
+    def _mutate_delta(
+        self,
+        base: Snapshot,
+        eff_add: list[tuple[int, int]],
+        eff_rem: list[tuple[int, int]],
+    ) -> Snapshot:
+        """The ``O(delta)`` path: artifact surgery, no rebuild."""
+        t_build = perf_counter()
+        graph = base.graph.copy_with_edits(eff_add, eff_rem)
+        base_index = base.engine.export_index()
+        applied, delta = apply_delta(
+            base_index,
+            eff_add,
+            eff_rem,
+            max_overlay_fraction=self.max_overlay_fraction,
+            chain_depth=self._chain_depth + 1,
+        )
+        # from_index re-verifies the fingerprint against the edited
+        # graph — a wrong splice can never reach serving
+        engine = SimilarityEngine.from_index(applied, graph, self.config)
+        self._warm(engine)
+        self.builds += 1
+        build_s = perf_counter() - t_build
+        fresh = Snapshot(
+            engine, seq=base.seq + 1, delta=delta, base_seq=base.seq
+        )
+        prepare_s, commit_s = self._swap_pointer(base, fresh)
+        self._chain_depth = delta.chain_depth
+        self.delta_swaps += 1
+        # persist only after the swap (segment write must not extend
+        # how long traffic is served by the stale snapshot); a delta
+        # swap ships the segment, never the full artifact file
+        self._persist_delta(delta)
+        self._record_swap("delta", build_s, prepare_s, commit_s)
+        return fresh
+
+    def _mutate_full(
+        self,
+        base: Snapshot,
+        add_ids: list[tuple[int, int]],
+        remove_ids: list[tuple[int, int]],
+    ) -> Snapshot:
+        """The classic path: copy the graph, rebuild, hot-swap."""
+        t_build = perf_counter()
+        graph = base.graph.copy()
+        for u, v in add_ids:
+            graph.add_edge(u, v)
+        for u, v in remove_ids:
+            graph.remove_edge(u, v)
+        engine = self._engine_for(graph)
+        self._warm(engine)
+        self.builds += 1
+        build_s = perf_counter() - t_build
+        fresh = Snapshot(engine, seq=base.seq + 1)
+        prepare_s, commit_s = self._swap_pointer(base, fresh)
+        self.full_swaps += 1
+        # persist only after the swap: the disk write (checksums
+        # + full file) must not extend how long traffic is served
+        # by the stale snapshot
+        self._persist_index(engine)
+        self._record_swap("full", build_s, prepare_s, commit_s)
+        return fresh
+
+    def swap_latency_summary(self) -> dict:
+        """count/p50/max per stage, split full vs delta swaps.
+
+        Aggregated over the last 256 swaps. Stages: ``build`` (graph
+        edit + artifact work + warmup), ``prepare`` (two-phase
+        ``pre_swap`` fan-out), ``commit`` (pointer flip +
+        ``post_swap``).
+        """
+        out: dict = {}
+        rows = list(self._swap_latency)
+        for kind in ("full", "delta"):
+            kind_rows = [r for r in rows if r["kind"] == kind]
+            entry: dict = {"count": len(kind_rows)}
+            if kind_rows:
+                for stage in (
+                    "build_s", "prepare_s", "commit_s", "total_s"
+                ):
+                    vals = sorted(r[stage] for r in kind_rows)
+                    entry[stage] = {
+                        "p50": vals[len(vals) // 2],
+                        "max": vals[-1],
+                    }
+            out[kind] = entry
+        return out
 
     def describe(self) -> dict:
         """JSON-ready manager state: current snapshot + swap counters."""
@@ -333,6 +720,18 @@ class SnapshotManager:
             "current": self.current.describe(),
             "builds": self.builds,
             "swaps": self.swaps,
+            "delta": {
+                "mode": self.delta_mode,
+                "max_delta_fraction": self.max_delta_fraction,
+                "max_chain_depth": self.max_chain_depth,
+                "chain_depth": self._chain_depth,
+                "swaps": self.delta_swaps,
+                "full_swaps": self.full_swaps,
+                "fallbacks": self.delta_fallbacks,
+                "last_fallback": self.last_delta_fallback,
+                "segments_loaded": self.delta_segments_loaded,
+            },
+            "swap_latency": self.swap_latency_summary(),
             "index": {
                 "path": (
                     str(self.index_path)

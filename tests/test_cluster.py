@@ -303,6 +303,9 @@ def test_corrupt_index_mid_swap_falls_back_to_worker_rebuild(
 ):
     _, snapshots, router = swap_env
     pool = router.pool
+    # force the full-index path: the scenario under test is a corrupt
+    # gen-<seq>.simidx container, which delta swaps never write
+    snapshots.delta_mode = "off"
     register = WorkerPool._register_generation
 
     def corrupting_register(self, snapshot):
@@ -386,10 +389,14 @@ def test_cluster_mirrors_index_to_manager_path(tmp_path):
     """workers=K + index_path: one serialisation per generation.
 
     The pool writes the generation file; the manager's ``index_path``
-    gets a cheap mirrored copy (not a second full export), and it
-    must fingerprint-match the *served* graph after a mutation.
+    gets a cheap mirrored copy (not a second full export). A small
+    mutation rides the delta path: the base file stays untouched and
+    a chained segment lands beside it, and the chain must
+    fingerprint-match the *served* graph after the mutation — a
+    restarted manager warm-loads base + segment without rebuilding.
     """
     from repro.index import SimilarityIndex
+    from repro.index.delta import delta_sibling_path
 
     graph = random_digraph(80, 400, seed=19)
     path = tmp_path / "g.simidx"
@@ -401,11 +408,22 @@ def test_cluster_mirrors_index_to_manager_path(tmp_path):
     try:
         assert path.exists()  # mirrored at pool start
         saves_after_start = service.snapshots.index_saves
+        base_graph = service.snapshots.current.graph.copy()
         fresh = service.mutate(add=[(0, 9)])
-        index = SimilarityIndex.load(path)
-        assert index.matches(fresh.graph, service.config)
-        # exactly one more persist per mutation, via the mirror
+        # the delta swap leaves the base container alone and chains
+        # one persisted segment beside it
+        base = SimilarityIndex.load(path)
+        assert base.matches(base_graph, service.config)
+        assert delta_sibling_path(path, 1).exists()
+        # exactly one more persist per mutation (the segment)
         assert service.snapshots.index_saves == saves_after_start + 1
+        # the persisted chain matches the served graph: a restart
+        # over the mutated content warm-loads instead of rebuilding
+        restarted = SnapshotManager(
+            fresh.graph.copy(), CONFIG, index_path=path
+        )
+        assert restarted.index_loads == 1
+        assert restarted.delta_segments_loaded == 1
     finally:
         service.close()
 

@@ -56,6 +56,7 @@ DOCTEST_MODULES = (
     "repro.measures",
     "repro.index.artifacts",
     "repro.index.store",
+    "repro.index.delta",
     "repro.serve.broker",
     "repro.serve.cache",
     "repro.serve.http",

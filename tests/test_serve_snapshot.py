@@ -117,8 +117,11 @@ class TestSnapshotManager:
             random_digraph(20, 80, seed=10), num_iterations=5
         )
         fresh = manager.mutate(add=[(0, 1)])
-        # Q / Q^T were built during the background build, pre-swap
-        assert fresh.engine.stats.transition_builds == 1
+        # Q / Q^T arrived during the background build, pre-swap —
+        # built outright on the full path, adopted from the spliced
+        # index on the delta path
+        stats = fresh.engine.stats
+        assert stats.transition_builds + stats.index_adoptions == 1
 
     def test_warmup_builds_artifacts(self):
         manager = SnapshotManager(
