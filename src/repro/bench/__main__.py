@@ -10,7 +10,9 @@ Typical uses::
     python -m repro.bench --cluster --tag PR5      # + worker scaling
     python -m repro.bench --approx --tag PR6       # + approx-vs-exact tier
     python -m repro.bench --mutate --tag PR7       # + delta-vs-rebuild tier
+    python -m repro.bench --telemetry --tag PR8    # + observability cost tier
     python -m repro.bench --history                # trend over BENCH_*.json
+    python -m repro.bench --history --detect       # + change-point gate
 
 Compare mode exits non-zero when a case regresses beyond
 ``--threshold`` times its baseline or a gated batching speedup falls
@@ -32,7 +34,11 @@ batch swaps pushed through a ``delta_mode="off"`` and a
 median-swap ratio recorded as ``speedup_delta_swap_vs_rebuild`` and
 bit-parity between the two maintenance histories gated. ``--history``
 renders the trend table over every committed ``BENCH_*.json`` in the
-current directory (commit order) and exits without timing anything.
+current directory (commit order) and exits without timing anything;
+adding ``--detect`` runs E-Divisive change-point detection
+(:mod:`repro.bench.signal`) over every metric series afterwards and
+exits non-zero on regressions the committed
+``BENCH_expected_changes.json`` allowlist does not explain.
 """
 
 from __future__ import annotations
@@ -74,6 +80,15 @@ FULL = {
 #: 2k-node benchmark graph), quick is the CI-sized version.
 SERVE_QUICK = {"clients": 16, "requests_per_client": 2}
 SERVE_FULL = {"clients": 32, "requests_per_client": 4}
+
+#: Telemetry-overhead workloads (``--telemetry``): the full setting is
+#: the acceptance regime (the 2k/12k serving workload, p50 overhead of
+#: metrics + tracing gated below 5%); quick runs fewer rounds and only
+#: reports the overhead — CI machines are too noisy to gate a 5%
+#: latency delta at CI scale. The metrics-consistency check (every
+#: request counted) is gated in both settings.
+TELEMETRY_QUICK = {"rounds": 2, "overhead_limit": None}
+TELEMETRY_FULL = {"rounds": 3, "overhead_limit": 0.05}
 
 #: Worker-scaling workloads (``--cluster``): micro-batches of distinct
 #: query columns pushed through the sharded column plane at the low
@@ -194,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="serving load: broker linger in ms (default 2.0)",
     )
     parser.add_argument(
+        "--telemetry", action="store_true",
+        help="also run the telemetry-overhead comparison (the serving "
+        "workload with the observability stack enabled vs disabled) "
+        "and embed its document under the 'telemetry' key; the "
+        "relative p50 overhead is gated below --telemetry-limit in "
+        "the full setting",
+    )
+    parser.add_argument(
+        "--telemetry-rounds", type=int, default=None,
+        help="telemetry tier: alternating enabled/disabled rounds "
+        "whose per-side p50 medians are compared (default 3 full / "
+        "2 quick)",
+    )
+    parser.add_argument(
+        "--telemetry-limit", type=float, default=None,
+        help="telemetry tier: max allowed relative p50 overhead "
+        "(default 0.05 full / ungated quick)",
+    )
+    parser.add_argument(
         "--cluster", action="store_true",
         help="also run the multi-process worker-scaling case "
         "(repro.cluster) and embed its document under the 'cluster' "
@@ -264,6 +298,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the trend table over every BENCH_*.json in the "
         "current directory (commit order) and exit; nothing is timed",
     )
+    parser.add_argument(
+        "--detect", action="store_true",
+        help="with --history: run E-Divisive change-point detection "
+        "over every metric series (repro.bench.signal) and exit "
+        "non-zero on regressions not explained by the "
+        "--expected-changes allowlist",
+    )
+    parser.add_argument(
+        "--expected-changes", default="BENCH_expected_changes.json",
+        metavar="PATH",
+        help="allowlist of intentional series shifts consulted by "
+        "--detect (default BENCH_expected_changes.json)",
+    )
+    parser.add_argument(
+        "--detect-alpha", type=float, default=0.05,
+        help="permutation-test significance level for --detect "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--detect-min-shift", type=float, default=0.10,
+        help="minimum relative mean shift a --detect finding must "
+        "show (default 0.10 — smaller moves are machine noise)",
+    )
     return parser
 
 
@@ -283,6 +340,12 @@ def list_cases(args, preset: dict) -> int:
         "  serving_load  "
         f"[{preset['nodes']} nodes, {preset['edges']} edges, "
         "coalesced vs sequential single_source]"
+    )
+    print("telemetry-overhead scenario (--telemetry):")
+    print(
+        "  telemetry_overhead  "
+        f"[{preset['nodes']} nodes, {preset['edges']} edges, "
+        "serving load with metrics+tracing on vs off, p50 gated]"
     )
     print("worker-scaling scenario (--cluster):")
     print(
@@ -317,7 +380,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.history:
         from repro.bench.history import collect_history, render_history
 
-        print(render_history(collect_history()))
+        entries = collect_history()
+        print(render_history(entries))
+        if args.detect:
+            from repro.bench.signal import render_findings, run_detection
+
+            ok, findings = run_detection(
+                entries,
+                expected_path=args.expected_changes,
+                alpha=args.detect_alpha,
+                min_shift=args.detect_min_shift,
+            )
+            print()
+            print(render_findings(findings))
+            if not ok:
+                print(
+                    "unexplained perf regression in the BENCH series "
+                    f"(record intentional shifts in "
+                    f"{args.expected_changes})",
+                    file=sys.stderr,
+                )
+                return 1
         return 0
     preset = dict(QUICK if args.quick else FULL)
     for key in list(preset):
@@ -369,6 +452,42 @@ def main(argv: list[str] | None = None) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             seed=args.seed,
+        )
+    telemetry_ok = True
+    if args.telemetry:
+        from repro.bench.loadgen import run_telemetry_overhead
+
+        telemetry_defaults = (
+            TELEMETRY_QUICK if args.quick else TELEMETRY_FULL
+        )
+        limit = (
+            args.telemetry_limit
+            if args.telemetry_limit is not None
+            else telemetry_defaults["overhead_limit"]
+        )
+        serve_defaults = SERVE_QUICK if args.quick else SERVE_FULL
+        print("  running telemetry_overhead ...", flush=True)
+        document["telemetry"] = run_telemetry_overhead(
+            nodes=preset["nodes"],
+            edges=preset["edges"],
+            clients=args.clients or serve_defaults["clients"],
+            requests_per_client=(
+                args.requests_per_client
+                or serve_defaults["requests_per_client"]
+            ),
+            k=args.k,
+            num_terms=preset["num_terms"],
+            dtype=args.dtype,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            seed=args.seed,
+            rounds=(
+                args.telemetry_rounds or telemetry_defaults["rounds"]
+            ),
+            overhead_limit=limit,
+        )
+        telemetry_ok = all(
+            document["telemetry"]["checks"].values()
         )
     if args.cluster:
         from repro.bench.loadgen import run_cluster_scaling
@@ -472,6 +591,21 @@ def main(argv: list[str] | None = None) -> int:
             f"{coalesced['latency']['p50_ms']:.1f} ms, p99 "
             f"{coalesced['latency']['p99_ms']:.1f} ms)"
         )
+    if args.telemetry:
+        telemetry = document["telemetry"]
+        print(
+            f"  telemetry_overhead           p50 "
+            f"{telemetry['disabled']['p50_ms']:.2f} ms off vs "
+            f"{telemetry['enabled']['p50_ms']:.2f} ms on -> "
+            f"{telemetry['p50_overhead'] * 100:+.1f}%"
+            + (
+                f" (limit {telemetry['params']['overhead_limit']:.0%})"
+                if telemetry["params"]["overhead_limit"] is not None
+                else " (ungated)"
+            )
+        )
+        for name, passed in telemetry["checks"].items():
+            print(f"  {'ok' if passed else 'FAIL'} telemetry {name}")
     if args.cluster:
         cluster = document["cluster"]
         sides = ", ".join(
@@ -534,6 +668,9 @@ def main(argv: list[str] | None = None) -> int:
             print("regression detected", file=sys.stderr)
             return 1
         print("no regression")
+    if not telemetry_ok:
+        print("telemetry gates FAILED", file=sys.stderr)
+        return 1
     if not approx_ok:
         print("approx gates FAILED", file=sys.stderr)
         return 1

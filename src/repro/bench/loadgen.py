@@ -12,7 +12,11 @@ derived ``speedup_throughput`` ratio, which is machine-independent in
 the same way the runner's batching speedups are.
 
 ``python -m repro.bench --serve`` embeds this document under the
-``"serving"`` key of ``BENCH_<tag>.json``.
+``"serving"`` key of ``BENCH_<tag>.json``; ``--telemetry`` runs
+:func:`run_telemetry_overhead` — the same coalesced workload served
+with the observability stack enabled and disabled — and gates the
+relative p50 cost of metrics + tracing (under the ``"telemetry"``
+key).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ __all__ = [
     "LatencyStats",
     "run_cluster_scaling",
     "run_serving_load",
+    "run_telemetry_overhead",
 ]
 
 #: Upper edges (ms) of the latency histogram's log-spaced buckets; the
@@ -106,6 +111,43 @@ def _request_stream(
         int(pool[(total + i) % num_nodes]) for i in range(clients)
     ]
     return streams, warmup
+
+
+def _drive_coalesced(
+    service, streams: list[list[int]], warm_queries: list[int], k: int
+) -> tuple[float, list[float]]:
+    """Fire the client streams at ``service``; (wall, latencies).
+
+    Runs an untimed warmup round over the disjoint ``warm_queries``
+    first — spinning the executor threads and the broker path once —
+    so the timed window measures steady-state serving.
+    """
+    latencies: list[float] = []
+
+    async def client(stream: list[int]) -> list[float]:
+        lat = []
+        for q in stream:
+            t0 = time.perf_counter()
+            await service.top_k(q, k=k)
+            lat.append(time.perf_counter() - t0)
+        return lat
+
+    async def drive() -> float:
+        async with service:
+            await asyncio.gather(
+                *(service.top_k(q, k=k) for q in warm_queries)
+            )
+            t0 = time.perf_counter()
+            per_client = await asyncio.gather(
+                *(client(stream) for stream in streams)
+            )
+            wall = time.perf_counter() - t0
+        for lat in per_client:
+            latencies.extend(lat)
+        return wall
+
+    wall = asyncio.run(drive())
+    return wall, latencies
 
 
 def run_serving_load(
@@ -190,34 +232,9 @@ def run_serving_load(
         cache_entries=cache_entries,
     )
     service.warmup()  # both sides start with Q / Q^T prebuilt
-    latencies: list[float] = []
-
-    async def client(stream: list[int]) -> list[float]:
-        lat = []
-        for q in stream:
-            t0 = time.perf_counter()
-            await service.top_k(q, k=k)
-            lat.append(time.perf_counter() - t0)
-        return lat
-
-    async def drive() -> float:
-        async with service:
-            # untimed warmup round over disjoint queries: spins the
-            # executor threads and the broker path once, so the timed
-            # window measures steady-state serving
-            await asyncio.gather(
-                *(service.top_k(q, k=k) for q in warm_queries)
-            )
-            t0 = time.perf_counter()
-            per_client = await asyncio.gather(
-                *(client(stream) for stream in streams)
-            )
-            wall = time.perf_counter() - t0
-        for lat in per_client:
-            latencies.extend(lat)
-        return wall
-
-    serve_wall = asyncio.run(drive())
+    serve_wall, latencies = _drive_coalesced(
+        service, streams, warm_queries, k
+    )
 
     total = len(flat_requests)
     base_rps = total / base_wall if base_wall > 0 else float("inf")
@@ -255,6 +272,135 @@ def run_serving_load(
             serve_rps / base_rps if base_rps > 0 else float("inf")
         ),
         "broker": service.broker.stats.snapshot(),
+    }
+
+
+def run_telemetry_overhead(
+    nodes: int = 2000,
+    edges: int = 12000,
+    *,
+    clients: int = 32,
+    requests_per_client: int = 4,
+    k: int = 10,
+    num_terms: int = 10,
+    measure: str = "gSR*",
+    c: float = 0.6,
+    dtype: str = "float64",
+    max_batch: int = 32,
+    max_wait_ms: float = 2.0,
+    seed: int = 42,
+    rounds: int = 3,
+    overhead_limit: float | None = 0.05,
+) -> dict:
+    """Price the observability layer: telemetry on vs off, same load.
+
+    Serves the identical coalesced workload (the ``--serve`` scenario,
+    minus its sequential baseline) through two otherwise-identical
+    :class:`~repro.serve.ServingService` instances — one built with
+    ``telemetry=False`` (the :class:`~repro.obs.NullObservability`
+    fast path), one with the full metrics + tracing stack — and
+    compares p50 latency. Each round runs both sides, alternating
+    which goes first so thermal / allocator drift cancels; the
+    per-side p50 is the **median across rounds** (single p50s at
+    millisecond latencies are too noisy to gate on).
+
+    ``overhead_limit`` gates the relative p50 overhead
+    (``enabled/disabled - 1``); ``None`` reports without gating (the
+    quick preset — CI machines are too noisy for a 5% latency gate at
+    CI scale). A consistency check always runs: after the final
+    enabled round, the scraped registry's ``repro_requests_total``
+    must equal the number of requests served, proving the metrics
+    pipeline did not drop under load while being priced.
+    """
+    from repro.graph.generators import random_digraph
+    from repro.serve.service import ServingService
+
+    graph = random_digraph(nodes, edges, seed=seed)
+    streams, warm_queries = _request_stream(
+        graph.num_nodes, clients, requests_per_client, seed
+    )
+    total = clients * requests_per_client
+
+    def one_run(telemetry: bool) -> tuple[LatencyStats, str]:
+        service = ServingService(
+            graph,
+            measure=measure,
+            c=c,
+            num_iterations=num_terms,
+            dtype=dtype,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            cache_entries=0,
+            telemetry=telemetry,
+        )
+        service.warmup()
+        _, latencies = _drive_coalesced(
+            service, streams, warm_queries, k
+        )
+        metrics_text = service.metrics_text()
+        return LatencyStats.from_seconds(latencies), metrics_text
+
+    p50s: dict[bool, list[float]] = {False: [], True: []}
+    means: dict[bool, list[float]] = {False: [], True: []}
+    enabled_metrics = ""
+    for round_index in range(rounds):
+        order = (
+            (False, True) if round_index % 2 == 0 else (True, False)
+        )
+        for telemetry in order:
+            stats, metrics_text = one_run(telemetry)
+            p50s[telemetry].append(stats.p50_ms)
+            means[telemetry].append(stats.mean_ms)
+            if telemetry:
+                enabled_metrics = metrics_text
+    disabled_p50 = float(np.median(p50s[False]))
+    enabled_p50 = float(np.median(p50s[True]))
+    overhead = (
+        enabled_p50 / disabled_p50 - 1.0
+        if disabled_p50 > 0 else 0.0
+    )
+    requests_counted = 0.0
+    for line in enabled_metrics.splitlines():
+        if line.startswith("repro_requests_total"):
+            requests_counted += float(line.rsplit(" ", 1)[1])
+    checks = {
+        # warmup round + timed workload, every one on the books
+        "metrics_counted_every_request": (
+            requests_counted == total + len(warm_queries)
+        ),
+    }
+    if overhead_limit is not None:
+        checks["telemetry_overhead_within_limit"] = (
+            overhead <= overhead_limit
+        )
+    return {
+        "params": {
+            "nodes": nodes,
+            "edges": edges,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "total_requests": total,
+            "k": k,
+            "num_terms": num_terms,
+            "dtype": dtype,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "seed": seed,
+            "rounds": rounds,
+            "overhead_limit": overhead_limit,
+        },
+        "disabled": {
+            "p50_ms": disabled_p50,
+            "p50_ms_rounds": p50s[False],
+            "mean_ms_rounds": means[False],
+        },
+        "enabled": {
+            "p50_ms": enabled_p50,
+            "p50_ms_rounds": p50s[True],
+            "mean_ms_rounds": means[True],
+        },
+        "p50_overhead": overhead,
+        "checks": checks,
     }
 
 

@@ -1,0 +1,359 @@
+"""Change-point detection over the committed ``BENCH_*.json`` series.
+
+The trend table (:mod:`repro.bench.history`) shows the numbers; this
+module decides which movements are *statistically real*. Every metric
+the bench artifacts record — per-case ``seconds_min`` timings and the
+derived speedup ratios — is treated as a short time series in commit
+order and scanned with an E-Divisive-style detector:
+
+* the candidate split of a segment is the one maximising the sample
+  energy-divergence statistic ``Q(k) = mn/(m+n) * (2*A - B - C)``
+  (``A`` the mean cross-segment distance, ``B``/``C`` the mean
+  within-segment distances);
+* significance comes from a seeded permutation test — shuffle the
+  segment, re-find the best split, and count how often chance beats
+  the observed statistic;
+* significant splits recurse into both halves, so a series can carry
+  several change-points.
+
+A change-point is a *finding*; a finding whose direction is bad for
+its metric (timings up, speedups down) is a **regression** unless the
+committed allowlist ``BENCH_expected_changes.json`` explains it (an
+optimisation PR legitimately moves the series — record it once, with
+a reason, and the gate stays green). ``python -m repro.bench
+--history --detect`` prints every finding and exits non-zero only on
+unexplained regressions, which makes it a CI step.
+
+The detector is deliberately conservative for CI: besides the
+permutation p-value, a finding must move the segment means by at
+least ``min_shift`` (default 10%) — bench numbers travel between
+machines, and a statistically-detectable 3% wobble is not actionable.
+
+>>> from repro.bench.signal import e_divisive
+>>> points = e_divisive(
+...     [10.0, 10.1, 9.9, 10.0, 20.2, 19.8, 20.1, 20.0], seed=7)
+>>> [p["index"] for p in points]
+[4]
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "collect_series",
+    "detect_changes",
+    "e_divisive",
+    "load_expected_changes",
+    "render_findings",
+    "run_detection",
+]
+
+#: Change-points this relative mean shift or smaller are suppressed:
+#: statistically real but operationally noise when baselines travel
+#: between machines.
+DEFAULT_MIN_SHIFT = 0.10
+
+
+def _divergence(dist: np.ndarray, start: int, split: int, end: int) -> float:
+    """The energy-divergence statistic for splitting at ``split``.
+
+    ``dist`` is the full pairwise |x_i - x_j| matrix; the segment is
+    ``[start, end)`` and the candidate left half ``[start, split)``.
+    """
+    m = split - start
+    n = end - split
+    cross = dist[start:split, split:end].mean()
+    within_x = (
+        dist[start:split, start:split].sum() / (m * (m - 1))
+        if m > 1 else 0.0
+    )
+    within_y = (
+        dist[split:end, split:end].sum() / (n * (n - 1))
+        if n > 1 else 0.0
+    )
+    return (m * n / (m + n)) * (2.0 * cross - within_x - within_y)
+
+
+def _best_split(
+    dist: np.ndarray, start: int, end: int, min_size: int
+) -> tuple[int, float]:
+    """(argmax split, max statistic) over admissible splits, or (-1, 0)."""
+    best_k, best_q = -1, 0.0
+    for k in range(start + min_size, end - min_size + 1):
+        q = _divergence(dist, start, k, end)
+        if q > best_q:
+            best_k, best_q = k, q
+    return best_k, best_q
+
+
+def e_divisive(
+    values,
+    *,
+    min_size: int = 2,
+    permutations: int = 199,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> list[dict]:
+    """Significant change-points of a 1-D series, in index order.
+
+    Hierarchical E-Divisive: find the best split of the whole series,
+    test it with a seeded permutation test, and recurse into both
+    halves while splits stay significant. Each returned entry is
+    ``{"index", "statistic", "p_value"}`` where ``index`` is the first
+    position of the *new* regime. Series shorter than ``2 * min_size``
+    have nowhere to split and return ``[]``.
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size < 2 * min_size:
+        return []
+    dist = np.abs(x[:, None] - x[None, :])
+    rng = np.random.default_rng(seed)
+    found: list[dict] = []
+    segments = [(0, int(x.size))]
+    while segments:
+        start, end = segments.pop()
+        if end - start < 2 * min_size:
+            continue
+        split, observed = _best_split(dist, start, end, min_size)
+        if split < 0 or observed <= 0.0:
+            continue
+        # permutation test: does chance order beat the observed split?
+        exceed = 0
+        segment = x[start:end]
+        for _ in range(permutations):
+            shuffled = rng.permutation(segment)
+            d = np.abs(shuffled[:, None] - shuffled[None, :])
+            _, q = _best_split(d, 0, int(shuffled.size), min_size)
+            if q >= observed:
+                exceed += 1
+        p_value = (1 + exceed) / (1 + permutations)
+        if p_value > alpha:
+            continue
+        found.append(
+            {
+                "index": split,
+                "statistic": float(observed),
+                "p_value": float(p_value),
+            }
+        )
+        segments.append((start, split))
+        segments.append((split, end))
+    found.sort(key=lambda f: f["index"])
+    return found
+
+
+def collect_series(entries: list[dict]) -> list[dict]:
+    """Metric series extracted from :func:`collect_history` entries.
+
+    One series per bench metric: ``kind="case"`` timings (each case's
+    ``seconds_min`` in ms, lower is better) and ``kind="derived"``
+    speedup ratios (higher is better). Runs that did not record a
+    metric are skipped for that series — suites grow over PRs — so
+    ``tags`` and ``values`` stay aligned and gap-free.
+    """
+    case_names: list[str] = []
+    derived_names: list[str] = []
+    for entry in entries:
+        document = entry["document"]
+        for name in document.get("results", {}):
+            if name not in case_names:
+                case_names.append(name)
+        for name in document.get("derived", {}):
+            if name not in derived_names:
+                derived_names.append(name)
+    series = []
+    for name in case_names:
+        tags, values = [], []
+        for entry in entries:
+            result = entry["document"].get("results", {}).get(name)
+            if result is None:
+                continue
+            tags.append(entry["tag"])
+            values.append(float(result["seconds_min"]) * 1e3)
+        series.append(
+            {
+                "metric": name,
+                "kind": "case",
+                "unit": "ms",
+                "orientation": "lower_better",
+                "tags": tags,
+                "values": values,
+            }
+        )
+    for name in derived_names:
+        tags, values = [], []
+        for entry in entries:
+            value = entry["document"].get("derived", {}).get(name)
+            if value is None:
+                continue
+            tags.append(entry["tag"])
+            values.append(float(value))
+        series.append(
+            {
+                "metric": name,
+                "kind": "derived",
+                "unit": "x",
+                "orientation": "higher_better",
+                "tags": tags,
+                "values": values,
+            }
+        )
+    return series
+
+
+def detect_changes(
+    entries: list[dict],
+    *,
+    min_size: int = 2,
+    permutations: int = 199,
+    alpha: float = 0.05,
+    min_shift: float = DEFAULT_MIN_SHIFT,
+    seed: int = 0,
+) -> list[dict]:
+    """Change-point findings across every metric series.
+
+    Each finding carries the metric, the tag of the first run in the
+    new regime, the segment means either side of the split, their
+    ratio, and a ``direction`` — ``"regression"`` when the move is bad
+    for the metric's orientation, ``"improvement"`` otherwise. Shifts
+    smaller than ``min_shift`` (relative) are dropped as noise.
+    """
+    findings = []
+    for series in collect_series(entries):
+        values = series["values"]
+        points = e_divisive(
+            values,
+            min_size=min_size,
+            permutations=permutations,
+            alpha=alpha,
+            seed=seed,
+        )
+        bounds = [0] + [p["index"] for p in points] + [len(values)]
+        for i, point in enumerate(points):
+            k = point["index"]
+            before = float(np.mean(values[bounds[i]:k]))
+            after = float(np.mean(values[k:bounds[i + 2]]))
+            if before <= 0.0:
+                continue
+            ratio = after / before
+            if max(ratio, 1.0 / ratio) - 1.0 < min_shift:
+                continue
+            worse = (
+                ratio > 1.0
+                if series["orientation"] == "lower_better"
+                else ratio < 1.0
+            )
+            findings.append(
+                {
+                    "metric": series["metric"],
+                    "kind": series["kind"],
+                    "unit": series["unit"],
+                    "tag": series["tags"][k],
+                    "index": k,
+                    "before_mean": before,
+                    "after_mean": after,
+                    "ratio": ratio,
+                    "direction": (
+                        "regression" if worse else "improvement"
+                    ),
+                    "statistic": point["statistic"],
+                    "p_value": point["p_value"],
+                }
+            )
+    return findings
+
+
+def load_expected_changes(path: str | Path) -> list[dict]:
+    """The committed allowlist of intentional series shifts.
+
+    The file is ``{"expected": [{"metric", "tag", "reason"}, ...]}``;
+    a missing file is an empty allowlist (fresh repos have no history
+    to explain). Malformed entries are ignored rather than crashing
+    the gate.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    expected = document.get("expected", [])
+    return [
+        entry
+        for entry in expected
+        if isinstance(entry, dict) and "metric" in entry and "tag" in entry
+    ]
+
+
+def _explained_by(finding: dict, expected: list[dict]) -> dict | None:
+    for entry in expected:
+        if (
+            entry["metric"] == finding["metric"]
+            and entry["tag"] == finding["tag"]
+        ):
+            return entry
+    return None
+
+
+def render_findings(findings: list[dict]) -> str:
+    """A printable report of annotated findings (see run_detection)."""
+    if not findings:
+        return "no change-points detected"
+    lines = [f"== change-points ({len(findings)}) =="]
+    for f in findings:
+        mark = {
+            ("regression", True): "ok  expected regression",
+            ("regression", False): "FAIL regression",
+            ("improvement", True): "ok  expected improvement",
+            ("improvement", False): "ok  improvement",
+        }[(f["direction"], bool(f.get("expected")))]
+        lines.append(
+            f"  {mark:<24} {f['metric']} at {f['tag']}: "
+            f"{f['before_mean']:.2f} -> {f['after_mean']:.2f} "
+            f"{f['unit']} ({f['ratio']:.2f}x, p={f['p_value']:.3f})"
+        )
+        if f.get("reason"):
+            lines.append(f"      reason: {f['reason']}")
+    return "\n".join(lines)
+
+
+def run_detection(
+    entries: list[dict],
+    *,
+    expected_path: str | Path = "BENCH_expected_changes.json",
+    min_size: int = 2,
+    permutations: int = 199,
+    alpha: float = 0.05,
+    min_shift: float = DEFAULT_MIN_SHIFT,
+    seed: int = 0,
+) -> tuple[bool, list[dict]]:
+    """Detect, annotate against the allowlist, and gate.
+
+    Returns ``(ok, findings)`` where each finding gains ``expected``
+    (bool) and, when explained, the allowlist ``reason``. ``ok`` is
+    False exactly when an unexplained **regression** exists —
+    improvements and allowlisted shifts never fail the gate.
+    """
+    findings = detect_changes(
+        entries,
+        min_size=min_size,
+        permutations=permutations,
+        alpha=alpha,
+        min_shift=min_shift,
+        seed=seed,
+    )
+    expected = load_expected_changes(expected_path)
+    ok = True
+    for finding in findings:
+        entry = _explained_by(finding, expected)
+        finding["expected"] = entry is not None
+        if entry is not None and entry.get("reason"):
+            finding["reason"] = entry["reason"]
+        if finding["direction"] == "regression" and entry is None:
+            ok = False
+    return ok, findings

@@ -468,26 +468,46 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # dispatch + supervision
     # ------------------------------------------------------------------
-    def shard(self, worker_index: int, seq: int, ids: list[int]) -> dict:
+    def shard(
+        self,
+        worker_index: int,
+        seq: int,
+        ids: list[int],
+        *,
+        trace_ids: list[str] | None = None,
+        meta: dict | None = None,
+    ) -> dict:
         """Run one column shard on one worker (blocking, thread-safe).
 
         Returns ``{resolved id: score column}``. Raises
         :exc:`WorkerCrash` when the worker is dead, dies mid-shard, or
         exceeds ``shard_timeout`` (it is then killed) — the router
         catches that, respawns, and retries.
+
+        ``trace_ids`` (the batch's request trace ids) ride along on
+        the wire and are echoed back by the worker; when ``meta`` is
+        a dict it is updated with the worker's reply telemetry (its
+        pid, worker-side ``compute_seconds``, and the echoed
+        ``trace_ids``).
         """
         worker = self._workers[worker_index]
         with worker.lock:
             worker.job_counter += 1
             job = worker.job_counter
             try:
-                worker.send(("columns", job, seq, list(ids)))
+                if trace_ids is None:
+                    worker.send(("columns", job, seq, list(ids)))
+                else:
+                    worker.send(
+                        ("columns", job, seq, list(ids),
+                         {"trace_ids": list(trace_ids)})
+                    )
                 reply = self._recv(worker, self.shard_timeout)
             except (OSError, EOFError, ValueError) as exc:
                 raise WorkerCrash(
                     f"worker {worker_index} died mid-shard: {exc}"
                 ) from exc
-            kind, got_job, payload = reply
+            kind, got_job, payload, *rest = reply
             if got_job != job:
                 raise WorkerCrash(
                     f"worker {worker_index} answered job {got_job}, "
@@ -497,6 +517,8 @@ class WorkerPool:
                 raise WorkerCrash(
                     f"worker {worker_index} failed shard: {payload}"
                 )
+            if meta is not None and rest:
+                meta.update(rest[0])
             worker.shards_served += 1
             return payload
 
@@ -610,7 +632,11 @@ class WorkerPool:
     # introspection
     # ------------------------------------------------------------------
     def worker_status(
-        self, timeout: float = 5.0, busy_wait: float = 0.5
+        self,
+        timeout: float = 5.0,
+        busy_wait: float = 0.5,
+        *,
+        strip_metrics: bool = True,
     ) -> list[dict]:
         """Ping every worker; dead/hung ones report ``alive: False``.
 
@@ -618,6 +644,14 @@ class WorkerPool:
         is reported as ``busy`` after ``busy_wait`` seconds instead of
         being waited on — the monitoring path must answer *during* the
         long batches and hangs it exists to expose, not after them.
+
+        Every ping reply carries the worker's cumulative metric
+        snapshot under ``"metrics"``; by default it is stripped (the
+        ``/status`` document stays readable) — the observability
+        layer's :meth:`ShardRouter.collect_worker_metrics
+        <repro.cluster.ShardRouter.collect_worker_metrics>` passes
+        ``strip_metrics=False`` to merge them into the parent
+        registry.
         """
         out = []
         for worker in self._workers:
@@ -643,6 +677,11 @@ class WorkerPool:
                     worker.send(("status", job))
                     kind, got_job, info = self._recv(worker, timeout)
                     if kind == "status" and got_job == job:
+                        if strip_metrics:
+                            info = {
+                                k: v for k, v in info.items()
+                                if k != "metrics"
+                            }
                         entry.update(info)
                 except (ClusterError, OSError, EOFError, ValueError):
                     entry["alive"] = worker.alive

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import shutil
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.cluster.pool import ClusterError, WorkerCrash, WorkerPool
@@ -50,6 +51,12 @@ class ShardRouter:
     max_retries:
         Dispatch attempts per shard beyond the first (each retry
         respawns the shard's worker first).
+    obs:
+        Optional :class:`~repro.obs.Observability`; when set, each
+        shard's round-trip is observed into the
+        ``repro_shard_dispatch_seconds{worker=...}`` histogram and
+        :meth:`collect_worker_metrics` merges worker-side metric
+        snapshots into its registry.
 
     Construction is inert (the doctest never forks):
 
@@ -70,10 +77,12 @@ class ShardRouter:
         snapshots,
         *,
         max_retries: int = 2,
+        obs=None,
     ) -> None:
         self.pool = pool
         self.snapshots = snapshots
         self.max_retries = int(max_retries)
+        self.obs = obs
         self._lock = threading.Lock()   # pins + retirement
         self._inflight: dict[int, int] = {}
         self._retired: set[int] = set()
@@ -209,13 +218,22 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # the query plane
     # ------------------------------------------------------------------
-    def compute(self, seq: int, ids: list[int]) -> dict:
+    def compute(
+        self, seq: int, ids: list[int], meta: dict | None = None
+    ) -> dict:
         """Columns for ``ids`` from generation ``seq``, shard-parallel.
 
         Splits the (already resolved, deduplicated) ids into
         contiguous shards over the pool's workers, dispatches them
         concurrently, and merges the results. Blocking — the broker
         calls it through an executor thread.
+
+        ``meta`` is an optional telemetry exchange dict: its
+        ``trace_ids`` entry (the batch's request trace ids) is
+        forwarded to every worker, and on return its ``shards`` entry
+        holds one timing dict per dispatched shard (worker index,
+        worker pid, id count, round-trip seconds, worker-side compute
+        seconds) — what the broker turns into per-shard trace spans.
         """
         if not self.started:
             raise ClusterError("router not started")
@@ -228,9 +246,13 @@ class ShardRouter:
         # steady non-bursty traffic) would land on worker 0 alone
         offset = self.batches_routed % self.pool.size
         self.batches_routed += 1
+        if meta is not None:
+            meta.setdefault("shards", [])
         merged: dict[int, object] = {}
         if len(shards) == 1:
-            merged.update(self._run_shard(offset, seq, shards[0]))
+            merged.update(
+                self._run_shard(offset, seq, shards[0], meta)
+            )
             return merged
         futures = [
             self._executor.submit(
@@ -238,6 +260,7 @@ class ShardRouter:
                 (offset + i) % self.pool.size,
                 seq,
                 shard,
+                meta,
             )
             for i, shard in enumerate(shards)
         ]
@@ -266,15 +289,47 @@ class ShardRouter:
         return shards
 
     def _run_shard(
-        self, worker_index: int, seq: int, shard: list[int]
+        self,
+        worker_index: int,
+        seq: int,
+        shard: list[int],
+        meta: dict | None = None,
     ) -> dict:
         """One shard on one worker, with respawn-and-retry."""
         with self._lock:  # shard threads run concurrently
             self.shards_dispatched += 1
+        trace_ids = meta.get("trace_ids") if meta else None
         attempts = self.max_retries + 1
         for attempt in range(attempts):
             try:
-                return self.pool.shard(worker_index, seq, shard)
+                t0 = time.perf_counter()
+                shard_meta: dict | None = (
+                    {} if meta is not None else None
+                )
+                columns = self.pool.shard(
+                    worker_index,
+                    seq,
+                    shard,
+                    trace_ids=trace_ids,
+                    meta=shard_meta,
+                )
+                elapsed = time.perf_counter() - t0
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.shard_dispatch.labels(
+                        worker=str(worker_index)
+                    ).observe(elapsed)
+                if meta is not None:
+                    row = {
+                        "worker": worker_index,
+                        "ids": len(shard),
+                        "seconds": elapsed,
+                        "start_s": t0,
+                    }
+                    if shard_meta:
+                        row.update(shard_meta)
+                    with self._lock:
+                        meta["shards"].append(row)
+                return columns
             except WorkerCrash:
                 if attempt == attempts - 1:
                     raise
@@ -282,6 +337,28 @@ class ShardRouter:
                     self.shard_retries += 1
                 self.pool.respawn(worker_index)
         raise AssertionError("unreachable")
+
+    def collect_worker_metrics(self, registry) -> int:
+        """Merge every worker's metric snapshot into ``registry``.
+
+        Pings the pool; each worker that answers ships a cumulative
+        snapshot of its own :class:`~repro.obs.MetricsRegistry`, which
+        is merged with replacement semantics
+        (:meth:`~repro.obs.MetricsRegistry.ingest`) under the source
+        id ``worker-<index>`` — re-ingesting never double-counts, and
+        a busy worker simply keeps its previous contribution. Returns
+        how many workers were merged.
+        """
+        if not self.started:
+            return 0
+        merged = 0
+        for entry in self.pool.worker_status(strip_metrics=False):
+            snapshot = entry.get("metrics")
+            if not snapshot:
+                continue
+            registry.ingest(f"worker-{entry['index']}", snapshot)
+            merged += 1
+        return merged
 
     # ------------------------------------------------------------------
     # introspection

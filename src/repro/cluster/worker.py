@@ -35,6 +35,9 @@ request                               reply
                                       ``("prepare_failed", seq, error)``
 ``("columns", job, seq, ids)``        ``("columns", job, {id: column})``
                                       or ``("error", job, message)``
+``("columns", job, seq, ids, meta)``  ``("columns", job, {id: column},``
+                                      ``reply_meta)`` or
+                                      ``("error", job, message)``
 ``("status", job)``                   ``("status", job, info_dict)``
 ``("commit", seq)``                   *(no reply)*
 ``("release", seq)``                  *(no reply)*
@@ -44,6 +47,16 @@ request                               reply
 The request/reply pairing is positional — the parent serialises use of
 each connection — which is why the fire-and-forget messages must never
 answer.
+
+The five-element ``columns`` form is the traced variant: ``meta``
+carries the batch's request ``trace_ids``, and ``reply_meta`` echoes
+them back alongside the worker's pid and its measured
+``compute_seconds`` — how a request trace proves its span crossed the
+process boundary. The ``status`` reply's ``info_dict`` additionally
+carries a cumulative ``metrics`` snapshot of the worker's own
+:class:`~repro.obs.MetricsRegistry`, which the parent merges into its
+registry with replacement semantics (idempotent, never
+double-counted).
 """
 
 from __future__ import annotations
@@ -237,6 +250,10 @@ def worker_main(conn) -> None:
     ('status', [], 0)
     >>> parent_end.send(("stop",)); thread.join()
     """
+    from time import perf_counter
+
+    from repro.obs import MetricsRegistry
+
     if threading.current_thread() is threading.main_thread():
         # ignore Ctrl-C so the pool's stop message drives shutdown
         # (signal handlers may only be installed from the main thread,
@@ -247,6 +264,46 @@ def worker_main(conn) -> None:
     prepare_rebuilds = 0
     delta_prepares = 0
     columns_served = 0
+    # the worker's own registry: cumulative counters shipped whole on
+    # every status ping, merged parent-side with replacement semantics
+    registry = MetricsRegistry()
+    m_shards = registry.counter(
+        "repro_worker_shards_total",
+        "Column shards this worker served.",
+    )
+    m_columns = registry.counter(
+        "repro_worker_columns_served_total",
+        "Query columns this worker computed for shards.",
+    )
+    m_compute = registry.histogram(
+        "repro_worker_compute_seconds",
+        "Worker-side blocked column-walk time per shard.",
+    )
+    registry.counter_fn(
+        "repro_worker_prepare_rebuilds_total",
+        "Generations this worker rebuilt instead of adopting.",
+        lambda: prepare_rebuilds,
+    )
+    registry.counter_fn(
+        "repro_worker_delta_prepares_total",
+        "Generations this worker spliced from a delta segment.",
+        lambda: delta_prepares,
+    )
+    registry.gauge_fn(
+        "repro_worker_generations",
+        "Engine generations this worker currently holds.",
+        lambda: len(engines),
+    )
+    registry.gauge_fn(
+        "repro_worker_engine_column_hits",
+        "Column-memo hits summed over this worker's live engines.",
+        lambda: sum(e.stats.hits for e in engines.values()),
+    )
+    registry.gauge_fn(
+        "repro_worker_engine_column_misses",
+        "Column-memo misses summed over this worker's live engines.",
+        lambda: sum(e.stats.misses for e in engines.values()),
+    )
     while True:
         try:
             message = conn.recv()
@@ -278,7 +335,8 @@ def worker_main(conn) -> None:
         elif kind == "release":
             engines.pop(message[1], None)
         elif kind == "columns":
-            _, job, seq, ids = message
+            _, job, seq, ids, *extra = message
+            request_meta = extra[0] if extra else None
             engine = engines.get(seq)
             if engine is None:
                 conn.send(
@@ -288,14 +346,30 @@ def worker_main(conn) -> None:
                 )
                 continue
             try:
+                t0 = perf_counter()
                 columns = engine.columns(ids)
+                compute_s = perf_counter() - t0
                 # plain-dict copy: Connection.send pickles, and the
                 # memo's read-only views pickle as owned arrays
-                conn.send(
-                    ("columns", job,
-                     {int(q): np.asarray(col) for q, col in
-                      columns.items()})
-                )
+                payload = {
+                    int(q): np.asarray(col)
+                    for q, col in columns.items()
+                }
+                m_shards.inc()
+                m_columns.inc(len(ids))
+                m_compute.observe(compute_s)
+                if request_meta is None:
+                    conn.send(("columns", job, payload))
+                else:
+                    conn.send(
+                        ("columns", job, payload, {
+                            "pid": os.getpid(),
+                            "compute_seconds": compute_s,
+                            "trace_ids": request_meta.get(
+                                "trace_ids", []
+                            ),
+                        })
+                    )
                 columns_served += len(ids)
             except Exception as exc:  # noqa: BLE001 - reported upward
                 conn.send(("error", job, repr(exc)))
@@ -309,6 +383,7 @@ def worker_main(conn) -> None:
                     "columns_served": columns_served,
                     "prepare_rebuilds": prepare_rebuilds,
                     "delta_prepares": delta_prepares,
+                    "metrics": registry.snapshot(),
                 })
             )
         else:  # unknown message: answer nothing it could hang on

@@ -1,0 +1,459 @@
+"""`repro.obs` — metrics, request tracing, and the slow-query log.
+
+The observability layer of the serving stack (PR 8). Three pieces:
+
+* :mod:`repro.obs.metrics` — a zero-dependency
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms with a Prometheus text exposition (served at
+  ``/metrics``), plus idempotent cross-process snapshot merging for
+  the worker pool.
+* :mod:`repro.obs.trace` — per-request :class:`Trace` span timelines
+  (``coalesce -> dispatch -> compute -> render``) and the bounded,
+  rotated JSON-lines :class:`SlowQueryLog`.
+* :class:`Observability` — the facade a
+  :class:`~repro.serve.ServingService` owns: it creates the hot-path
+  instruments the broker/router/snapshot manager write into, registers
+  pull-time callback series over the existing stats objects, and
+  merges worker-side metric snapshots shipped back on ping.
+
+Instrumentation is opt-out (``ServingService(telemetry=False)``): the
+:class:`NullObservability` variant exposes the same attribute surface
+as no-ops, so the hot path stays branch-free either way. The
+``telemetry_overhead`` bench tier gates the enabled-vs-disabled p50
+cost.
+
+>>> from repro.graph import figure1_citation_graph
+>>> from repro.serve import ServingService
+>>> service = ServingService(figure1_citation_graph(), measure="gSR*")
+>>> text = service.metrics_text()
+>>> "# TYPE repro_requests_total counter" in text
+True
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import SlowQueryLog, Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullObservability",
+    "Observability",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "Tracer",
+]
+
+#: Micro-batch width buckets (requests per dispatched batch).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class _Noop:
+    """Absorbs every instrument call on the disabled path."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **labels):
+        return self
+
+
+_NOOP = _Noop()
+
+
+class NullObservability:
+    """The disabled twin of :class:`Observability`.
+
+    Same attribute surface, no-op instruments, ``enabled = False`` —
+    so instrumented code never branches on configuration beyond the
+    cheap ``if trace is not None`` guards.
+
+    >>> from repro.obs import NullObservability
+    >>> obs = NullObservability()
+    >>> obs.enabled, obs.start_trace("top_k") is None
+    (False, True)
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = None
+        self.tracer = None
+        self.requests_top_k = _NOOP
+        self.requests_score = _NOOP
+        self.request_errors = _NOOP
+        self.request_duration = _NOOP
+        self.coalesce_wait = _NOOP
+        self.batch_compute = _NOOP
+        self.batch_size = _NOOP
+        self.render_seconds = _NOOP
+        self.shard_dispatch = _NOOP
+        self.swap_stage = _NOOP
+
+    def start_trace(self, kind: str):
+        return None
+
+    def finish_trace(self, trace, status: str = "ok") -> None:
+        pass
+
+    def observe_swap(self, row: dict) -> None:
+        pass
+
+    def bind_service(self, service) -> None:
+        pass
+
+    def render(self) -> str:
+        return (
+            "# telemetry disabled (ServingService(telemetry=False))\n"
+        )
+
+    def describe(self) -> dict:
+        return {"enabled": False}
+
+
+class Observability:
+    """The serving stack's metric + tracing facade.
+
+    Owns one :class:`MetricsRegistry` and one :class:`Tracer`, creates
+    the hot-path instruments the broker / router / snapshot manager
+    write into, and (via :meth:`bind_service`) registers pull-time
+    callback series over every layer's existing stats counters — so a
+    ``/metrics`` scrape reflects broker coalescing, both caches,
+    snapshot/delta maintenance, the cluster, and the engine without
+    adding a single hot-path increment for them.
+
+    Parameters
+    ----------
+    slow_query_ms:
+        Threshold for the slow-query log; ``None`` disables the log
+        (tracing still runs).
+    slow_query_log_path:
+        Optional JSON-lines file for slow traces (bounded + rotated,
+        see :class:`SlowQueryLog`).
+    trace_capacity:
+        Recently finished traces kept for ``tracer.last()``.
+
+    Examples
+    --------
+    >>> from repro.obs import Observability
+    >>> obs = Observability(slow_query_ms=None)
+    >>> obs.requests_top_k.inc()
+    >>> "repro_requests_total" in obs.render()
+    True
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        slow_query_ms: float | None = 250.0,
+        slow_query_log_path=None,
+        slow_query_log_bytes: int = 1_000_000,
+        trace_capacity: int = 64,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(
+            slow_query_ms=slow_query_ms,
+            slow_query_log=SlowQueryLog(
+                slow_query_log_path, max_bytes=slow_query_log_bytes
+            ),
+            capacity=trace_capacity,
+        )
+        registry = self.registry
+        requests = registry.counter(
+            "repro_requests_total",
+            "Queries accepted by the broker, by request kind.",
+            labelnames=("kind",),
+        )
+        self.requests_top_k = requests.labels(kind="top_k")
+        self.requests_score = requests.labels(kind="score")
+        self.request_errors = registry.counter(
+            "repro_request_errors_total",
+            "Requests that resolved to an error.",
+        )
+        self.request_duration = registry.histogram(
+            "repro_request_duration_seconds",
+            "End-to-end broker latency per request "
+            "(enqueue to future resolution).",
+        )
+        self.coalesce_wait = registry.histogram(
+            "repro_coalesce_wait_seconds",
+            "Time a request waited in the queue for its micro-batch "
+            "to dispatch.",
+        )
+        self.batch_compute = registry.histogram(
+            "repro_batch_compute_seconds",
+            "Blocked column-walk time per dispatched micro-batch.",
+        )
+        self.batch_size = registry.histogram(
+            "repro_batch_size",
+            "Requests per dispatched micro-batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self.render_seconds = registry.histogram(
+            "repro_render_seconds",
+            "Result rendering time per request (ranking/score "
+            "construction).",
+        )
+        self.shard_dispatch = registry.histogram(
+            "repro_shard_dispatch_seconds",
+            "Round-trip time per shard dispatched to a worker "
+            "process.",
+            labelnames=("worker",),
+        )
+        self.swap_stage = registry.histogram(
+            "repro_swap_stage_seconds",
+            "Snapshot hot-swap stage durations, by maintenance path.",
+            labelnames=("kind", "stage"),
+        )
+        registry.counter_fn(
+            "repro_slow_queries_total",
+            "Finished traces at or above the slow-query threshold.",
+            lambda: self.tracer.slow_queries,
+        )
+
+    # ------------------------------------------------------------------
+    # tracing passthrough
+    # ------------------------------------------------------------------
+    def start_trace(self, kind: str) -> Trace:
+        return self.tracer.start(kind)
+
+    def finish_trace(self, trace, status: str = "ok") -> None:
+        if trace is not None:
+            self.tracer.finish(trace, status)
+
+    # ------------------------------------------------------------------
+    # swap instrumentation (SnapshotManager.swap_observer hook)
+    # ------------------------------------------------------------------
+    def observe_swap(self, row: dict) -> None:
+        """Feed one recorded swap's stage timings into the histogram."""
+        kind = row.get("kind", "full")
+        for stage in ("build_s", "prepare_s", "commit_s", "total_s"):
+            self.swap_stage.labels(
+                kind=kind, stage=stage[:-2]
+            ).observe(row.get(stage, 0.0))
+
+    # ------------------------------------------------------------------
+    # pull-time series over the existing stats objects
+    # ------------------------------------------------------------------
+    def bind_service(self, service) -> None:
+        """Register callback series reading ``service``'s layers.
+
+        Call once, after the service has built its broker, cache,
+        snapshot manager, and (optionally) cluster router. Every
+        series here is computed at scrape time — zero hot-path cost.
+        """
+        registry = self.registry
+        broker = service.broker
+        for field, help_text in (
+            ("requests", "Requests the broker accepted."),
+            ("dispatched", "Requests dispatched in micro-batches."),
+            ("batches", "Micro-batches dispatched."),
+            ("coalesced_requests",
+             "Requests that shared a batch with at least one other."),
+            ("cache_hits", "Requests served from the result cache."),
+            ("errors", "Requests that failed inside the broker."),
+        ):
+            registry.counter_fn(
+                f"repro_broker_{field}_total",
+                help_text,
+                (lambda f=field: getattr(broker.stats, f)),
+            )
+        registry.gauge_fn(
+            "repro_broker_largest_batch",
+            "Largest micro-batch dispatched so far.",
+            lambda: broker.stats.largest_batch,
+        )
+        registry.gauge_fn(
+            "repro_broker_mean_batch_size",
+            "Mean requests per dispatched micro-batch.",
+            lambda: broker.stats.mean_batch_size,
+        )
+        if service.cache is not None:
+            cache = service.cache
+            for field, help_text in (
+                ("hits", "Result-cache hits."),
+                ("misses", "Result-cache misses."),
+                ("evictions", "Result-cache LRU evictions."),
+            ):
+                registry.counter_fn(
+                    f"repro_cache_{field}_total",
+                    help_text,
+                    (lambda f=field: getattr(cache.stats, f)),
+                )
+            registry.gauge_fn(
+                "repro_cache_entries",
+                "Rendered answers currently cached.",
+                lambda: cache.stats.entries,
+            )
+        snapshots = service.snapshots
+        snapshots.swap_observer = self.observe_swap
+        for field, help_text in (
+            ("builds", "Replacement snapshot builds."),
+            ("swaps", "Completed snapshot hot-swaps."),
+            ("delta_swaps",
+             "Mutations that took the O(delta) surgery path."),
+            ("full_swaps", "Mutations that took the full rebuild."),
+            ("delta_fallbacks",
+             "Delta-path failures degraded to a full rebuild."),
+            ("index_loads", "Persistent-index adoptions at build."),
+            ("index_saves", "Persistent-index writes."),
+            ("index_load_errors",
+             "Unreadable persistent-index files skipped."),
+        ):
+            registry.counter_fn(
+                f"repro_snapshot_{field}_total",
+                help_text,
+                (lambda f=field: getattr(snapshots, f)),
+            )
+        registry.gauge_fn(
+            "repro_snapshot_seq",
+            "Sequence number of the serving snapshot.",
+            lambda: snapshots.current.seq,
+        )
+        registry.gauge_fn(
+            "repro_snapshot_chain_depth",
+            "Delta generations stacked on the current base index.",
+            lambda: snapshots._chain_depth,
+        )
+        registry.gauge_fn(
+            "repro_graph_nodes",
+            "Nodes in the serving snapshot's graph.",
+            lambda: snapshots.current.graph.num_nodes,
+        )
+        registry.gauge_fn(
+            "repro_graph_edges",
+            "Edges in the serving snapshot's graph.",
+            lambda: snapshots.current.graph.num_edges,
+        )
+        # engine series read the *current* snapshot's stats: they are
+        # gauges, not counters, because a hot-swap replaces the engine
+        # and resets them (documented in docs/observability.md)
+        for field, help_text in (
+            ("hits", "Column-memo hits (current engine)."),
+            ("misses", "Column-memo misses (current engine)."),
+            ("column_computes",
+             "Fresh columns computed (current engine)."),
+            ("column_evictions",
+             "Column-memo evictions (current engine)."),
+            ("transition_builds",
+             "Transition-matrix builds (current engine)."),
+            ("compression_builds",
+             "Biclique compression builds (current engine)."),
+            ("matrix_builds",
+             "Dense similarity-matrix builds (current engine)."),
+            ("walk_builds", "Walk-index builds (current engine)."),
+            ("index_adoptions",
+             "Persistent-index adoptions (current engine)."),
+            ("invalidations",
+             "Cache invalidations (current engine)."),
+        ):
+            registry.gauge_fn(
+                f"repro_engine_{field}",
+                help_text,
+                (lambda f=field: getattr(
+                    snapshots.current.engine.stats, f
+                )),
+            )
+        registry.counter_fn(
+            "repro_approx_samples_drawn_total",
+            "Monte-Carlo source samples merged by the approx "
+            "estimator (empty unless mode=approx).",
+            lambda: self._approx_samples(snapshots),
+        )
+        registry.counter_fn(
+            "repro_approx_early_stops_total",
+            "Approx top-k confidence-bound early terminations "
+            "(empty unless mode=approx).",
+            lambda: self._approx_early_stops(snapshots),
+        )
+        if service.cluster is not None:
+            router = service.cluster
+            for field, help_text in (
+                ("batches_routed", "Micro-batches routed to shards."),
+                ("shards_dispatched", "Shards dispatched to workers."),
+                ("shard_retries",
+                 "Shards retried after a worker crash/hang."),
+            ):
+                registry.counter_fn(
+                    f"repro_cluster_{field}_total",
+                    help_text,
+                    (lambda f=field: getattr(router, f)),
+                )
+            registry.gauge_fn(
+                "repro_cluster_workers",
+                "Configured worker processes.",
+                lambda: router.pool.size,
+            )
+            registry.gauge_fn(
+                "repro_cluster_workers_alive",
+                "Worker processes currently alive.",
+                lambda: sum(
+                    1 for w in router.pool._workers if w.alive
+                ),
+            )
+            registry.counter_fn(
+                "repro_cluster_respawns_total",
+                "Worker processes respawned after death.",
+                lambda: sum(
+                    w.respawns for w in router.pool._workers
+                ),
+            )
+            registry.counter_fn(
+                "repro_cluster_releases_total",
+                "Generations released after draining.",
+                lambda: router.pool.releases,
+            )
+        started = time.monotonic()
+        registry.gauge_fn(
+            "repro_uptime_seconds",
+            "Seconds since this service registered its metrics.",
+            lambda: time.monotonic() - started,
+        )
+
+    @staticmethod
+    def _approx_samples(snapshots):
+        status = snapshots.current.engine.approx_status()
+        if not status:
+            return []
+        return [({}, status["estimator"].get("samples_drawn", 0))]
+
+    @staticmethod
+    def _approx_early_stops(snapshots):
+        status = snapshots.current.engine.approx_status()
+        if not status:
+            return []
+        return [
+            ({}, status["estimator"].get("early_terminations", 0))
+        ]
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text document (the ``/metrics`` body)."""
+        return self.registry.render()
+
+    def describe(self) -> dict:
+        """JSON-ready tracer/slow-log counters for ``/status``."""
+        return {"enabled": True, "tracing": self.tracer.describe()}

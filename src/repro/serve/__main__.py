@@ -11,13 +11,18 @@ Subcommands::
              cache / engine / broker / cluster / index counters
              (--json for raw)
     warmup   POST /warmup to a running server
+    metrics  GET /metrics from a running server and print the raw
+             Prometheus text exposition (pipe it to grep, or point a
+             Prometheus scrape job at the endpoint directly)
     smoke    self-contained serving smoke test: ephemeral server,
              concurrent clients, assert coalescing, write a latency
              histogram (the CI job); ``--workers`` /
              ``--mutate-mid-run`` turn it into the full multi-process
              hot-swap drill, ``--mutate-stream N`` streams N
              single-edge mutations under load and asserts they all
-             swapped through the O(delta) incremental path
+             swapped through the O(delta) incremental path; the run
+             also scrapes ``/metrics`` mid-load and asserts the
+             exported counters agree with the broker's stats
 
 Examples::
 
@@ -27,6 +32,7 @@ Examples::
     curl -s -X POST localhost:8321/top_k \
         -d '{"query": 7, "k": 5}' | python -m json.tool
     python -m repro.serve status --url http://localhost:8321
+    python -m repro.serve metrics --url http://localhost:8321
     python -m repro.serve smoke --clients 64 --output smoke.json
     python -m repro.serve smoke --workers 2 --mutate-mid-run
     python -m repro.serve smoke --workers 2 --mutate-stream 6
@@ -106,6 +112,23 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="delta generations that may stack before a mutation "
         "folds the chain with a full rebuild (default 8)",
     )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable metrics + request tracing (repro.obs); "
+        "/metrics then serves a one-line comment document",
+    )
+    parser.add_argument(
+        "--slow-query-ms", type=float, default=250.0,
+        help="request traces at or above this total latency (or "
+        "that errored) are written to the slow-query log "
+        "(default 250.0; pass a negative value to disable)",
+    )
+    parser.add_argument(
+        "--slow-query-log", default=None, metavar="PATH",
+        help="JSON-lines file for slow-query traces (bounded: "
+        "rotated once to PATH.1 at ~1 MB); default is a memory-only "
+        "ring surfaced in /status",
+    )
 
 
 def _build_service(args) -> ServingService:
@@ -125,7 +148,26 @@ def _build_service(args) -> ServingService:
         delta_mode=args.delta_mode,
         max_delta_fraction=args.max_delta_fraction,
         max_chain_depth=args.max_chain_depth,
+        telemetry=not args.no_telemetry,
+        slow_query_ms=(
+            None if args.slow_query_ms < 0 else args.slow_query_ms
+        ),
+        slow_query_log=args.slow_query_log,
     )
+
+
+def _metric_total(text: str, name: str) -> float | None:
+    """Sum every sample of metric ``name`` in a Prometheus text body.
+
+    Sums across label combinations (``name{...}`` and bare ``name``
+    lines both count); returns ``None`` when the series is absent.
+    """
+    total, found = 0.0, False
+    for line in text.splitlines():
+        if line.startswith(name + "{") or line.startswith(name + " "):
+            total += float(line.rsplit(" ", 1)[1])
+            found = True
+    return total if found else None
 
 
 def _http_json(
@@ -179,6 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
          "server (cache/engine/broker counters; --json for the raw "
          "document)"),
         ("warmup", "trigger /warmup on a running server"),
+        ("metrics", "fetch /metrics from a running server and print "
+         "the raw Prometheus text exposition"),
     ):
         client = sub.add_parser(name, help=help_text)
         client.add_argument(
@@ -364,14 +408,20 @@ def render_status(document: dict) -> str:
         entry = latency.get(kind) or {}
         if not entry.get("count"):
             continue
-        total = entry.get("total_s", {})
-        build = entry.get("build_s", {})
+
+        def _stage(stage: str) -> str:
+            row = entry.get(stage) or {}
+            p50 = row.get("p50", 0.0) * 1e3
+            p90 = row.get("p90", row.get("max", 0.0)) * 1e3
+            mx = row.get("max", 0.0) * 1e3
+            return f"{p50:.1f}/{p90:.1f}/{mx:.1f} ms"
+
         lines.append(
             f"swap latency  {kind}: count={entry['count']} "
-            f"build p50={build.get('p50', 0.0) * 1e3:.1f} ms "
-            f"max={build.get('max', 0.0) * 1e3:.1f} ms; "
-            f"total p50={total.get('p50', 0.0) * 1e3:.1f} ms "
-            f"max={total.get('max', 0.0) * 1e3:.1f} ms"
+            f"(p50/p90/max) build={_stage('build_s')} "
+            f"prepare={_stage('prepare_s')} "
+            f"commit={_stage('commit_s')} "
+            f"total={_stage('total_s')}"
         )
     cluster = document.get("cluster")
     if cluster:
@@ -398,6 +448,19 @@ def render_status(document: dict) -> str:
         )
     else:
         lines.append("index         not configured")
+    obs = document.get("observability") or {}
+    if obs.get("enabled"):
+        tracing = obs.get("tracing", {})
+        slow_log = tracing.get("slow_log", {})
+        lines.append(
+            f"telemetry     traces={tracing.get('traces_started', 0)} "
+            f"slow_queries={tracing.get('slow_queries', 0)} "
+            f"(threshold={tracing.get('slow_query_ms')} ms, "
+            f"log={slow_log.get('path') or 'memory ring'}); "
+            f"scrape /metrics for the full catalog"
+        )
+    elif obs:
+        lines.append("telemetry     disabled (--no-telemetry)")
     return "\n".join(lines)
 
 
@@ -412,6 +475,18 @@ def _cmd_status(args) -> int:
         print(json.dumps(document, indent=2))
     else:
         print(render_status(document))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    url = args.url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            text = response.read().decode()
+    except OSError as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 2
+    print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -463,11 +538,26 @@ def _cmd_smoke(args) -> int:
             lat.append(time.perf_counter() - t0)
         return lat
 
+    def fetch_metrics() -> str:
+        with urllib.request.urlopen(
+            f"{url}/metrics", timeout=30.0
+        ) as response:
+            return response.read().decode()
+
     mutate_result: dict = {}
     streamed_mutations = 0
+    midload_metrics = ""
     wall_start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=args.clients) as pool:
         futures = [pool.submit(client, s) for s in streams]
+        if not args.no_telemetry:
+            # scrape while client traffic is in flight: the endpoint
+            # must answer (and parse) mid-load, not just at rest
+            time.sleep(0.02)
+            try:
+                midload_metrics = fetch_metrics()
+            except Exception as exc:
+                failures.append(f"mid-load /metrics: {exc}")
         if args.mutate_mid_run:
             # fire the hot-swap while client traffic is in flight;
             # the edge is new (u -> u self-loop is almost surely
@@ -504,6 +594,12 @@ def _cmd_smoke(args) -> int:
     wall = time.perf_counter() - wall_start
 
     status = _http_json(f"{url}/status")
+    final_metrics = ""
+    if not args.no_telemetry:
+        try:
+            final_metrics = fetch_metrics()
+        except Exception as exc:
+            failures.append(f"final /metrics: {exc}")
     server.stop()
     service.close()
 
@@ -519,6 +615,23 @@ def _cmd_smoke(args) -> int:
             broker["batches"] < broker["dispatched"]
         ),
     }
+    if not args.no_telemetry:
+        # the mid-load scrape proves /metrics answers while the broker
+        # is saturated; the final scrape must agree with broker stats
+        # because every series is either pull-time (same source) or a
+        # hot-path counter incremented exactly once per request
+        checks["metrics_scraped_mid_load"] = (
+            "# TYPE repro_requests_total counter" in midload_metrics
+        )
+        checks["metrics_requests_match_broker"] = (
+            _metric_total(final_metrics, "repro_requests_total")
+            == broker["requests"]
+        )
+        checks["metrics_zero_dropped"] = (
+            broker["requests"]
+            == broker["dispatched"] + broker["cache_hits"]
+            and broker["errors"] == 0
+        )
     if args.mutate_mid_run:
         swapped = status["snapshots"]["swaps"] >= 1
         checks["mutation_swapped_mid_traffic"] = swapped and bool(
@@ -614,6 +727,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_status(args)
     if args.command == "warmup":
         return _cmd_client(args, "/warmup", post=True)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
 import numpy as np
@@ -76,7 +77,10 @@ class BrokerStats:
 class _Request:
     """One pending query: what was asked, and the future to resolve."""
 
-    __slots__ = ("kind", "node", "u", "k", "include_query", "future")
+    __slots__ = (
+        "kind", "node", "u", "k", "include_query", "future",
+        "trace", "enqueued",
+    )
 
     def __init__(
         self,
@@ -95,6 +99,9 @@ class _Request:
         self.future: asyncio.Future = (
             asyncio.get_running_loop().create_future()
         )
+        # telemetry (set by the broker only when it is enabled)
+        self.trace = None
+        self.enqueued = 0.0
 
     def cache_key(self, snapshot: Snapshot, config_key) -> tuple:
         return (
@@ -127,6 +134,14 @@ class QueryBroker:
     cache:
         Optional :class:`ResultCache`; hits are served before the
         request ever queues.
+    obs:
+        Optional :class:`~repro.obs.Observability`. When set (and
+        enabled), every request is traced
+        (``coalesce -> dispatch -> compute -> render`` spans) and the
+        hot-path histograms (coalesce wait, batch compute, render,
+        end-to-end duration) are observed. ``None`` (or a
+        :class:`~repro.obs.NullObservability`) keeps the hot path
+        free of telemetry work.
     router:
         Optional :class:`~repro.cluster.ShardRouter`. When set, each
         batch's columns are computed by the router's worker processes
@@ -165,6 +180,7 @@ class QueryBroker:
         max_wait_ms: float = 2.0,
         cache: ResultCache | None = None,
         router=None,
+        obs=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -172,6 +188,11 @@ class QueryBroker:
             raise ValueError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}"
             )
+        if obs is None:
+            from repro.obs import NullObservability
+
+            obs = NullObservability()
+        self._obs = obs
         self._snapshots = snapshots
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1e3
@@ -245,6 +266,14 @@ class QueryBroker:
                 "async context manager, or call start())"
             )
         self.stats.requests += 1
+        obs = self._obs
+        if obs.enabled:
+            if request.kind == "top_k":
+                obs.requests_top_k.inc()
+            else:
+                obs.requests_score.inc()
+            request.trace = obs.start_trace(request.kind)
+            request.enqueued = perf_counter()
         if self._cache is not None:
             cached = self._cache.get(
                 request.cache_key(
@@ -253,6 +282,16 @@ class QueryBroker:
             )
             if cached is not None:
                 self.stats.cache_hits += 1
+                if request.trace is not None:
+                    request.trace.add_span(
+                        "cache",
+                        perf_counter() - request.enqueued,
+                        start_s=request.enqueued,
+                    )
+                    obs.finish_trace(request.trace, "cache_hit")
+                    obs.request_duration.observe(
+                        perf_counter() - request.enqueued
+                    )
                 return cached
         await self._queue.put(request)
         return await request.future
@@ -297,11 +336,21 @@ class QueryBroker:
                 # failures itself, but the dispatcher task dying would
                 # brick the whole broker — fail this batch and live on
                 for request in batch:
-                    self.stats.errors += 1
-                    if not request.future.done():
-                        request.future.set_exception(exc)
+                    self._fail_request(request, exc)
             if stop_seen or (self._stopping and self._queue.empty()):
                 return
+
+    def _fail_request(self, request: _Request, exc: Exception) -> None:
+        """Fail one request's future and close out its telemetry."""
+        self.stats.errors += 1
+        if request.trace is not None:
+            self._obs.request_errors.inc()
+            self._obs.request_duration.observe(
+                perf_counter() - request.enqueued
+            )
+            self._obs.finish_trace(request.trace, "error")
+        if not request.future.done():
+            request.future.set_exception(exc)
 
     async def _dispatch(self, batch: list[_Request]) -> None:
         if self._router is not None:
@@ -322,6 +371,7 @@ class QueryBroker:
         self, batch: list[_Request], snapshot: Snapshot
     ) -> None:
         engine = snapshot.engine
+        obs = self._obs
         size = len(batch)
         self.stats.batches += 1
         self.stats.dispatched += size
@@ -331,6 +381,19 @@ class QueryBroker:
         )
         if size > 1:
             self.stats.coalesced_requests += size
+        if obs.enabled:
+            obs.batch_size.observe(size)
+            now = perf_counter()
+            for request in batch:
+                wait = now - request.enqueued
+                obs.coalesce_wait.observe(wait)
+                if request.trace is not None:
+                    request.trace.add_span(
+                        "coalesce",
+                        wait,
+                        start_s=request.enqueued,
+                        batch=size,
+                    )
 
         work: list[tuple[_Request, int, int | None]] = []
         for request in batch:
@@ -342,34 +405,83 @@ class QueryBroker:
                     else None
                 )
             except Exception as exc:
-                self.stats.errors += 1
-                if not request.future.done():
-                    request.future.set_exception(exc)
+                self._fail_request(request, exc)
                 continue
             work.append((request, node, extra))
         if not work:
             return
 
         ids = [node for _, node, _ in work]
-        try:
+        shard_meta = None
+        if self._router is not None and obs.enabled:
+            shard_meta = {
+                "trace_ids": [
+                    r.trace.trace_id for r, _, _ in work
+                    if r.trace is not None
+                ],
+            }
+
+        def timed_compute():
+            # runs on the executor thread: times the blocked column
+            # work itself, separate from the executor hop around it
+            t0 = perf_counter()
             if self._router is not None:
-                columns = (
-                    await asyncio.get_running_loop().run_in_executor(
-                        None, self._router.compute, snapshot.seq, ids
-                    )
+                cols = self._router.compute(
+                    snapshot.seq, ids, meta=shard_meta
                 )
             else:
-                columns = (
-                    await asyncio.get_running_loop().run_in_executor(
-                        None, engine.columns, ids
-                    )
+                cols = engine.columns(ids)
+            return cols, t0, perf_counter() - t0
+
+        t_dispatch = perf_counter()
+        try:
+            columns, t_compute, compute_s = (
+                await asyncio.get_running_loop().run_in_executor(
+                    None, timed_compute
                 )
+            )
         except Exception as exc:
-            self.stats.errors += len(work)
             for request, _, _ in work:
-                if not request.future.done():
-                    request.future.set_exception(exc)
+                self._fail_request(request, exc)
             return
+        dispatch_s = perf_counter() - t_dispatch
+        if obs.enabled:
+            obs.batch_compute.observe(compute_s)
+            mode = "cluster" if self._router is not None else "local"
+            shards = (
+                shard_meta.get("shards", ()) if shard_meta else ()
+            )
+            for request, _, _ in work:
+                trace = request.trace
+                if trace is None:
+                    continue
+                trace.add_span(
+                    "dispatch",
+                    dispatch_s,
+                    start_s=t_dispatch,
+                    batch=len(ids),
+                    mode=mode,
+                )
+                for shard in shards:
+                    trace.add_span(
+                        "shard",
+                        shard.get("seconds", 0.0),
+                        start_s=shard.get("start_s", t_compute),
+                        worker=shard.get("worker"),
+                        pid=shard.get("pid"),
+                        ids=shard.get("ids"),
+                        # the worker echoed the batch's trace ids back
+                        # over the pipe; True proves this request's id
+                        # crossed the process boundary and returned
+                        echoed=trace.trace_id
+                        in shard.get("trace_ids", ()),
+                    )
+                trace.add_span(
+                    "compute",
+                    compute_s,
+                    start_s=t_compute,
+                    batch=len(ids),
+                )
 
         labels = engine.graph.labels
         for request, node, extra in work:
@@ -377,6 +489,7 @@ class QueryBroker:
             # fails its own future only — the dispatcher and the rest
             # of the batch must survive any single request
             try:
+                t_render = perf_counter()
                 column = columns[node]
                 result: Any
                 if request.kind == "top_k":
@@ -396,9 +509,15 @@ class QueryBroker:
                         result,
                     )
             except Exception as exc:
-                self.stats.errors += 1
-                if not request.future.done():
-                    request.future.set_exception(exc)
+                self._fail_request(request, exc)
                 continue
+            if request.trace is not None:
+                done = perf_counter()
+                obs.render_seconds.observe(done - t_render)
+                request.trace.add_span(
+                    "render", done - t_render, start_s=t_render
+                )
+                obs.request_duration.observe(done - request.enqueued)
+                obs.finish_trace(request.trace, "ok")
             if not request.future.done():
                 request.future.set_result(result)

@@ -13,6 +13,11 @@ Endpoints
 ``GET /status``
     The full service status document (broker / cache / snapshot
     stats, batching knobs, config).
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of every registered
+    series — broker, caches, snapshot/delta, cluster (merged across
+    worker processes), and engine. See :mod:`repro.obs` and
+    ``docs/observability.md`` for the catalog.
 ``POST /top_k``
     Body ``{"query": <id-or-label>, "k": 10, "include_query": false}``
     -> the ranking as JSON.
@@ -104,6 +109,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"ok": True})
         elif self.path == "/status":
             self._send_json(service.status())
+        elif self.path == "/metrics":
+            body = service.metrics_text().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_json({"error": f"no route {self.path}"}, 404)
 

@@ -86,6 +86,22 @@ class ServingService:
         two-phase swaps in cluster mode) instead of a full rebuild.
         ``delta_mode="off"`` restores the rebuild-every-time
         behaviour.
+    telemetry:
+        ``True`` (default) builds a full
+        :class:`~repro.obs.Observability` — hot-path histograms,
+        per-request traces, pull-time callback series over every
+        layer's stats, and the ``/metrics`` Prometheus exposition
+        (:meth:`metrics_text`). ``False`` swaps in the no-op
+        :class:`~repro.obs.NullObservability` (the
+        ``telemetry_overhead`` bench tier gates the difference at
+        < 5% p50).
+    slow_query_ms / slow_query_log:
+        Slow-query logging knobs (telemetry only): a finished request
+        trace at or above ``slow_query_ms`` milliseconds — or one
+        that errored — is written to the bounded JSON-lines
+        :class:`~repro.obs.SlowQueryLog` at path ``slow_query_log``
+        (memory-only ring when ``None``). ``slow_query_ms=None``
+        disables the log.
 
     Examples
     --------
@@ -118,8 +134,21 @@ class ServingService:
         delta_mode: str = "auto",
         max_delta_fraction: float = 0.10,
         max_chain_depth: int = 8,
+        telemetry: bool = True,
+        slow_query_ms: float | None = 250.0,
+        slow_query_log=None,
         **overrides,
     ) -> None:
+        from repro.obs import NullObservability, Observability
+
+        self.observability = (
+            Observability(
+                slow_query_ms=slow_query_ms,
+                slow_query_log_path=slow_query_log,
+            )
+            if telemetry
+            else NullObservability()
+        )
         self.snapshots = SnapshotManager(
             graph,
             config,
@@ -143,6 +172,7 @@ class ServingService:
                     shard_timeout=shard_timeout,
                 ),
                 self.snapshots,
+                obs=self.observability,
             )
             self.snapshots.pre_swap = self.cluster.pre_swap
             self.snapshots.post_swap = self.cluster.post_swap
@@ -152,7 +182,9 @@ class ServingService:
             max_wait_ms=max_wait_ms,
             cache=self.cache,
             router=self.cluster,
+            obs=self.observability,
         )
+        self.observability.bind_service(self)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started_monotonic = time.monotonic()
@@ -330,4 +362,31 @@ class ServingService:
                 if self.cluster is not None
                 else None
             ),
+            "observability": self.observability.describe(),
         }
+
+    def metrics_text(self, *, ping_workers: bool = True) -> str:
+        """The Prometheus text exposition (the ``/metrics`` body).
+
+        Renders every registered series at call time — the callback
+        series read the broker/cache/snapshot/cluster/engine stats on
+        this very call, so the document always reflects the live
+        counters. In cluster mode each worker is pinged first (unless
+        ``ping_workers=False``) and its cumulative metric snapshot is
+        merged into the registry with replacement semantics, so the
+        worker-side series (``repro_worker_*``, one
+        ``worker="worker-<i>"`` label per process) cover the whole
+        pool; a busy worker keeps its previous contribution.
+
+        With telemetry disabled, returns a one-line comment document
+        (still valid Prometheus text).
+        """
+        obs = self.observability
+        if (
+            obs.enabled
+            and ping_workers
+            and self.cluster is not None
+            and self.cluster.started
+        ):
+            self.cluster.collect_worker_metrics(obs.registry)
+        return obs.render()

@@ -251,6 +251,10 @@ class SnapshotManager:
         self.index_load_errors = 0
         self.pre_swap = None
         self.post_swap = None
+        # optional telemetry hook: called with each recorded swap's
+        # stage-timing row (repro.obs feeds these into the
+        # repro_swap_stage_seconds histogram)
+        self.swap_observer = None
         self._last_persisted: SimilarityEngine | None = None
         self._chain_depth = 0
         self._loaded_chain_depth = 0
@@ -595,15 +599,19 @@ class SnapshotManager:
     def _record_swap(
         self, kind: str, build_s: float, prepare_s: float, commit_s: float
     ) -> None:
-        self._swap_latency.append(
-            {
-                "kind": kind,
-                "build_s": build_s,
-                "prepare_s": prepare_s,
-                "commit_s": commit_s,
-                "total_s": build_s + prepare_s + commit_s,
-            }
-        )
+        row = {
+            "kind": kind,
+            "build_s": build_s,
+            "prepare_s": prepare_s,
+            "commit_s": commit_s,
+            "total_s": build_s + prepare_s + commit_s,
+        }
+        self._swap_latency.append(row)
+        if self.swap_observer is not None:
+            try:
+                self.swap_observer(row)
+            except Exception:  # noqa: BLE001 - telemetry must never
+                pass  # fail a mutation
 
     def _swap_pointer(self, base: Snapshot, fresh: Snapshot) -> tuple:
         """Two-phase swap; returns ``(prepare_s, commit_s)``."""
@@ -690,7 +698,7 @@ class SnapshotManager:
         return fresh
 
     def swap_latency_summary(self) -> dict:
-        """count/p50/max per stage, split full vs delta swaps.
+        """count/p50/p90/max per stage, split full vs delta swaps.
 
         Aggregated over the last 256 swaps. Stages: ``build`` (graph
         edit + artifact work + warmup), ``prepare`` (two-phase
@@ -709,6 +717,9 @@ class SnapshotManager:
                     vals = sorted(r[stage] for r in kind_rows)
                     entry[stage] = {
                         "p50": vals[len(vals) // 2],
+                        "p90": vals[min(
+                            len(vals) - 1, (len(vals) * 9) // 10
+                        )],
                         "max": vals[-1],
                     }
             out[kind] = entry

@@ -37,6 +37,7 @@ AUDITED_MODULES = (
     "repro.index",
     "repro.cluster",
     "repro.approx",
+    "repro.obs",
 )
 
 #: Modules whose doctests make up the executable-example tier.
@@ -70,6 +71,10 @@ DOCTEST_MODULES = (
     "repro.approx.walks",
     "repro.approx.estimator",
     "repro.datasets.scale_free",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.bench.signal",
 )
 
 MARKDOWN_FILES = sorted(
@@ -203,13 +208,19 @@ def test_markdown_links_resolve(markdown):
 
 
 def test_docs_tree_exists():
-    for name in ("architecture.md", "operations.md", "tuning.md"):
+    for name in (
+        "architecture.md", "operations.md", "tuning.md",
+        "observability.md",
+    ):
         assert (REPO / "docs" / name).exists(), f"docs/{name} missing"
 
 
 def test_readme_links_every_docs_page():
     readme = (REPO / "README.md").read_text()
-    for name in ("architecture.md", "operations.md", "tuning.md"):
+    for name in (
+        "architecture.md", "operations.md", "tuning.md",
+        "observability.md",
+    ):
         assert f"docs/{name}" in readme, (
             f"README.md does not link docs/{name}"
         )
