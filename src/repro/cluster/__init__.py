@@ -10,25 +10,37 @@ memory-map one persisted** :class:`~repro.index.SimilarityIndex`
 **and therefore share one page cache**, instead of K heap copies of
 ``Q`` / ``Q^T`` / the compressed factors.
 
-Three parts:
+Four parts:
 
 * :class:`WorkerPool` — forks the workers (``spawn`` context), writes
   one ``gen-<seq>.simidx`` per served snapshot generation, replays
   live generations into respawned workers, and runs the two-phase
-  hot-swap (``prepare`` everywhere first, then ``commit``).
+  hot-swap (``prepare`` everywhere first, then ``commit``). Shard
+  results return through per-worker shared-memory rings
+  (:mod:`repro.cluster.shm`) — only a tiny descriptor crosses the
+  pipe; pickle remains as a counted fallback.
+* :class:`ThreadWorkerPool` — the ``backend="thread"`` twin: K
+  per-thread engines adopting one in-process index (shared artifact
+  arrays, private memos), no transport at all; the kernels release
+  the GIL inside scipy/BLAS, so threads can scale compute too.
 * :class:`ShardRouter` — splits each coalesced micro-batch into
   per-worker column shards, dispatches them concurrently, merges the
   results in arrival order, and owns the atomic snapshot *pinning*
   that lets mutations hot-swap mid-traffic with zero failed requests.
+  With ``worker_topk`` (default) top-k selection itself runs
+  worker-side (:meth:`ShardRouter.compute_tasks`), so only ``(k, B)``
+  ids+scores survive the hop instead of ``(n, B)`` score blocks.
 * :mod:`repro.cluster.worker` — the worker process itself: one engine
   per live generation, built from the mmap'd index (or rebuilt from
   the shipped graph when the file is corrupt — a swap never fails on
   a bad file).
 
-Wired into the serving layer as ``ServingService(graph, workers=K)``
-and ``python -m repro.serve serve --workers K``; scaling is measured
-by ``python -m repro.bench --cluster`` (the
-``speedup_workers_4_vs_1`` gate).
+Wired into the serving layer as ``ServingService(graph, workers=K,
+backend=...)`` and ``python -m repro.serve serve --workers K
+--backend thread|process``; scaling is measured by ``python -m
+repro.bench --cluster`` (the ``speedup_workers_4_vs_1`` gate) and the
+transport itself by ``python -m repro.bench --cluster``'s
+transport-bytes comparison.
 
 End to end, one worker, eleven nodes (the paper's Figure 1 graph):
 
@@ -52,18 +64,22 @@ True
 
 from repro.cluster.pool import ClusterError, WorkerCrash, WorkerPool
 from repro.cluster.router import ShardRouter
+from repro.cluster.thread_pool import ThreadWorkerPool
 from repro.cluster.worker import (
     graph_from_payload,
     graph_to_payload,
+    run_tasks,
     worker_main,
 )
 
 __all__ = [
     "ClusterError",
     "ShardRouter",
+    "ThreadWorkerPool",
     "WorkerCrash",
     "WorkerPool",
     "graph_from_payload",
     "graph_to_payload",
+    "run_tasks",
     "worker_main",
 ]

@@ -30,6 +30,7 @@ pool without starting it); only :meth:`start` forks processes.
 
 from __future__ import annotations
 
+import pickle
 import queue
 import shutil
 import tempfile
@@ -37,6 +38,16 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.cluster.shm import (
+    HEADER_BYTES,
+    ResultRing,
+    RingError,
+    ring_available,
+)
 
 __all__ = ["ClusterError", "WorkerCrash", "WorkerPool"]
 
@@ -80,6 +91,9 @@ class _Worker:
     __slots__ = (
         "index", "process", "conn", "lock", "send_lock",
         "shards_served", "respawns", "job_counter",
+        "ring", "rings", "ring_replies", "pickle_replies",
+        "task_replies", "transport_bytes", "compute_seconds",
+        "transport_seconds",
     )
 
     def __init__(self, index: int) -> None:
@@ -91,6 +105,19 @@ class _Worker:
         self.shards_served = 0
         self.respawns = 0
         self.job_counter = 0
+        # shared-memory transport state: `ring` is the slot block the
+        # worker currently writes into; `rings` maps segment name ->
+        # handle for every ring this worker was ever given (a reply
+        # descriptor names its ring, so a resize can never race a
+        # result written into the superseded block)
+        self.ring: ResultRing | None = None
+        self.rings: dict[str, ResultRing] = {}
+        self.ring_replies = 0
+        self.pickle_replies = 0
+        self.task_replies = 0
+        self.transport_bytes = 0
+        self.compute_seconds = 0.0
+        self.transport_seconds = 0.0
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -122,6 +149,24 @@ class WorkerPool:
         declared hung, killed, and the shard retried elsewhere.
     prepare_timeout:
         Seconds one worker may take to load/build a generation.
+    transport:
+        ``"shm"`` (default) ships shard results through per-worker
+        :class:`~repro.cluster.shm.ResultRing` blocks — only a tiny
+        descriptor crosses the pipe. ``"pickle"`` forces the classic
+        pickled-dict transport. ``"shm"`` silently degrades to pickle
+        (counted in :meth:`describe`) when shared memory is
+        unavailable or a block does not fit its slot.
+    ring_slots:
+        Slots per worker ring (double buffering by default, so a
+        retry can still read slot *N* while the worker fills *N+1*).
+    ring_mb:
+        Upper bound, in MiB, on one ring *slot*. Blocks larger than
+        this fall back to pickle.
+    ring_max_batch:
+        Widest shard (query columns) a slot is sized for; together
+        with the generation's node count and dtype this fixes the
+        slot size at ``16 + ring_max_batch * n * itemsize`` bytes,
+        capped by ``ring_mb``.
 
     Examples
     --------
@@ -131,7 +176,18 @@ class WorkerPool:
     >>> pool = WorkerPool(workers=4, shard_timeout=30.0)
     >>> pool.size, pool.started, pool.current_seq
     (4, False, -1)
+    >>> pool.transport, pool.ring_slots
+    ('shm', 2)
     """
+
+    #: what :meth:`describe` reports as ``backend``; the thread-based
+    #: twin (:class:`~repro.cluster.ThreadWorkerPool`) reports
+    #: ``"thread"``
+    backend = "process"
+    #: process workers mirror each generation to an on-disk index the
+    #: router may persist (the thread pool shares the parent's engine
+    #: and has nothing to mirror)
+    persists_index = True
 
     def __init__(
         self,
@@ -141,12 +197,29 @@ class WorkerPool:
         mp_context: str = "spawn",
         shard_timeout: float = 120.0,
         prepare_timeout: float = 600.0,
+        transport: str = "shm",
+        ring_slots: int = 2,
+        ring_mb: float = 64.0,
+        ring_max_batch: int = 64,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pickle', got {transport!r}"
+            )
+        if ring_slots < 1:
+            raise ValueError(f"ring_slots must be >= 1, got {ring_slots}")
         self.size = int(workers)
         self.shard_timeout = float(shard_timeout)
         self.prepare_timeout = float(prepare_timeout)
+        self.transport = transport
+        self.ring_slots = int(ring_slots)
+        self.ring_mb = float(ring_mb)
+        self.ring_max_batch = int(ring_max_batch)
+        self._ring_slot_bytes = 0  # grows; never shrinks while live
+        self.ring_allocations = 0
+        self.ring_unavailable = False
         self._mp_context_name = mp_context
         self._index_dir = (
             Path(index_dir) if index_dir is not None else None
@@ -187,6 +260,7 @@ class WorkerPool:
         self._register_generation(snapshot)
         self.current_seq = snapshot.seq
         self._workers = [_Worker(i) for i in range(self.size)]
+        self._size_rings(snapshot)
         for worker in self._workers:
             self._spawn(worker)
         self.started = True
@@ -226,6 +300,12 @@ class WorkerPool:
         if self._owns_index_dir and self._index_dir is not None:
             shutil.rmtree(self._index_dir, ignore_errors=True)
             self._index_dir = None
+        for worker in self._workers:
+            for ring in worker.rings.values():
+                ring.destroy()
+            worker.ring = None
+            worker.rings = {}
+        self._ring_slot_bytes = 0
         with self._lock:
             self._generations.clear()
             self._parked.clear()
@@ -316,6 +396,9 @@ class WorkerPool:
         if not self.started:
             return []
         payload = self._register_generation(snapshot)
+        # a bigger graph (or wider dtype) needs bigger slots: grow the
+        # rings before any shard of the new generation is dispatched
+        self._size_rings(snapshot)
 
         def prepare_one(worker: _Worker) -> dict:
             try:
@@ -466,6 +549,131 @@ class WorkerPool:
                 self.releases += 1
 
     # ------------------------------------------------------------------
+    # shared-memory transport (parent side)
+    # ------------------------------------------------------------------
+    def _slot_bytes_for(self, snapshot) -> int:
+        """Slot size for ``snapshot``: a full-width result block."""
+        num_nodes = snapshot.graph.num_nodes
+        itemsize = np.dtype(snapshot.engine.config.dtype).itemsize
+        cap = max(int(self.ring_mb * 1024 * 1024), itemsize)
+        return HEADER_BYTES + min(
+            self.ring_max_batch * num_nodes * itemsize, cap
+        )
+
+    def _size_rings(self, snapshot) -> None:
+        """Grow every worker's ring to fit ``snapshot``'s blocks.
+
+        Grow-only: an old generation's smaller blocks always fit the
+        new slots, so mid-swap batches pinned to the previous snapshot
+        keep their zero-copy path. Superseded rings are unlinked
+        immediately (the parent and worker mappings keep in-flight
+        descriptors readable) and closed on :meth:`stop`.
+        """
+        if self.transport != "shm" or self.ring_unavailable:
+            return
+        needed = self._slot_bytes_for(snapshot)
+        if needed <= self._ring_slot_bytes:
+            return
+        if self._ring_slot_bytes == 0 and not ring_available():
+            self.ring_unavailable = True
+            return
+        self._ring_slot_bytes = needed
+        for worker in self._workers:
+            self._allocate_ring(worker)
+
+    def _allocate_ring(self, worker: _Worker) -> None:
+        """Give ``worker`` a fresh ring of the current slot size."""
+        if (
+            self.transport != "shm"
+            or self.ring_unavailable
+            or self._ring_slot_bytes <= 0
+        ):
+            return
+        try:
+            ring = ResultRing.create(
+                slots=self.ring_slots,
+                slot_bytes=self._ring_slot_bytes,
+            )
+        except (RingError, OSError, ValueError):
+            self.ring_unavailable = True
+            return
+        old = worker.ring
+        worker.ring = ring
+        worker.rings[ring.name] = ring
+        self.ring_allocations += 1
+        if old is not None:
+            old.unlink()
+        if worker.conn is not None:
+            try:
+                worker.send(("ring", ring.spec()))
+            except (OSError, ValueError, AttributeError):
+                pass  # dead: _spawn re-sends the current spec
+
+    def _read_ring(self, worker: _Worker, descriptor: dict) -> dict:
+        """Zero-copy ``{id: column}`` views for a ring descriptor.
+
+        Any mismatch — unknown ring, stale tag, torn write — raises
+        :exc:`WorkerCrash`, so the router's existing respawn-and-retry
+        path covers a worker killed mid-write exactly like one killed
+        mid-pickle.
+        """
+        ring = worker.rings.get(descriptor.get("name"))
+        if ring is None:
+            raise WorkerCrash(
+                f"worker {worker.index} answered via unknown ring "
+                f"{descriptor.get('name')!r}"
+            )
+        try:
+            block = ring.read(descriptor)
+        except RingError as exc:
+            raise WorkerCrash(
+                f"worker {worker.index} shard unreadable from its "
+                f"ring: {exc}"
+            ) from exc
+        return {
+            int(q): block[i]
+            for i, q in enumerate(descriptor["ids"])
+        }
+
+    def _read_ring_bytes(
+        self, worker: _Worker, descriptor: dict
+    ) -> bytes:
+        """Opaque ring payload (worker-side task results) by
+        descriptor; same :exc:`WorkerCrash` semantics as
+        :meth:`_read_ring`."""
+        ring = worker.rings.get(descriptor.get("name"))
+        if ring is None:
+            raise WorkerCrash(
+                f"worker {worker.index} answered via unknown ring "
+                f"{descriptor.get('name')!r}"
+            )
+        try:
+            return ring.read_bytes(descriptor)
+        except RingError as exc:
+            raise WorkerCrash(
+                f"worker {worker.index} shard unreadable from its "
+                f"ring: {exc}"
+            ) from exc
+
+    def _account(
+        self, worker: _Worker, reply_meta: dict, wall_s: float
+    ) -> None:
+        """Fold one reply's transport telemetry into the worker."""
+        path = reply_meta.get("path", "pickle")
+        worker.transport_bytes += int(
+            reply_meta.get("payload_bytes", 0)
+        )
+        compute_s = float(reply_meta.get("compute_seconds", 0.0))
+        worker.compute_seconds += compute_s
+        worker.transport_seconds += max(0.0, wall_s - compute_s)
+        if path in ("shm", "tasks_shm"):
+            worker.ring_replies += 1
+        if path in ("tasks", "tasks_shm"):
+            worker.task_replies += 1
+        if path == "pickle":
+            worker.pickle_replies += 1
+
+    # ------------------------------------------------------------------
     # dispatch + supervision
     # ------------------------------------------------------------------
     def shard(
@@ -479,7 +687,9 @@ class WorkerPool:
     ) -> dict:
         """Run one column shard on one worker (blocking, thread-safe).
 
-        Returns ``{resolved id: score column}``. Raises
+        Returns ``{resolved id: score column}`` — zero-copy views into
+        the worker's shared-memory ring on the ``shm`` transport,
+        owned arrays on the pickle path; both bit-identical. Raises
         :exc:`WorkerCrash` when the worker is dead, dies mid-shard, or
         exceeds ``shard_timeout`` (it is then killed) — the router
         catches that, respawns, and retries.
@@ -487,19 +697,56 @@ class WorkerPool:
         ``trace_ids`` (the batch's request trace ids) ride along on
         the wire and are echoed back by the worker; when ``meta`` is
         a dict it is updated with the worker's reply telemetry (its
-        pid, worker-side ``compute_seconds``, and the echoed
-        ``trace_ids``).
+        pid, worker-side ``compute_seconds``, ``payload_bytes`` and
+        transport ``path``, and the echoed ``trace_ids``).
         """
+        return self._exchange(
+            worker_index, "columns", seq, ids,
+            trace_ids=trace_ids, meta=meta,
+        )
+
+    def shard_tasks(
+        self,
+        worker_index: int,
+        seq: int,
+        tasks: list[dict],
+        *,
+        trace_ids: list[str] | None = None,
+        meta: dict | None = None,
+    ) -> list:
+        """Run selection tasks on one worker (worker-side top-k).
+
+        ``tasks`` follow :func:`repro.cluster.worker.run_tasks`; the
+        reply is one compact ``("top_k", nodes, scores)`` /
+        ``("score", value)`` tuple per task — full score columns never
+        cross the pipe. Crash/timeout semantics match :meth:`shard`.
+        """
+        return self._exchange(
+            worker_index, "tasks", seq, tasks,
+            trace_ids=trace_ids, meta=meta,
+        )
+
+    def _exchange(
+        self,
+        worker_index: int,
+        op: str,
+        seq: int,
+        items: list,
+        *,
+        trace_ids: list[str] | None,
+        meta: dict | None,
+    ):
         worker = self._workers[worker_index]
         with worker.lock:
             worker.job_counter += 1
             job = worker.job_counter
+            t0 = perf_counter()
             try:
                 if trace_ids is None:
-                    worker.send(("columns", job, seq, list(ids)))
+                    worker.send((op, job, seq, list(items)))
                 else:
                     worker.send(
-                        ("columns", job, seq, list(ids),
+                        (op, job, seq, list(items),
                          {"trace_ids": list(trace_ids)})
                     )
                 reply = self._recv(worker, self.shard_timeout)
@@ -517,8 +764,16 @@ class WorkerPool:
                 raise WorkerCrash(
                     f"worker {worker_index} failed shard: {payload}"
                 )
-            if meta is not None and rest:
-                meta.update(rest[0])
+            reply_meta = dict(rest[0]) if rest else {}
+            if kind == "columns_shm":
+                payload = self._read_ring(worker, payload)
+            elif kind == "tasks_shm":
+                payload = pickle.loads(
+                    self._read_ring_bytes(worker, payload)
+                )
+            self._account(worker, reply_meta, perf_counter() - t0)
+            if meta is not None and reply_meta:
+                meta.update(reply_meta)
             worker.shards_served += 1
             return payload
 
@@ -601,6 +856,10 @@ class WorkerPool:
         child_conn.close()
         worker.process = process
         worker.conn = parent_conn
+        if worker.ring is not None:
+            # hand the fresh process its result ring before any shard
+            # can be dispatched at it (pipe order guarantees this)
+            worker.send(("ring", worker.ring.spec()))
         with self._lock:
             # parked bases must replay before the deltas chained onto
             # them; sorting by seq gives exactly that order (a delta's
@@ -701,6 +960,7 @@ class WorkerPool:
             )
         return {
             "workers": self.size,
+            "backend": self.backend,
             "started": self.started,
             "current_seq": self.current_seq,
             "generations": generations,
@@ -714,6 +974,52 @@ class WorkerPool:
             "index_saves": self.index_saves,
             "releases": self.releases,
             "respawns": sum(w.respawns for w in self._workers),
+            "transport": self.transport_stats(),
+        }
+
+    def transport_stats(self) -> dict:
+        """JSON-ready transport accounting (part of :meth:`describe`).
+
+        ``mode`` is what was *asked for*; ``ring_unavailable`` plus
+        the per-path reply counters show what actually happened —
+        the counted silent-fallback story.
+        """
+        per_worker = [
+            {
+                "index": w.index,
+                "ring_replies": w.ring_replies,
+                "pickle_replies": w.pickle_replies,
+                "task_replies": w.task_replies,
+                "transport_bytes": w.transport_bytes,
+                "compute_seconds": w.compute_seconds,
+                "transport_seconds": w.transport_seconds,
+            }
+            for w in self._workers
+        ]
+        return {
+            "mode": self.transport,
+            "ring_slots": self.ring_slots,
+            "ring_slot_bytes": self._ring_slot_bytes,
+            "ring_bytes_per_worker": (
+                self.ring_slots * self._ring_slot_bytes
+            ),
+            "ring_allocations": self.ring_allocations,
+            "ring_unavailable": self.ring_unavailable,
+            "ring_replies": sum(w.ring_replies for w in self._workers),
+            "pickle_replies": sum(
+                w.pickle_replies for w in self._workers
+            ),
+            "task_replies": sum(w.task_replies for w in self._workers),
+            "transport_bytes": sum(
+                w.transport_bytes for w in self._workers
+            ),
+            "compute_seconds": sum(
+                w.compute_seconds for w in self._workers
+            ),
+            "transport_seconds": sum(
+                w.transport_seconds for w in self._workers
+            ),
+            "per_worker": per_worker,
         }
 
     def __repr__(self) -> str:

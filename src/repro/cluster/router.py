@@ -51,6 +51,11 @@ class ShardRouter:
     max_retries:
         Dispatch attempts per shard beyond the first (each retry
         respawns the shard's worker first).
+    worker_topk:
+        When true (default), the broker may route ``top_k`` /
+        ``score`` batches through :meth:`compute_tasks` — selection
+        runs worker-side and only ``(k, B)`` ids+scores cross the
+        pipe instead of full ``(n, B)`` column blocks.
     obs:
         Optional :class:`~repro.obs.Observability`; when set, each
         shard's round-trip is observed into the
@@ -77,11 +82,13 @@ class ShardRouter:
         snapshots,
         *,
         max_retries: int = 2,
+        worker_topk: bool = True,
         obs=None,
     ) -> None:
         self.pool = pool
         self.snapshots = snapshots
         self.max_retries = int(max_retries)
+        self.worker_topk = bool(worker_topk)
         self.obs = obs
         self._lock = threading.Lock()   # pins + retirement
         self._inflight: dict[int, int] = {}
@@ -180,6 +187,8 @@ class ShardRouter:
         persists those itself (as ``.delta-<n>`` siblings of its
         ``index_path``).
         """
+        if not getattr(self.pool, "persists_index", True):
+            return  # thread pool: no per-generation files to mirror
         if getattr(snapshot, "delta", None) is not None:
             return
         manager = self.snapshots
@@ -278,8 +287,19 @@ class ShardRouter:
         return merged
 
     def _split(self, ids: list[int]) -> list[list[int]]:
-        """Contiguous, near-equal shards — at most one per worker."""
+        """Contiguous, balanced shards — at most one per worker.
+
+        Never yields an empty shard, and never a shard twice another's
+        width: when ``len(ids) % k`` would leave some workers with
+        ``base + 1`` ids against a ``base`` of 1 (e.g. 5 ids over 4
+        workers splitting 2/1/1/1), the shard count drops until widths
+        are either equal or within a ``(base + 1) / base <= 1.5``
+        ratio — a 3/2 split on two workers beats four workers where
+        one does double duty and the batch waits on it.
+        """
         k = min(self.pool.size, len(ids))
+        while k > 1 and len(ids) % k and len(ids) // k < 2:
+            k -= 1
         base, extra = divmod(len(ids), k)
         shards, cursor = [], 0
         for i in range(k):
@@ -288,25 +308,81 @@ class ShardRouter:
             cursor += width
         return shards
 
+    def compute_tasks(
+        self, seq: int, tasks: list[dict], meta: dict | None = None
+    ) -> list:
+        """Run selection ``tasks`` shard-parallel, worker-side top-k.
+
+        The worker-side twin of :meth:`compute`: each task
+        (see :func:`repro.cluster.worker.run_tasks`) is answered with
+        a compact ``("top_k", nodes, scores)`` / ``("score", value)``
+        tuple — results return positionally, one per task, and full
+        score columns never cross the pipe. Sharding, the round-robin
+        offset, retry, and ``meta`` telemetry all match
+        :meth:`compute`.
+        """
+        if not self.started:
+            raise ClusterError("router not started")
+        if not tasks:
+            return []
+        shards = self._split(list(tasks))
+        offset = self.batches_routed % self.pool.size
+        self.batches_routed += 1
+        if meta is not None:
+            meta.setdefault("shards", [])
+        if len(shards) == 1:
+            return list(
+                self._run_shard(
+                    offset, seq, shards[0], meta, op="tasks"
+                )
+            )
+        futures = [
+            self._executor.submit(
+                self._run_shard,
+                (offset + i) % self.pool.size,
+                seq,
+                shard,
+                meta,
+                op="tasks",
+            )
+            for i, shard in enumerate(shards)
+        ]
+        merged: list = []
+        errors = []
+        for future in futures:
+            try:
+                merged.extend(future.result())
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise ClusterError(
+                f"{len(errors)} of {len(shards)} shards failed "
+                f"after retries: {errors[0]}"
+            ) from errors[0]
+        return merged
+
     def _run_shard(
         self,
         worker_index: int,
         seq: int,
-        shard: list[int],
+        shard: list,
         meta: dict | None = None,
-    ) -> dict:
+        *,
+        op: str = "columns",
+    ):
         """One shard on one worker, with respawn-and-retry."""
         with self._lock:  # shard threads run concurrently
             self.shards_dispatched += 1
         trace_ids = meta.get("trace_ids") if meta else None
+        dispatch = (
+            self.pool.shard_tasks if op == "tasks" else self.pool.shard
+        )
         attempts = self.max_retries + 1
         for attempt in range(attempts):
             try:
                 t0 = time.perf_counter()
-                shard_meta: dict | None = (
-                    {} if meta is not None else None
-                )
-                columns = self.pool.shard(
+                shard_meta: dict = {}
+                columns = dispatch(
                     worker_index,
                     seq,
                     shard,
@@ -318,6 +394,9 @@ class ShardRouter:
                     self.obs.shard_dispatch.labels(
                         worker=str(worker_index)
                     ).observe(elapsed)
+                    self.obs.transport_bytes.labels(
+                        path=shard_meta.get("path", "none")
+                    ).inc(shard_meta.get("payload_bytes", 0))
                 if meta is not None:
                     row = {
                         "worker": worker_index,

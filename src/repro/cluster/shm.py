@@ -1,0 +1,328 @@
+"""Shared-memory result rings: the zero-copy shard transport.
+
+The process pool's original transport pickled every ``(n, B)`` score
+block through a pipe — the parent paid one full copy to serialize in
+the worker, one to deserialize, and the pipe itself is a byte stream
+capped at ~64 KiB per chunk.  A :class:`ResultRing` replaces that hop:
+the parent preallocates one ``multiprocessing.shared_memory`` block
+per worker, the worker writes score columns straight into a slot of
+that block, and only a tiny descriptor (ring name, slot, tag, query
+ids, shape, dtype) crosses the pipe.  The parent then wraps the slot
+in a read-only numpy view — zero copies end to end.
+
+Ring layout (per worker)::
+
+    +-- slot 0 --------------------+-- slot 1 --------------------+
+    | tag u64 | nbytes u64 | data  | tag u64 | nbytes u64 | data  |
+    +------------------------------+------------------------------+
+
+* Every write gets a fresh monotonically increasing **tag**; the slot
+  is ``tag % slots``.  The tag is written into the slot header and
+  echoed in the descriptor, so a parent that reads a slot after the
+  worker died mid-write (or after the slot was recycled) sees a tag
+  mismatch and can retry the shard elsewhere instead of consuming a
+  torn block.
+* With ``slots >= 2`` the worker never overwrites the block the
+  parent is still rendering from the previous batch (the serial
+  broker fully renders batch *N* before dispatching *N + 1*; double
+  buffering covers the overlap window of the retry path).
+* Blocks that do not fit (``16 + B * n * itemsize > slot_bytes``)
+  fall back to the pickle path — counted, never fatal.
+
+>>> ring = ResultRing.create(slots=2, slot_bytes=4096)
+>>> import numpy as np
+>>> desc = ring.write(tag=7, ids=[3, 5], columns=[np.arange(4.0), np.ones(4)])
+>>> sorted(desc) == ['cols', 'dtype', 'ids', 'name', 'rows', 'slot', 'tag']
+True
+>>> block = ring.read(desc)
+>>> block.shape, float(block[0, 2])
+((2, 4), 2.0)
+>>> ring.destroy()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised via monkeypatching
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+__all__ = ["HEADER_BYTES", "RingError", "ResultRing", "ring_available"]
+
+#: Bytes reserved at the start of every slot: tag (u64 LE) + payload
+#: nbytes (u64 LE).  16 keeps the data region 16-byte aligned.
+HEADER_BYTES = 16
+
+
+
+class RingError(RuntimeError):
+    """A descriptor did not match the ring (stale tag, bad bounds)."""
+
+
+def ring_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` usably exists.
+
+    Probes by creating (and immediately unlinking) a tiny block, so a
+    platform that imports the module but cannot map ``/dev/shm`` is
+    still reported as unavailable.
+
+    >>> isinstance(ring_available(), bool)
+    True
+    """
+
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - probe cleanup best effort
+        pass
+    return True
+
+
+class ResultRing:
+    """One worker's shared-memory result ring (see module docstring).
+
+    The parent calls :meth:`create` and ships :meth:`spec` to the
+    worker, which calls :meth:`attach`.  Workers :meth:`write`, the
+    parent :meth:`read`\\ s the echoed descriptor, and only the
+    creating side may :meth:`destroy` (unlink) the block.
+
+    >>> parent = ResultRing.create(slots=2, slot_bytes=1024)
+    >>> worker = ResultRing.attach(parent.spec())
+    >>> import numpy as np
+    >>> desc = worker.write(tag=1, ids=[9], columns=[np.full(3, 0.5)])
+    >>> parent.read(desc)[0].tolist()
+    [0.5, 0.5, 0.5]
+    >>> bad = dict(desc, tag=99)
+    >>> try:
+    ...     parent.read(bad)
+    ... except RingError:
+    ...     print('stale')
+    stale
+    >>> worker.close(); parent.destroy()
+    """
+
+    def __init__(self, shm, slots: int, slot_bytes: int, *, owner: bool):
+        self._shm = shm
+        self.slots = int(slots)
+        self.slot_bytes = int(slot_bytes)
+        self.owner = bool(owner)
+        self.unlinked = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    @classmethod
+    def create(cls, *, slots: int, slot_bytes: int) -> "ResultRing":
+        """Allocate a fresh ring (parent side)."""
+
+        if _shared_memory is None:  # pragma: no cover - guarded earlier
+            raise RingError("multiprocessing.shared_memory unavailable")
+        if slots < 1 or slot_bytes <= HEADER_BYTES:
+            raise ValueError("ring needs >= 1 slot and a non-empty payload")
+        shm = _shared_memory.SharedMemory(
+            create=True, size=int(slots) * int(slot_bytes)
+        )
+        return cls(shm, slots, slot_bytes, owner=True)
+
+    @classmethod
+    def attach(cls, spec: dict) -> "ResultRing":
+        """Map an existing ring from its :meth:`spec` (worker side)."""
+
+        if _shared_memory is None:  # pragma: no cover - guarded earlier
+            raise RingError("multiprocessing.shared_memory unavailable")
+        # note: on POSIX this re-registers the name with the resource
+        # tracker, which workers *share* with the parent (the tracker
+        # process and its fd are inherited through spawn), so the
+        # duplicate registration dedupes harmlessly and exactly one
+        # unregister happens — at the creator's unlink
+        shm = _shared_memory.SharedMemory(name=spec["name"])
+        return cls(shm, spec["slots"], spec["slot_bytes"], owner=False)
+
+    @property
+    def name(self) -> str:
+        """The OS-level shared-memory segment name."""
+
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes mapped by this ring."""
+
+        return self.slots * self.slot_bytes
+
+    def spec(self) -> dict:
+        """The pickled-over-the-pipe description workers attach from."""
+
+        return {
+            "name": self.name,
+            "slots": self.slots,
+            "slot_bytes": self.slot_bytes,
+        }
+
+    def close(self) -> None:
+        """Drop this process's mapping (no-op once views pin it).
+
+        ``SharedMemory.close`` raises :class:`BufferError` while numpy
+        views into the buffer are alive; the parent therefore parks
+        superseded rings and closes them best-effort.
+        """
+
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (creator only; mapping survives)."""
+
+        if self.owner and not self.unlinked:
+            self.unlinked = True
+            try:
+                self._shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def destroy(self) -> None:
+        """Unlink then close — the creator's teardown."""
+
+        self.unlink()
+        self.close()
+
+    # -- data path ----------------------------------------------------
+
+    def fits(self, rows: int, cols: int, dtype) -> bool:
+        """Whether a ``(rows, cols)`` block of *dtype* fits one slot."""
+
+        needed = HEADER_BYTES + rows * cols * np.dtype(dtype).itemsize
+        return needed <= self.slot_bytes
+
+    def _header(self, slot: int) -> np.ndarray:
+        offset = slot * self.slot_bytes
+        return np.ndarray(2, dtype="<u8", buffer=self._shm.buf, offset=offset)
+
+    def write(self, *, tag: int, ids: Sequence[int], columns) -> dict:
+        """Copy score *columns* into slot ``tag % slots``; return the
+        descriptor the parent needs to :meth:`read` them back."""
+
+        columns = [np.asarray(col) for col in columns]
+        rows = len(columns)
+        cols = columns[0].shape[0] if rows else 0
+        dtype = columns[0].dtype if rows else np.dtype("float64")
+        if not self.fits(rows, cols, dtype):
+            raise RingError(
+                f"block ({rows}, {cols}) {dtype} exceeds slot_bytes="
+                f"{self.slot_bytes}"
+            )
+        slot = int(tag) % self.slots
+        block = np.ndarray(
+            (rows, cols),
+            dtype=dtype,
+            buffer=self._shm.buf,
+            offset=slot * self.slot_bytes + HEADER_BYTES,
+        )
+        for i, col in enumerate(columns):
+            block[i, :] = col
+        header = self._header(slot)
+        header[0] = int(tag)
+        header[1] = block.nbytes
+        return {
+            "name": self.name,
+            "slot": slot,
+            "tag": int(tag),
+            "ids": [int(q) for q in ids],
+            "rows": rows,
+            "cols": cols,
+            "dtype": str(dtype),
+        }
+
+    def write_bytes(self, *, tag: int, payload: bytes) -> dict:
+        """Copy an opaque *payload* (e.g. pickled worker-side top-k
+        results) into slot ``tag % slots``; return its descriptor.
+
+        The same header/tag protocol as :meth:`write` applies, so a
+        torn or recycled slot is detected identically."""
+
+        nbytes = len(payload)
+        if HEADER_BYTES + nbytes > self.slot_bytes:
+            raise RingError(
+                f"payload of {nbytes} bytes exceeds slot_bytes="
+                f"{self.slot_bytes}"
+            )
+        slot = int(tag) % self.slots
+        start = slot * self.slot_bytes + HEADER_BYTES
+        self._shm.buf[start:start + nbytes] = payload
+        header = self._header(slot)
+        header[0] = int(tag)
+        header[1] = nbytes
+        return {
+            "name": self.name,
+            "slot": slot,
+            "tag": int(tag),
+            "kind": "bytes",
+            "nbytes": nbytes,
+        }
+
+    def read_bytes(self, descriptor: dict) -> bytes:
+        """Validate a :meth:`write_bytes` descriptor and copy the
+        payload back out (a copy, so the slot is free immediately)."""
+
+        slot = int(descriptor["slot"])
+        nbytes = int(descriptor["nbytes"])
+        if descriptor.get("name", self.name) != self.name:
+            raise RingError("descriptor names a different ring")
+        if not 0 <= slot < self.slots:
+            raise RingError(f"slot {slot} out of range (slots={self.slots})")
+        if HEADER_BYTES + nbytes > self.slot_bytes:
+            raise RingError("descriptor payload exceeds the slot")
+        header = self._header(slot)
+        if int(header[0]) != int(descriptor["tag"]):
+            raise RingError(
+                f"stale slot: header tag {int(header[0])} != descriptor "
+                f"tag {int(descriptor['tag'])}"
+            )
+        if int(header[1]) != nbytes:
+            raise RingError("torn write: header nbytes mismatch")
+        start = slot * self.slot_bytes + HEADER_BYTES
+        return bytes(self._shm.buf[start:start + nbytes])
+
+    def read(self, descriptor: dict) -> np.ndarray:
+        """Validate *descriptor* and return a read-only ``(rows, cols)``
+        view into the slot.  Raises :class:`RingError` on a stale tag or
+        out-of-bounds shape (torn write, recycled slot, wrong ring)."""
+
+        slot = int(descriptor["slot"])
+        rows = int(descriptor["rows"])
+        cols = int(descriptor["cols"])
+        dtype = np.dtype(descriptor["dtype"])
+        if descriptor.get("name", self.name) != self.name:
+            raise RingError("descriptor names a different ring")
+        if not 0 <= slot < self.slots:
+            raise RingError(f"slot {slot} out of range (slots={self.slots})")
+        nbytes = rows * cols * dtype.itemsize
+        if HEADER_BYTES + nbytes > self.slot_bytes:
+            raise RingError("descriptor shape exceeds the slot")
+        header = self._header(slot)
+        if int(header[0]) != int(descriptor["tag"]):
+            raise RingError(
+                f"stale slot: header tag {int(header[0])} != descriptor "
+                f"tag {int(descriptor['tag'])}"
+            )
+        if int(header[1]) != nbytes:
+            raise RingError("torn write: header nbytes mismatch")
+        block = np.ndarray(
+            (rows, cols),
+            dtype=dtype,
+            buffer=self._shm.buf,
+            offset=slot * self.slot_bytes + HEADER_BYTES,
+        )
+        block.flags.writeable = False
+        return block

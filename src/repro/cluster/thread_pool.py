@@ -1,0 +1,414 @@
+"""`ThreadWorkerPool` — the in-process, zero-transport cluster backend.
+
+The process pool pays a real transport (pickle or shared-memory ring)
+because its engines live in other address spaces. But the blocked
+column kernels spend their time inside scipy's sparse matmul and BLAS
+— C code that can release the GIL — so a pool of *threads* over
+per-thread engines sharing **one** in-process index is a viable second
+backend with no transport cost at all: the "shard" call runs directly
+on the router's dispatch thread and returns the engine's own arrays.
+
+This class duck-types :class:`~repro.cluster.WorkerPool` exactly where
+the router, the serving service, the observability bindings, and the
+status renderer touch it: ``size`` / ``started`` / ``current_seq`` /
+``_workers`` (with ``alive`` / ``respawns`` per worker), ``start`` /
+``prepare`` / ``commit`` / ``release`` / ``stop``, ``shard`` /
+``shard_tasks``, ``worker_status`` / ``describe`` /
+``transport_stats``.  Differences are deliberate:
+
+* ``persists_index`` is ``False`` — there is no per-generation index
+  file to mirror (every worker adopts the snapshot engine's exported
+  index in place, sharing its artifact arrays).
+* ``kill_worker`` raises :class:`ClusterError`: a thread cannot be
+  SIGKILLed; chaos drills belong to the process backend.
+* Each worker still owns a :class:`~repro.obs.MetricsRegistry` with
+  the same series names as a process worker, so the
+  ``repro_shard_dispatch_seconds`` vs ``repro_worker_compute_seconds``
+  split — and :meth:`ShardRouter.collect_worker_metrics
+  <repro.cluster.ShardRouter.collect_worker_metrics>` — work
+  identically across backends.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from time import perf_counter
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.pool import ClusterError, WorkerCrash
+
+__all__ = ["ThreadWorkerPool"]
+
+
+class _ThreadWorker:
+    """One thread-backend worker: a bundle of per-generation engines."""
+
+    __slots__ = (
+        "index", "engines", "registry", "m_shards", "m_columns",
+        "m_compute", "shards_served", "respawns", "job_counter",
+        "columns_served", "tasks_served", "transport_bytes",
+        "compute_seconds", "transport_seconds", "ring_replies",
+        "pickle_replies", "task_replies", "lock",
+    )
+
+    #: a thread is alive as long as the pool is — there is no process
+    #: to crash (`kill_worker` refuses); the attribute exists because
+    #: status rendering and the obs gauges read it off every worker
+    alive = property(lambda self: True)
+
+    def __init__(self, index: int) -> None:
+        from repro.obs import MetricsRegistry
+
+        self.index = index
+        self.engines: dict[int, Any] = {}
+        self.shards_served = 0
+        self.respawns = 0
+        self.job_counter = 0
+        self.columns_served = 0
+        self.tasks_served = 0
+        self.transport_bytes = 0
+        self.compute_seconds = 0.0
+        self.transport_seconds = 0.0
+        self.ring_replies = 0
+        self.pickle_replies = 0
+        self.task_replies = 0
+        self.lock = threading.Lock()
+        self.registry = MetricsRegistry()
+        self.m_shards = self.registry.counter(
+            "repro_worker_shards_total",
+            "Column shards this worker served.",
+        )
+        self.m_columns = self.registry.counter(
+            "repro_worker_columns_served_total",
+            "Query columns this worker computed for shards.",
+        )
+        self.m_compute = self.registry.histogram(
+            "repro_worker_compute_seconds",
+            "Worker-side blocked column-walk time per shard.",
+        )
+        self.registry.counter_fn(
+            "repro_worker_tasks_total",
+            "Selection tasks (worker-side top-k / score) this "
+            "worker ran.",
+            lambda: self.tasks_served,
+        )
+        self.registry.gauge_fn(
+            "repro_worker_generations",
+            "Engine generations this worker currently holds.",
+            lambda: len(self.engines),
+        )
+
+
+class ThreadWorkerPool:
+    """K thread-local engines over one shared in-process index.
+
+    Drop-in alternative to :class:`~repro.cluster.WorkerPool` for the
+    :class:`~repro.cluster.ShardRouter` (``backend="thread"`` on
+    :class:`~repro.serve.ServingService`). ``prepare`` exports the
+    snapshot engine's index once and has every worker adopt it —
+    the artifact arrays are shared, only the per-engine memo state is
+    private — so a generation swap is O(1) per worker and a shard
+    dispatch is a plain method call on the router's shard thread.
+
+    Construction is inert, exactly like the process pool:
+
+    >>> from repro.cluster import ThreadWorkerPool
+    >>> pool = ThreadWorkerPool(workers=4)
+    >>> pool.size, pool.started, pool.backend, pool.persists_index
+    (4, False, 'thread', False)
+    """
+
+    backend = "thread"
+    persists_index = False
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        shard_timeout: float = 120.0,
+        **_compat: Any,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.size = int(workers)
+        self.shard_timeout = float(shard_timeout)
+        self._workers: list[_ThreadWorker] = []
+        # seq -> (exported index, graph, config): what a respawn (or a
+        # late prepare) rebuilds engines from without touching the
+        # snapshot manager again
+        self._sources: dict[int, tuple] = {}
+        self._lock = threading.Lock()
+        self.current_seq = -1
+        self.started = False
+        self.releases = 0
+        self.index_saves = 0
+        self.delta_generations = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle + generations
+    # ------------------------------------------------------------------
+    def start(self, snapshot) -> None:
+        """Create the workers, primed with ``snapshot`` as gen 0."""
+        if self.started:
+            raise ClusterError("pool already started")
+        self._workers = [_ThreadWorker(i) for i in range(self.size)]
+        self.started = True
+        self.prepare(snapshot)
+        self.commit(snapshot.seq)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drop every engine (idempotent; threads die with the pool)."""
+        if not self.started:
+            return
+        self.started = False
+        for worker in self._workers:
+            worker.engines.clear()
+        with self._lock:
+            self._sources.clear()
+        self.current_seq = -1
+
+    def prepare(self, snapshot) -> list[dict]:
+        """Phase one: every worker adopts ``snapshot``'s index.
+
+        The export is computed once; each worker's
+        ``SimilarityEngine.from_index`` adoption shares the artifact
+        arrays (transition CSR, factors, walk segments) and keeps only
+        the column memo private — the per-thread engines over one
+        in-process index the backend exists for.
+        """
+        if not self.started:
+            return []
+        from repro.engine.engine import SimilarityEngine
+
+        index = snapshot.engine.export_index()
+        graph = snapshot.graph
+        config = snapshot.engine.config
+        with self._lock:
+            self._sources[snapshot.seq] = (index, graph, config)
+        infos = []
+        for worker in self._workers:
+            engine = SimilarityEngine.from_index(index, graph, config)
+            worker.engines[snapshot.seq] = engine
+            infos.append(
+                {"adopted": True, "rebuilt": False, "delta": False}
+            )
+        return infos
+
+    def commit(self, seq: int) -> None:
+        """Phase two: mark ``seq`` current (pure bookkeeping)."""
+        if self.started:
+            self.current_seq = max(self.current_seq, seq)
+
+    def release(self, seq: int) -> None:
+        """Drop generation ``seq`` everywhere (synchronous, cheap)."""
+        with self._lock:
+            dropped = self._sources.pop(seq, None) is not None
+        for worker in self._workers:
+            worker.engines.pop(seq, None)
+        if dropped:
+            self.releases += 1
+
+    def respawn(self, worker_index: int) -> None:
+        """Rebuild one worker's engines from the recorded sources."""
+        if not self.started:
+            raise ClusterError(
+                "pool is stopped; refusing to respawn a worker"
+            )
+        from repro.engine.engine import SimilarityEngine
+
+        worker = self._workers[worker_index]
+        with self._lock:
+            sources = dict(self._sources)
+        worker.engines = {
+            seq: SimilarityEngine.from_index(index, graph, config)
+            for seq, (index, graph, config) in sorted(sources.items())
+        }
+        worker.respawns += 1
+
+    def kill_worker(self, worker_index: int) -> int:
+        """Chaos hook — meaningless for threads, so it refuses."""
+        raise ClusterError(
+            "thread backend has no worker processes to kill; "
+            "run chaos drills against backend='process'"
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _engine(self, worker: _ThreadWorker, seq: int):
+        engine = worker.engines.get(seq)
+        if engine is None:
+            raise WorkerCrash(
+                f"worker {worker.index} holds no generation {seq} "
+                f"(live: {sorted(worker.engines)})"
+            )
+        return engine
+
+    def shard(
+        self,
+        worker_index: int,
+        seq: int,
+        ids: list[int],
+        *,
+        trace_ids: list[str] | None = None,
+        meta: dict | None = None,
+    ) -> dict:
+        """One column shard, computed in-place on the calling thread."""
+        worker = self._workers[worker_index]
+        engine = self._engine(worker, seq)
+        t0 = perf_counter()
+        columns = engine.columns(ids)
+        compute_s = perf_counter() - t0
+        payload = {
+            int(q): np.asarray(col) for q, col in columns.items()
+        }
+        self._account(
+            worker, compute_s, len(ids), 0, trace_ids, meta, "inproc"
+        )
+        return payload
+
+    def shard_tasks(
+        self,
+        worker_index: int,
+        seq: int,
+        tasks: list[dict],
+        *,
+        trace_ids: list[str] | None = None,
+        meta: dict | None = None,
+    ) -> list:
+        """Selection tasks, same contract as the process pool's."""
+        from repro.cluster.worker import run_tasks
+
+        worker = self._workers[worker_index]
+        engine = self._engine(worker, seq)
+        t0 = perf_counter()
+        results, ncols = run_tasks(engine, tasks)
+        compute_s = perf_counter() - t0
+        with worker.lock:
+            worker.tasks_served += len(tasks)
+            worker.task_replies += 1
+        self._account(
+            worker, compute_s, ncols, 0, trace_ids, meta, "inproc"
+        )
+        return results
+
+    def _account(
+        self, worker, compute_s, ncols, payload_bytes, trace_ids,
+        meta, path,
+    ) -> None:
+        with worker.lock:
+            worker.shards_served += 1
+            worker.columns_served += ncols
+            worker.compute_seconds += compute_s
+            worker.transport_bytes += payload_bytes
+            worker.m_shards.inc()
+            worker.m_columns.inc(ncols)
+            worker.m_compute.observe(compute_s)
+        if meta is not None:
+            meta.update({
+                "pid": os.getpid(),
+                "compute_seconds": compute_s,
+                "payload_bytes": payload_bytes,
+                "path": path,
+            })
+            if trace_ids is not None:
+                meta["trace_ids"] = list(trace_ids)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def worker_status(
+        self,
+        timeout: float = 5.0,
+        busy_wait: float = 0.5,
+        *,
+        strip_metrics: bool = True,
+    ) -> list[dict]:
+        """Per-worker status, shaped like the process pool's."""
+        out = []
+        for worker in self._workers:
+            entry = {
+                "index": worker.index,
+                "pid": os.getpid(),
+                "alive": self.started,
+                "busy": False,
+                "shards_served": worker.shards_served,
+                "respawns": worker.respawns,
+                "current_seq": self.current_seq,
+                "generations": sorted(worker.engines),
+                "columns_served": worker.columns_served,
+                "tasks_served": worker.tasks_served,
+                "prepare_rebuilds": 0,
+                "delta_prepares": 0,
+                "ring": None,
+                "ring_writes": 0,
+                "ring_fallbacks": 0,
+                "transport_bytes": worker.transport_bytes,
+            }
+            if not strip_metrics:
+                entry["metrics"] = worker.registry.snapshot()
+            out.append(entry)
+        return out
+
+    def transport_stats(self) -> dict:
+        """Transport accounting — trivially all-zero: no transport."""
+        return {
+            "mode": "inproc",
+            "ring_slots": 0,
+            "ring_slot_bytes": 0,
+            "ring_bytes_per_worker": 0,
+            "ring_allocations": 0,
+            "ring_unavailable": False,
+            "ring_replies": 0,
+            "pickle_replies": 0,
+            "task_replies": sum(
+                w.task_replies for w in self._workers
+            ),
+            "transport_bytes": 0,
+            "compute_seconds": sum(
+                w.compute_seconds for w in self._workers
+            ),
+            "transport_seconds": 0.0,
+            "per_worker": [
+                {
+                    "index": w.index,
+                    "ring_replies": 0,
+                    "pickle_replies": 0,
+                    "task_replies": w.task_replies,
+                    "transport_bytes": 0,
+                    "compute_seconds": w.compute_seconds,
+                    "transport_seconds": 0.0,
+                }
+                for w in self._workers
+            ],
+        }
+
+    def describe(self) -> dict:
+        """JSON-ready pool state, shaped like the process pool's."""
+        with self._lock:
+            generations = sorted(self._sources)
+        return {
+            "workers": self.size,
+            "backend": self.backend,
+            "started": self.started,
+            "current_seq": self.current_seq,
+            "generations": generations,
+            "delta_generations": [],
+            "parked": [],
+            "delta_registered": 0,
+            "index_dir": None,
+            "index_saves": self.index_saves,
+            "releases": self.releases,
+            "respawns": sum(w.respawns for w in self._workers),
+            "transport": self.transport_stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadWorkerPool(workers={self.size}, "
+            f"started={self.started}, "
+            f"current_seq={self.current_seq})"
+        )

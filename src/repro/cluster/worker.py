@@ -33,11 +33,19 @@ request                               reply
 ====================================  ===================================
 ``("prepare", seq, payload)``         ``("prepared", seq, info)`` or
                                       ``("prepare_failed", seq, error)``
-``("columns", job, seq, ids)``        ``("columns", job, {id: column})``
-                                      or ``("error", job, message)``
-``("columns", job, seq, ids, meta)``  ``("columns", job, {id: column},``
+``("columns", job, seq, ids)``        ``("columns", job, {id: column},``
+                                      ``reply_meta)`` or
+                                      ``("columns_shm", job, descriptor,``
                                       ``reply_meta)`` or
                                       ``("error", job, message)``
+``("columns", job, seq, ids, meta)``  same, with ``meta["trace_ids"]``
+                                      echoed in ``reply_meta``
+``("tasks", job, seq, tasks)``        ``("tasks", job, results,``
+``("tasks", job, seq, tasks, meta)``  ``reply_meta)`` or
+                                      ``("tasks_shm", job,``
+                                      ``descriptor, reply_meta)`` or
+                                      ``("error", job, message)``
+``("ring", spec_or_None)``            *(no reply; attach/drop the ring)*
 ``("status", job)``                   ``("status", job, info_dict)``
 ``("commit", seq)``                   *(no reply)*
 ``("release", seq)``                  *(no reply)*
@@ -48,12 +56,28 @@ The request/reply pairing is positional — the parent serialises use of
 each connection — which is why the fire-and-forget messages must never
 answer.
 
-The five-element ``columns`` form is the traced variant: ``meta``
-carries the batch's request ``trace_ids``, and ``reply_meta`` echoes
-them back alongside the worker's pid and its measured
-``compute_seconds`` — how a request trace proves its span crossed the
-process boundary. The ``status`` reply's ``info_dict`` additionally
-carries a cumulative ``metrics`` snapshot of the worker's own
+``columns_shm`` is the zero-copy transport: the worker wrote the score
+block into its :class:`~repro.cluster.shm.ResultRing` slot and the
+reply carries only a tiny descriptor (ring name, slot, tag, ids,
+shape).  The worker falls back to the pickled ``columns`` form — never
+an error — when no ring is attached or the block does not fit a slot;
+fallbacks are counted in its status.  ``tasks`` is the worker-side
+top-k form: each task is ``{"op": "top_k", "query": q, "k": k,
+"include_query": bool}`` or ``{"op": "score", "query": q, "u": u}``
+and the reply ships only ``("top_k", nodes, scores)`` /
+``("score", value)`` tuples per task (see :func:`run_tasks`), so full
+column blocks never cross the hop at all.  When a ring is attached
+the pickled results themselves travel through a ring slot
+(``tasks_shm``) and only the descriptor crosses the pipe.
+
+``reply_meta`` always carries the worker's ``pid``, its measured
+``compute_seconds``, the transport ``path`` (``"shm"``, ``"pickle"``,
+``"tasks"`` or ``"tasks_shm"``) and the ``payload_bytes`` that crossed the
+pipe — how the parent proves where the transport cost went.  With the
+five-element traced request form it also echoes the batch's
+``trace_ids``, proving a request span crossed the process boundary.
+The ``status`` reply's ``info_dict`` additionally carries a cumulative
+``metrics`` snapshot of the worker's own
 :class:`~repro.obs.MetricsRegistry`, which the parent merges into its
 registry with replacement semantics (idempotent, never
 double-counted).
@@ -62,13 +86,102 @@ double-counted).
 from __future__ import annotations
 
 import os
+import pickle
 import signal
 import threading
 from typing import Any
 
 import numpy as np
 
-__all__ = ["graph_from_payload", "graph_to_payload", "worker_main"]
+from repro.cluster.shm import ResultRing
+
+__all__ = [
+    "graph_from_payload",
+    "graph_to_payload",
+    "run_tasks",
+    "worker_main",
+]
+
+
+def _pickled_columns_bytes(columns) -> int:
+    """Estimated pipe bytes for a pickled ``{id: column}`` payload.
+
+    ``array.nbytes`` dominates; the per-entry constant covers pickle
+    framing and the numpy array headers without paying an actual
+    serialization just to measure one.
+    """
+
+    return 128 + sum(int(np.asarray(c).nbytes) + 64 for c in columns)
+
+
+def run_tasks(engine, tasks) -> tuple[list, int]:
+    """Run selection *tasks* against *engine*, returning compact results.
+
+    This is the worker-side half of the worker-side top-k transport:
+    the expensive ``(n,)`` score columns stay in the worker, and each
+    task collapses to either ``("top_k", nodes, scores)`` — the ranked
+    node ids and their scores, selected with the *exact* parent
+    algorithm (:meth:`~repro.engine.results.Ranking.from_scores`, so
+    tie-breaks match bit for bit) — or ``("score", value)`` for a
+    node-pair probe.  Labels never ship: the parent holds the same
+    graph and re-attaches them at render time.
+
+    A task that fails on its own terms (e.g. a negative ``k``) yields
+    ``("error", repr(exc))`` in its slot instead of poisoning the
+    whole shard — mirroring the parent render loop, where one bad
+    request never fails its batch.
+
+    Duplicate queries across tasks share one column computation.
+    Returns ``(results, distinct_columns)``.
+
+    >>> from repro.engine import SimilarityConfig, SimilarityEngine
+    >>> from repro.graph import figure1_citation_graph
+    >>> engine = SimilarityEngine(
+    ...     figure1_citation_graph(), SimilarityConfig(measure="gSR*"))
+    >>> results, ncols = run_tasks(engine, [
+    ...     {"op": "top_k", "query": 0, "k": 2},
+    ...     {"op": "score", "query": 0, "u": 1},
+    ... ])
+    >>> ncols, results[0][0], results[1][0]
+    (1, 'top_k', 'score')
+    >>> expected = engine.top_k(0, k=2)
+    >>> list(results[0][1]) == expected.nodes
+    True
+    """
+
+    from repro.engine.results import Ranking
+
+    distinct = list(dict.fromkeys(int(t["query"]) for t in tasks))
+    columns = engine.columns(distinct)
+    results: list = []
+    for task in tasks:
+        try:
+            column = np.asarray(columns[int(task["query"])])
+            if task["op"] == "score":
+                results.append(
+                    ("score", float(column[int(task["u"])]))
+                )
+                continue
+            ranking = Ranking.from_scores(
+                column,
+                query=int(task["query"]),
+                k=int(task["k"]),
+                include_query=bool(task.get("include_query", False)),
+            )
+            nodes = np.fromiter(
+                (e.node for e in ranking),
+                dtype=np.int64,
+                count=len(ranking),
+            )
+            scores = np.fromiter(
+                (e.score for e in ranking),
+                dtype=np.float64,
+                count=len(ranking),
+            )
+            results.append(("top_k", nodes, scores))
+        except Exception as exc:  # noqa: BLE001 - per-task isolation
+            results.append(("error", repr(exc)))
+    return results, len(distinct)
 
 
 def graph_to_payload(graph) -> dict:
@@ -264,6 +377,12 @@ def worker_main(conn) -> None:
     prepare_rebuilds = 0
     delta_prepares = 0
     columns_served = 0
+    tasks_served = 0
+    ring: ResultRing | None = None
+    ring_tag = 0
+    ring_writes = 0
+    ring_fallbacks = 0
+    transport_bytes = 0
     # the worker's own registry: cumulative counters shipped whole on
     # every status ping, merged parent-side with replacement semantics
     registry = MetricsRegistry()
@@ -304,6 +423,38 @@ def worker_main(conn) -> None:
         "Column-memo misses summed over this worker's live engines.",
         lambda: sum(e.stats.misses for e in engines.values()),
     )
+    registry.counter_fn(
+        "repro_worker_tasks_total",
+        "Selection tasks (worker-side top-k / score) this worker ran.",
+        lambda: tasks_served,
+    )
+    registry.counter_fn(
+        "repro_worker_ring_writes_total",
+        "Shard results shipped through the shared-memory ring.",
+        lambda: ring_writes,
+    )
+    registry.counter_fn(
+        "repro_worker_ring_fallbacks_total",
+        "Shard results that fell back to pickle despite a ring.",
+        lambda: ring_fallbacks,
+    )
+    registry.counter_fn(
+        "repro_worker_transport_bytes_total",
+        "Estimated reply-payload bytes shipped over the pipe.",
+        lambda: transport_bytes,
+    )
+
+    def reply_meta(compute_s, payload_bytes, path, request_meta):
+        meta = {
+            "pid": os.getpid(),
+            "compute_seconds": compute_s,
+            "payload_bytes": int(payload_bytes),
+            "path": path,
+        }
+        if request_meta is not None:
+            meta["trace_ids"] = request_meta.get("trace_ids", [])
+        return meta
+
     while True:
         try:
             message = conn.recv()
@@ -334,6 +485,19 @@ def worker_main(conn) -> None:
             current_seq = max(current_seq, message[1])
         elif kind == "release":
             engines.pop(message[1], None)
+        elif kind == "ring":
+            # fire-and-forget: adopt (or drop, on None) the shared-
+            # memory ring the parent allocated for this worker; any
+            # attach failure silently leaves the pickle path active
+            spec = message[1]
+            if ring is not None:
+                ring.close()
+                ring = None
+            if spec is not None:
+                try:
+                    ring = ResultRing.attach(spec)
+                except Exception:  # noqa: BLE001 - fallback, counted
+                    ring = None
         elif kind == "columns":
             _, job, seq, ids, *extra = message
             request_meta = extra[0] if extra else None
@@ -349,28 +513,99 @@ def worker_main(conn) -> None:
                 t0 = perf_counter()
                 columns = engine.columns(ids)
                 compute_s = perf_counter() - t0
-                # plain-dict copy: Connection.send pickles, and the
-                # memo's read-only views pickle as owned arrays
-                payload = {
-                    int(q): np.asarray(col)
-                    for q, col in columns.items()
-                }
+                qids = [int(q) for q in ids]
+                cols = [np.asarray(columns[q]) for q in qids]
                 m_shards.inc()
                 m_columns.inc(len(ids))
                 m_compute.observe(compute_s)
-                if request_meta is None:
-                    conn.send(("columns", job, payload))
-                else:
+                descriptor = None
+                if ring is not None and cols:
+                    width = cols[0].shape[0]
+                    if ring.fits(len(cols), width, cols[0].dtype):
+                        ring_tag += 1
+                        descriptor = ring.write(
+                            tag=ring_tag, ids=qids, columns=cols
+                        )
+                    else:
+                        ring_fallbacks += 1
+                if descriptor is not None:
+                    payload_bytes = len(pickle.dumps(descriptor))
+                    ring_writes += 1
+                    transport_bytes += payload_bytes
                     conn.send(
-                        ("columns", job, payload, {
-                            "pid": os.getpid(),
-                            "compute_seconds": compute_s,
-                            "trace_ids": request_meta.get(
-                                "trace_ids", []
-                            ),
-                        })
+                        ("columns_shm", job, descriptor, reply_meta(
+                            compute_s, payload_bytes, "shm",
+                            request_meta,
+                        ))
+                    )
+                else:
+                    # plain-dict copy: Connection.send pickles, and
+                    # the memo's read-only views pickle as owned
+                    # arrays
+                    payload = dict(zip(qids, cols))
+                    payload_bytes = _pickled_columns_bytes(cols)
+                    transport_bytes += payload_bytes
+                    conn.send(
+                        ("columns", job, payload, reply_meta(
+                            compute_s, payload_bytes, "pickle",
+                            request_meta,
+                        ))
                     )
                 columns_served += len(ids)
+            except Exception as exc:  # noqa: BLE001 - reported upward
+                conn.send(("error", job, repr(exc)))
+        elif kind == "tasks":
+            _, job, seq, tasks, *extra = message
+            request_meta = extra[0] if extra else None
+            engine = engines.get(seq)
+            if engine is None:
+                conn.send(
+                    ("error", job,
+                     f"worker holds no generation {seq} "
+                     f"(live: {sorted(engines)})")
+                )
+                continue
+            try:
+                t0 = perf_counter()
+                results, ncols = run_tasks(engine, tasks)
+                compute_s = perf_counter() - t0
+                m_shards.inc()
+                m_columns.inc(ncols)
+                m_compute.observe(compute_s)
+                tasks_served += len(tasks)
+                columns_served += ncols
+                payload = pickle.dumps(results)
+                descriptor = None
+                if ring is not None:
+                    # results are tiny; route them through the ring
+                    # too so only a descriptor crosses the pipe
+                    try:
+                        ring_tag += 1
+                        descriptor = ring.write_bytes(
+                            tag=ring_tag, payload=payload
+                        )
+                    except Exception:  # noqa: BLE001 - fall back
+                        descriptor = None
+                        ring_fallbacks += 1
+                if descriptor is not None:
+                    ring_writes += 1
+                    payload_bytes = len(pickle.dumps(descriptor))
+                    transport_bytes += payload_bytes
+                    conn.send(
+                        ("tasks_shm", job, descriptor, reply_meta(
+                            compute_s, payload_bytes, "tasks_shm",
+                            request_meta,
+                        ))
+                    )
+                else:
+                    payload_bytes = len(payload)
+                    transport_bytes += payload_bytes
+                    conn.send(
+                        ("tasks", job, results, reply_meta(
+                            compute_s, payload_bytes, "tasks",
+                            request_meta,
+                        ))
+                    )
             except Exception as exc:  # noqa: BLE001 - reported upward
                 conn.send(("error", job, repr(exc)))
         elif kind == "status":
@@ -381,8 +616,13 @@ def worker_main(conn) -> None:
                     "current_seq": current_seq,
                     "generations": sorted(engines),
                     "columns_served": columns_served,
+                    "tasks_served": tasks_served,
                     "prepare_rebuilds": prepare_rebuilds,
                     "delta_prepares": delta_prepares,
+                    "ring": None if ring is None else ring.spec(),
+                    "ring_writes": ring_writes,
+                    "ring_fallbacks": ring_fallbacks,
+                    "transport_bytes": transport_bytes,
                     "metrics": registry.snapshot(),
                 })
             )

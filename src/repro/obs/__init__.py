@@ -107,6 +107,7 @@ class NullObservability:
         self.batch_size = _NOOP
         self.render_seconds = _NOOP
         self.shard_dispatch = _NOOP
+        self.transport_bytes = _NOOP
         self.swap_stage = _NOOP
 
     def start_trace(self, kind: str):
@@ -220,6 +221,13 @@ class Observability:
             "Round-trip time per shard dispatched to a worker "
             "process.",
             labelnames=("worker",),
+        )
+        self.transport_bytes = registry.counter(
+            "repro_transport_bytes_total",
+            "Bytes that crossed the worker pipe per shard reply, by "
+            "transport path (shm descriptor, pickle block, task "
+            "results, in-process).",
+            labelnames=("path",),
         )
         self.swap_stage = registry.histogram(
             "repro_swap_stage_seconds",
@@ -423,6 +431,49 @@ class Observability:
                 "repro_cluster_releases_total",
                 "Generations released after draining.",
                 lambda: router.pool.releases,
+            )
+            for field, help_text in (
+                ("ring_replies",
+                 "Shard replies returned through shared-memory "
+                 "rings."),
+                ("pickle_replies",
+                 "Shard replies that fell back to pickled blocks."),
+                ("task_replies",
+                 "Shard replies carrying worker-side top-k/score "
+                 "results."),
+                ("transport_bytes",
+                 "Bytes that crossed the worker pipe "
+                 "(parent-side accounting)."),
+            ):
+                registry.counter_fn(
+                    f"repro_cluster_{field}_total",
+                    help_text,
+                    (lambda f=field: sum(
+                        getattr(w, f, 0) for w in router.pool._workers
+                    )),
+                )
+            for field, help_text in (
+                ("compute_seconds",
+                 "Cumulative worker-reported shard compute time."),
+                ("transport_seconds",
+                 "Cumulative shard round-trip time minus compute — "
+                 "the transport share."),
+            ):
+                registry.gauge_fn(
+                    f"repro_cluster_{field}",
+                    help_text,
+                    (lambda f=field: sum(
+                        getattr(w, f, 0.0)
+                        for w in router.pool._workers
+                    )),
+                )
+            registry.gauge_fn(
+                "repro_cluster_ring_bytes",
+                "Shared-memory ring bytes mapped per worker "
+                "(0 for thread/pickle transports).",
+                lambda: router.pool.transport_stats().get(
+                    "ring_bytes_per_worker", 0
+                ),
             )
         started = time.monotonic()
         registry.gauge_fn(

@@ -91,9 +91,40 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "(repro.cluster); 0 = serve in-process (default)",
     )
     parser.add_argument(
+        "--backend", choices=("process", "thread"), default="process",
+        help="cluster backend (with --workers): 'process' (default) "
+        "forks worker processes sharing one mmap'd index, 'thread' "
+        "runs per-thread engines adopting one in-process index — "
+        "zero transport, scales when the kernels release the GIL",
+    )
+    parser.add_argument(
         "--shard-timeout", type=float, default=120.0,
         help="seconds before a hung worker is killed and its shard "
         "retried (cluster mode only; default 120)",
+    )
+    parser.add_argument(
+        "--transport", choices=("shm", "pickle"), default="shm",
+        help="process-backend shard transport: 'shm' (default) "
+        "returns results through per-worker shared-memory rings "
+        "(only a tiny descriptor crosses the pipe), 'pickle' forces "
+        "the classic pickled blocks",
+    )
+    parser.add_argument(
+        "--ring-slots", type=int, default=2,
+        help="slots per shared-memory result ring (default 2: "
+        "double buffering)",
+    )
+    parser.add_argument(
+        "--ring-mb", type=float, default=64.0,
+        help="per-slot shared-memory cap in MiB (default 64); "
+        "blocks that do not fit fall back to pickle, counted in "
+        "/status",
+    )
+    parser.add_argument(
+        "--no-worker-topk", action="store_true",
+        help="disable worker-side top-k selection and ship full "
+        "(n, B) score columns to the parent instead of (k, B) "
+        "ids+scores (cluster mode only)",
     )
     parser.add_argument(
         "--delta-mode", choices=("auto", "off"), default="auto",
@@ -144,7 +175,12 @@ def _build_service(args) -> ServingService:
         cache_entries=args.cache_entries,
         index_path=getattr(args, "index", None),
         workers=args.workers,
+        backend=args.backend,
         shard_timeout=args.shard_timeout,
+        transport=args.transport,
+        ring_slots=args.ring_slots,
+        ring_mb=args.ring_mb,
+        worker_topk=not args.no_worker_topk,
         delta_mode=args.delta_mode,
         max_delta_fraction=args.max_delta_fraction,
         max_chain_depth=args.max_chain_depth,
@@ -299,7 +335,7 @@ def _cmd_serve(args) -> int:
     )
     snapshot = service.snapshots.current
     mode = (
-        f"{args.workers} worker processes" if args.workers
+        f"{args.workers} {args.backend} workers" if args.workers
         else "in-process"
     )
     print(
@@ -432,11 +468,35 @@ def render_status(document: dict) -> str:
         )
         lines.append(
             f"cluster       workers={pool.get('workers', 0)} "
-            f"(alive={alive}) seq={pool.get('current_seq', 0)} "
+            f"(alive={alive}) backend={pool.get('backend', 'process')} "
+            f"seq={pool.get('current_seq', 0)} "
             f"shards={cluster.get('shards_dispatched', 0)} "
             f"retries={cluster.get('shard_retries', 0)} "
             f"respawns={pool.get('respawns', 0)}"
         )
+        transport = pool.get("transport") or {}
+        if transport:
+            lines.append(
+                f"transport     mode={transport.get('mode', '?')} "
+                f"ring_bytes={transport.get('ring_bytes_per_worker', 0)}"
+                f"/worker replies: "
+                f"shm={transport.get('ring_replies', 0)} "
+                f"pickle={transport.get('pickle_replies', 0)} "
+                f"tasks={transport.get('task_replies', 0)}; "
+                f"bytes={transport.get('transport_bytes', 0)}"
+            )
+            for row in transport.get("per_worker", ()):
+                compute = row.get("compute_seconds", 0.0)
+                shuttle = row.get("transport_seconds", 0.0)
+                busy = compute + shuttle
+                share = shuttle / busy if busy > 0 else 0.0
+                lines.append(
+                    f"  worker {row.get('index', '?')}   "
+                    f"compute={compute * 1e3:.1f} ms "
+                    f"transport={shuttle * 1e3:.1f} ms "
+                    f"(transport share {share:.1%}) "
+                    f"bytes={row.get('transport_bytes', 0)}"
+                )
     else:
         lines.append("cluster       in-process (workers=0)")
     if index.get("path"):
@@ -503,7 +563,7 @@ def _cmd_smoke(args) -> int:
         f"smoke: {args.clients} clients x "
         f"{args.requests_per_client} requests against {url} "
         + (
-            f"({args.workers} worker processes)" if args.workers
+            f"({args.workers} {args.backend} workers)" if args.workers
             else "(in-process)"
         ),
         flush=True,

@@ -30,7 +30,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.engine.results import Ranking
+from repro.engine.results import RankedNode, Ranking
 from repro.serve.cache import ResultCache
 from repro.serve.snapshot import Snapshot, SnapshotManager
 
@@ -412,6 +412,29 @@ class QueryBroker:
             return
 
         ids = [node for _, node, _ in work]
+        # worker-side top-k: ship selection tasks, not column
+        # requests — the workers run the exact parent ranking
+        # algorithm and only (k, B) ids+scores cross the pipe
+        task_mode = self._router is not None and getattr(
+            self._router, "worker_topk", False
+        )
+        tasks: list[dict] | None = None
+        if task_mode:
+            tasks = [
+                {
+                    "op": "score",
+                    "query": node,
+                    "u": extra,
+                }
+                if request.kind == "score"
+                else {
+                    "op": "top_k",
+                    "query": node,
+                    "k": request.k,
+                    "include_query": request.include_query,
+                }
+                for request, node, extra in work
+            ]
         shard_meta = None
         if self._router is not None and obs.enabled:
             shard_meta = {
@@ -425,7 +448,11 @@ class QueryBroker:
             # runs on the executor thread: times the blocked column
             # work itself, separate from the executor hop around it
             t0 = perf_counter()
-            if self._router is not None:
+            if task_mode:
+                cols = self._router.compute_tasks(
+                    snapshot.seq, tasks, meta=shard_meta
+                )
+            elif self._router is not None:
                 cols = self._router.compute(
                     snapshot.seq, ids, meta=shard_meta
                 )
@@ -484,17 +511,20 @@ class QueryBroker:
                 )
 
         labels = engine.graph.labels
-        for request, node, extra in work:
+        for position, (request, node, extra) in enumerate(work):
             # per-request: a render failure (bad k, exotic payload)
             # fails its own future only — the dispatcher and the rest
             # of the batch must survive any single request
             try:
                 t_render = perf_counter()
-                column = columns[node]
                 result: Any
-                if request.kind == "top_k":
+                if task_mode:
+                    result = self._render_task_result(
+                        columns[position], node, engine, labels
+                    )
+                elif request.kind == "top_k":
                     result = Ranking.from_scores(
-                        column,
+                        columns[node],
                         query=node,
                         k=request.k,
                         labels=labels,
@@ -502,7 +532,7 @@ class QueryBroker:
                         measure=engine.measure.name,
                     )
                 else:
-                    result = float(column[extra])
+                    result = float(columns[node][extra])
                 if self._cache is not None:
                     self._cache.put(
                         request.cache_key(snapshot, self._config_key),
@@ -521,3 +551,36 @@ class QueryBroker:
                 obs.finish_trace(request.trace, "ok")
             if not request.future.done():
                 request.future.set_result(result)
+
+    def _render_task_result(self, item, node, engine, labels):
+        """A full result from one worker-side task reply.
+
+        Workers ship ranked node ids and scores but never labels —
+        the parent holds the identical graph, so re-attaching labels
+        here reconstructs the exact :class:`Ranking` the parent path
+        would have built, at a fraction of the transport bytes.
+        """
+        tag = item[0]
+        if tag == "error":
+            raise RuntimeError(
+                f"worker-side selection failed: {item[1]}"
+            )
+        if tag == "score":
+            return float(item[1])
+        _, nodes, scores = item
+        entries = [
+            RankedNode(
+                int(n),
+                float(s),
+                label=labels[int(n)] if labels is not None else None,
+            )
+            for n, s in zip(nodes, scores)
+        ]
+        return Ranking(
+            entries,
+            query=node,
+            query_label=(
+                labels[node] if labels is not None else None
+            ),
+            measure=engine.measure.name,
+        )

@@ -75,6 +75,25 @@ class ServingService:
         :class:`~repro.cluster.ShardRouter`. Mutations run the
         two-phase worker swap automatically; a dead worker is
         respawned and its shard retried, never dropped.
+    backend:
+        Cluster backend: ``"process"`` (default) forks a
+        :class:`~repro.cluster.WorkerPool`; ``"thread"`` runs the
+        same router over a :class:`~repro.cluster.ThreadWorkerPool`
+        — per-thread engines adopting one in-process index, no
+        transport at all (the kernels release the GIL inside
+        scipy/BLAS).
+    transport / ring_slots / ring_mb:
+        Process-backend transport knobs
+        (:class:`~repro.cluster.WorkerPool`): ``transport="shm"``
+        (default) returns shard results through per-worker
+        shared-memory rings with ``ring_slots`` slots of at most
+        ``ring_mb`` MiB each; ``transport="pickle"`` forces the
+        classic pickled transport.
+    worker_topk:
+        When true (default, cluster mode), top-k selection runs
+        *inside* the workers and only ``(k, B)`` ids+scores cross
+        the pipe; false ships full score columns and selects
+        parent-side.
     mp_context / shard_timeout:
         Cluster-only knobs, passed to the
         :class:`~repro.cluster.WorkerPool`.
@@ -129,8 +148,13 @@ class ServingService:
         cache_entries: int = 1024,
         index_path=None,
         workers: int = 0,
+        backend: str = "process",
         mp_context: str = "spawn",
         shard_timeout: float = 120.0,
+        transport: str = "shm",
+        ring_slots: int = 2,
+        ring_mb: float = 64.0,
+        worker_topk: bool = True,
         delta_mode: str = "auto",
         max_delta_fraction: float = 0.10,
         max_chain_depth: int = 8,
@@ -162,17 +186,37 @@ class ServingService:
             ResultCache(cache_entries) if cache_entries else None
         )
         self.cluster = None
+        if backend not in ("process", "thread"):
+            raise ValueError(
+                f"backend must be 'process' or 'thread', got {backend!r}"
+            )
         if workers:
-            from repro.cluster import ShardRouter, WorkerPool
+            from repro.cluster import (
+                ShardRouter,
+                ThreadWorkerPool,
+                WorkerPool,
+            )
 
-            self.cluster = ShardRouter(
-                WorkerPool(
+            if backend == "thread":
+                pool = ThreadWorkerPool(
+                    workers=workers,
+                    shard_timeout=shard_timeout,
+                )
+            else:
+                pool = WorkerPool(
                     workers=workers,
                     mp_context=mp_context,
                     shard_timeout=shard_timeout,
-                ),
+                    transport=transport,
+                    ring_slots=ring_slots,
+                    ring_mb=ring_mb,
+                    ring_max_batch=max_batch,
+                )
+            self.cluster = ShardRouter(
+                pool,
                 self.snapshots,
                 obs=self.observability,
+                worker_topk=worker_topk,
             )
             self.snapshots.pre_swap = self.cluster.pre_swap
             self.snapshots.post_swap = self.cluster.post_swap

@@ -66,6 +66,8 @@ DOCTEST_MODULES = (
     "repro.cluster.worker",
     "repro.cluster.pool",
     "repro.cluster.router",
+    "repro.cluster.shm",
+    "repro.cluster.thread_pool",
     "repro.cluster",
     "repro.approx",
     "repro.approx.walks",
