@@ -226,7 +226,7 @@ from repro.engine import (
 )
 from repro.index import IndexMismatchError, SimilarityIndex
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DiGraph",

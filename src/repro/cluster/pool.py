@@ -15,9 +15,12 @@ else (query routing lives in :class:`~repro.cluster.ShardRouter`):
   workers drop an old generation once the router has drained every
   batch pinned to it. Release messages are sent by a maintenance
   thread so a busy worker never blocks the swap path.
-* **chaos** — :meth:`kill_worker` SIGKILLs one worker, for failure
-  drills and the worker-death tests; the next shard routed at it
-  respawns and retries.
+* **chaos** — :meth:`kill_worker` SIGKILLs one worker,
+  :meth:`hang_worker` wedges one for a few seconds, and
+  :meth:`corrupt_next_reply` poisons one shard reply — the scripted
+  failure drills (``python -m repro.serve chaos``) exercise all
+  three; the next shard routed at a broken worker respawns it and
+  retries.
 
 Construction is cheap and safe everywhere (the doctest below builds a
 pool without starting it); only :meth:`start` forks processes.
@@ -837,6 +840,27 @@ class WorkerPool:
         process.kill()
         process.join(2.0)
         return pid
+
+    def hang_worker(self, worker_index: int, seconds: float) -> None:
+        """Wedge one worker for ``seconds`` (chaos hook).
+
+        The worker stops reading its pipe — to the parent it looks
+        exactly like a process stuck in a long GC pause or deadlock:
+        the next shard dispatched at it waits out ``shard_timeout``,
+        the worker is killed and declared crashed, and the shard
+        retries. Fire-and-forget; returns immediately.
+        """
+        self._workers[worker_index].send(("hang", float(seconds)))
+
+    def corrupt_next_reply(self, worker_index: int) -> None:
+        """Poison one worker's next shard reply (chaos hook).
+
+        The next ``columns`` / ``tasks`` reply from that worker
+        carries a mismatched job id; the parent detects the
+        desynchronised connection and treats the worker as crashed
+        (the shard retries after a respawn). Fire-and-forget.
+        """
+        self._workers[worker_index].send(("corrupt_next",))
 
     def _spawn(self, worker: _Worker) -> None:
         """(Re)start one worker and replay the live generations."""

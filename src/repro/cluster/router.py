@@ -20,7 +20,11 @@ never a mix, never a dropped request.
 Worker death is handled below the caller's line of sight: a shard
 whose worker died (or hung past the pool's ``shard_timeout``) respawns
 the worker — replaying every live generation — and retries, up to
-``max_retries`` per shard.
+``max_retries`` per shard. Repeated failures trip that worker's
+circuit breaker (a :class:`~repro.serve.guard.BreakerBoard`): while
+open, shards bound for it are served by an in-process fallback engine
+(the parent's own pinned snapshot) instead of queueing behind a sick
+process, and a half-open probe after the cooldown restores it.
 """
 
 from __future__ import annotations
@@ -84,7 +88,11 @@ class ShardRouter:
         max_retries: int = 2,
         worker_topk: bool = True,
         obs=None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 5.0,
     ) -> None:
+        from repro.serve.guard import BreakerBoard
+
         self.pool = pool
         self.snapshots = snapshots
         self.max_retries = int(max_retries)
@@ -97,6 +105,15 @@ class ShardRouter:
         self.batches_routed = 0
         self.shards_dispatched = 0
         self.shard_retries = 0
+        #: per-worker circuit breakers around shard dispatch
+        self.breakers = BreakerBoard(
+            pool.size,
+            threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+        )
+        # seq -> Snapshot for every generation a batch may pin: the
+        # in-process fallback engine an open breaker serves from
+        self._fallback_snapshots: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -143,6 +160,23 @@ class ShardRouter:
             self._inflight[snapshot.seq] = (
                 self._inflight.get(snapshot.seq, 0) + 1
             )
+            self._fallback_snapshots[snapshot.seq] = snapshot
+            return snapshot
+
+    def pin_snapshot(self, snapshot):
+        """Pin a *specific* snapshot (the canary green generation).
+
+        Same in-flight accounting as :meth:`pin`, but for a snapshot
+        that is deliberately not ``snapshots.current`` — blue-green
+        serving reads old and new generations side by side. The
+        caller must have had the generation prepared on the workers
+        first (:meth:`prepare_generation`).
+        """
+        with self._lock:
+            self._inflight[snapshot.seq] = (
+                self._inflight.get(snapshot.seq, 0) + 1
+            )
+            self._fallback_snapshots[snapshot.seq] = snapshot
             return snapshot
 
     def unpin(self, seq: int) -> None:
@@ -156,6 +190,7 @@ class ShardRouter:
             release = seq in self._retired
             if release:
                 self._retired.discard(seq)
+                self._fallback_snapshots.pop(seq, None)
         if release:
             self.pool.release(seq)
 
@@ -169,6 +204,36 @@ class ShardRouter:
         if self.started:
             self.pool.prepare(snapshot)
             self._mirror_persist(snapshot)
+
+    def prepare_generation(self, snapshot) -> None:
+        """Prepare a generation on the workers *without* mirroring.
+
+        The blue-green path: the green candidate must be servable by
+        every worker, but it must not touch the manager's persisted
+        ``index_path`` until (unless) it is promoted — a rollback has
+        to leave the on-disk index exactly as blue left it.
+        """
+        if self.started:
+            self.pool.prepare(snapshot)
+        with self._lock:
+            self._fallback_snapshots[snapshot.seq] = snapshot
+
+    def abort_prepared(self, snapshot) -> None:
+        """Drop a prepared-but-rejected generation (canary rollback).
+
+        Respects pinning: a green batch still in flight keeps its
+        generation alive until its last unpin, exactly like a
+        retired generation after a normal swap.
+        """
+        seq = snapshot.seq
+        with self._lock:
+            if self._inflight.get(seq, 0) > 0:
+                self._retired.add(seq)  # released on last unpin
+                return
+            self._retired.discard(seq)
+            self._fallback_snapshots.pop(seq, None)
+        if self.started:
+            self.pool.release(seq)
 
     def _mirror_persist(self, snapshot) -> None:
         """Copy the generation's index file onto the manager's
@@ -220,6 +285,7 @@ class ShardRouter:
                     self._retired.add(seq)  # released on last unpin
                 else:
                     self._retired.discard(seq)
+                    self._fallback_snapshots.pop(seq, None)
                     to_release.append(seq)
         for seq in to_release:
             self.pool.release(seq)
@@ -370,9 +436,15 @@ class ShardRouter:
         *,
         op: str = "columns",
     ):
-        """One shard on one worker, with respawn-and-retry."""
+        """One shard on one worker: breaker, respawn-and-retry, fallback."""
         with self._lock:  # shard threads run concurrently
             self.shards_dispatched += 1
+        if not self.breakers.allow(worker_index):
+            # circuit open: don't queue behind a sick worker — the
+            # parent's own engine for this generation answers instead
+            return self._fallback_shard(
+                worker_index, seq, shard, meta, op=op
+            )
         trace_ids = meta.get("trace_ids") if meta else None
         dispatch = (
             self.pool.shard_tasks if op == "tasks" else self.pool.shard
@@ -390,6 +462,7 @@ class ShardRouter:
                     meta=shard_meta,
                 )
                 elapsed = time.perf_counter() - t0
+                self.breakers.record_success(worker_index)
                 if self.obs is not None and self.obs.enabled:
                     self.obs.shard_dispatch.labels(
                         worker=str(worker_index)
@@ -410,12 +483,70 @@ class ShardRouter:
                         meta["shards"].append(row)
                 return columns
             except WorkerCrash:
+                opened = self.breakers.record_failure(worker_index)
+                if opened:
+                    # the breaker just tripped: heal the worker now so
+                    # the half-open probe after the cooldown meets a
+                    # fresh process, and serve this shard in-process
+                    try:
+                        self.pool.respawn(worker_index)
+                    except Exception:  # noqa: BLE001 - best effort
+                        pass
+                    return self._fallback_shard(
+                        worker_index, seq, shard, meta, op=op
+                    )
                 if attempt == attempts - 1:
                     raise
                 with self._lock:
                     self.shard_retries += 1
                 self.pool.respawn(worker_index)
         raise AssertionError("unreachable")
+
+    def _fallback_shard(
+        self,
+        worker_index: int,
+        seq: int,
+        shard: list,
+        meta: dict | None = None,
+        *,
+        op: str = "columns",
+    ):
+        """Serve one shard from the parent's in-process engine.
+
+        The open-breaker degraded mode: correctness is identical (the
+        fallback engine is the exact pinned snapshot the batch would
+        have computed against worker-side), only the process boundary
+        and its parallelism are given up while the worker heals.
+        """
+        with self._lock:
+            snapshot = self._fallback_snapshots.get(seq)
+        if snapshot is None:
+            raise WorkerCrash(
+                f"worker {worker_index} circuit open and no "
+                f"in-process fallback engine for generation {seq}"
+            )
+        self.breakers.record_fallback()
+        t0 = time.perf_counter()
+        if op == "tasks":
+            from repro.cluster.worker import run_tasks
+
+            result, _ = run_tasks(snapshot.engine, shard)
+        else:
+            columns = snapshot.engine.columns(
+                [int(q) for q in shard]
+            )
+            result = {int(q): columns[int(q)] for q in shard}
+        if meta is not None:
+            row = {
+                "worker": worker_index,
+                "ids": len(shard),
+                "seconds": time.perf_counter() - t0,
+                "start_s": t0,
+                "fallback": True,
+            }
+            with self._lock:
+                meta["shards"].append(row)
+        return result
 
     def collect_worker_metrics(self, registry) -> int:
         """Merge every worker's metric snapshot into ``registry``.
@@ -452,6 +583,7 @@ class ShardRouter:
             "shards_dispatched": self.shards_dispatched,
             "shard_retries": self.shard_retries,
             "inflight": inflight,
+            "breaker": self.breakers.describe(),
         }
         if ping_workers and self.started:
             out["worker_status"] = self.pool.worker_status()

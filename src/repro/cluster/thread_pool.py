@@ -19,8 +19,15 @@ status renderer touch it: ``size`` / ``started`` / ``current_seq`` /
 * ``persists_index`` is ``False`` — there is no per-generation index
   file to mirror (every worker adopts the snapshot engine's exported
   index in place, sharing its artifact arrays).
-* ``kill_worker`` raises :class:`ClusterError`: a thread cannot be
-  SIGKILLed; chaos drills belong to the process backend.
+* the chaos hooks (``kill_worker`` / ``hang_worker`` /
+  ``corrupt_next_reply``) *simulate* their process-backend twins at
+  the dispatch contract — a "killed" worker forgets its generations
+  (the next shard raises :class:`WorkerCrash` exactly like a dead
+  process), a "hung" one sleeps out ``shard_timeout`` before
+  crashing, a "corrupted" reply crashes immediately — so the scripted
+  chaos drills run unchanged on both backends. A thread cannot
+  actually be SIGKILLed, so ``kill_worker`` still refuses (with
+  :class:`ClusterError`) on a pool that was never started.
 * Each worker still owns a :class:`~repro.obs.MetricsRegistry` with
   the same series names as a process worker, so the
   ``repro_shard_dispatch_seconds`` vs ``repro_worker_compute_seconds``
@@ -33,7 +40,7 @@ from __future__ import annotations
 
 import os
 import threading
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any
 
 import numpy as np
@@ -52,11 +59,13 @@ class _ThreadWorker:
         "columns_served", "tasks_served", "transport_bytes",
         "compute_seconds", "transport_seconds", "ring_replies",
         "pickle_replies", "task_replies", "lock",
+        "hang_until", "corrupt_next",
     )
 
-    #: a thread is alive as long as the pool is — there is no process
-    #: to crash (`kill_worker` refuses); the attribute exists because
-    #: status rendering and the obs gauges read it off every worker
+    #: a thread is alive as long as the pool is — there is no real
+    #: process to crash (chaos is simulated at the dispatch contract);
+    #: the attribute exists because status rendering and the obs
+    #: gauges read it off every worker
     alive = property(lambda self: True)
 
     def __init__(self, index: int) -> None:
@@ -75,6 +84,8 @@ class _ThreadWorker:
         self.ring_replies = 0
         self.pickle_replies = 0
         self.task_replies = 0
+        self.hang_until = 0.0
+        self.corrupt_next = False
         self.lock = threading.Lock()
         self.registry = MetricsRegistry()
         self.m_shards = self.registry.counter(
@@ -229,16 +240,75 @@ class ThreadWorkerPool:
         worker.respawns += 1
 
     def kill_worker(self, worker_index: int) -> int:
-        """Chaos hook — meaningless for threads, so it refuses."""
-        raise ClusterError(
-            "thread backend has no worker processes to kill; "
-            "run chaos drills against backend='process'"
-        )
+        """Simulate one worker's crash (chaos hook).
+
+        A thread cannot be SIGKILLed, so the crash is simulated at
+        the dispatch contract: the worker forgets every generation,
+        and the next shard routed at it raises
+        :class:`~repro.cluster.WorkerCrash` exactly like a dead
+        process — recovered by the router's respawn-and-retry, same
+        as the process backend. Refuses on a pool that was never
+        started (there are no worker processes, simulated or real).
+        """
+        if not self.started:
+            raise ClusterError(
+                "thread backend has no worker processes to kill "
+                "before start(); chaos drills need a started pool"
+            )
+        worker = self._workers[worker_index]
+        worker.engines = {}
+        return os.getpid()
+
+    def hang_worker(self, worker_index: int, seconds: float) -> None:
+        """Simulate one worker wedging for ``seconds`` (chaos hook).
+
+        The next shard routed at the worker sleeps like a dispatch
+        waiting on a stuck process: if the hang outlives
+        ``shard_timeout`` it raises
+        :class:`~repro.cluster.WorkerCrash` after the timeout (the
+        process backend would have killed the worker); a shorter hang
+        just delays the shard.
+        """
+        if not self.started:
+            raise ClusterError("pool not started")
+        worker = self._workers[worker_index]
+        worker.hang_until = perf_counter() + float(seconds)
+
+    def corrupt_next_reply(self, worker_index: int) -> None:
+        """Poison one worker's next shard reply (chaos hook).
+
+        The next shard raises :class:`~repro.cluster.WorkerCrash`
+        immediately — the thread twin of the process backend's
+        desynchronised-connection detection.
+        """
+        if not self.started:
+            raise ClusterError("pool not started")
+        self._workers[worker_index].corrupt_next = True
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def _engine(self, worker: _ThreadWorker, seq: int):
+        if worker.corrupt_next:
+            worker.corrupt_next = False
+            raise WorkerCrash(
+                f"worker {worker.index} returned a corrupted reply "
+                "(chaos hook): desynchronised connection"
+            )
+        if worker.hang_until:
+            remaining = worker.hang_until - perf_counter()
+            if remaining >= self.shard_timeout:
+                # the process backend would wait out shard_timeout,
+                # kill the worker, and declare the shard crashed
+                sleep(self.shard_timeout)
+                worker.hang_until = 0.0
+                raise WorkerCrash(
+                    f"worker {worker.index} hung past shard_timeout "
+                    f"{self.shard_timeout}s (chaos hook)"
+                )
+            if remaining > 0:
+                sleep(remaining)
+            worker.hang_until = 0.0
         engine = worker.engines.get(seq)
         if engine is None:
             raise WorkerCrash(

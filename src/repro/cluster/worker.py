@@ -49,6 +49,12 @@ request                               reply
 ``("status", job)``                   ``("status", job, info_dict)``
 ``("commit", seq)``                   *(no reply)*
 ``("release", seq)``                  *(no reply)*
+``("hang", seconds)``                 *(no reply; chaos hook — the
+                                      worker sleeps, simulating a
+                                      wedged process)*
+``("corrupt_next",)``                 *(no reply; chaos hook — the next
+                                      shard reply carries a mismatched
+                                      job id)*
 ``("stop",)``                         *(no reply; the worker exits)*
 ====================================  ===================================
 
@@ -89,6 +95,7 @@ import os
 import pickle
 import signal
 import threading
+import time
 from typing import Any
 
 import numpy as np
@@ -374,6 +381,7 @@ def worker_main(conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     engines: dict[int, Any] = {}
     current_seq = -1
+    corrupt_next = False  # chaos hook: poison the next shard reply
     prepare_rebuilds = 0
     delta_prepares = 0
     columns_served = 0
@@ -498,9 +506,26 @@ def worker_main(conn) -> None:
                     ring = ResultRing.attach(spec)
                 except Exception:  # noqa: BLE001 - fallback, counted
                     ring = None
+        elif kind == "hang":
+            # chaos hook: stop reading the pipe for a while — exactly
+            # what a worker wedged in a long GC pause or a deadlock
+            # looks like to the parent (shard_timeout fires, the
+            # worker is killed and respawned)
+            time.sleep(float(message[1]))
+        elif kind == "corrupt_next":
+            corrupt_next = True
         elif kind == "columns":
             _, job, seq, ids, *extra = message
             request_meta = extra[0] if extra else None
+            if corrupt_next:
+                # chaos hook: answer with a mismatched job id — the
+                # parent sees a desynchronised connection and treats
+                # this worker as crashed
+                corrupt_next = False
+                conn.send(
+                    ("error", job - 1, "corrupted reply (chaos hook)")
+                )
+                continue
             engine = engines.get(seq)
             if engine is None:
                 conn.send(
@@ -557,6 +582,12 @@ def worker_main(conn) -> None:
         elif kind == "tasks":
             _, job, seq, tasks, *extra = message
             request_meta = extra[0] if extra else None
+            if corrupt_next:
+                corrupt_next = False
+                conn.send(
+                    ("error", job - 1, "corrupted reply (chaos hook)")
+                )
+                continue
             engine = engines.get(seq)
             if engine is None:
                 conn.send(

@@ -100,6 +100,8 @@ class NullObservability:
         self.tracer = None
         self.requests_top_k = _NOOP
         self.requests_score = _NOOP
+        self.requests_shed = _NOOP
+        self.deadline_exceeded = _NOOP
         self.request_errors = _NOOP
         self.request_duration = _NOOP
         self.coalesce_wait = _NOOP
@@ -188,6 +190,16 @@ class Observability:
         )
         self.requests_top_k = requests.labels(kind="top_k")
         self.requests_score = requests.labels(kind="score")
+        self.requests_shed = registry.counter(
+            "repro_requests_shed_total",
+            "Requests rejected at admission because the broker queue "
+            "was at max_queue_depth (answered 429 + Retry-After).",
+        )
+        self.deadline_exceeded = registry.counter(
+            "repro_deadline_exceeded_total",
+            "Requests whose per-request deadline expired before the "
+            "answer was rendered (answered 504).",
+        )
         self.request_errors = registry.counter(
             "repro_request_errors_total",
             "Requests that resolved to an error.",
@@ -296,6 +308,28 @@ class Observability:
             "repro_broker_mean_batch_size",
             "Mean requests per dispatched micro-batch.",
             lambda: broker.stats.mean_batch_size,
+        )
+        registry.gauge_fn(
+            "repro_queue_depth",
+            "Requests waiting in the broker's admission queue.",
+            lambda: broker.queue_depth,
+        )
+        registry.gauge_fn(
+            "repro_canary_active",
+            "1 while a blue-green canary is receiving traffic.",
+            lambda: 1.0 if broker.canary is not None else 0.0,
+        )
+        registry.gauge_fn(
+            "repro_canary_error_delta",
+            "Green error rate minus blue error rate for the most "
+            "recent canary (0 before the first canary).",
+            lambda: self._canary_error_delta(service),
+        )
+        registry.gauge_fn(
+            "repro_canary_p95_ratio",
+            "Green p95 latency over blue p95 for the most recent "
+            "canary (0 before the first canary).",
+            lambda: self._canary_p95_ratio(service),
         )
         if service.cache is not None:
             cache = service.cache
@@ -475,12 +509,54 @@ class Observability:
                     "ring_bytes_per_worker", 0
                 ),
             )
+            breakers = router.breakers
+            for field, help_text in (
+                ("trips",
+                 "Circuit-breaker transitions to open (worker "
+                 "quarantined, shards answered by the fallback "
+                 "engine)."),
+                ("restores",
+                 "Circuit-breaker half-open probes that closed the "
+                 "breaker again."),
+                ("fallbacks",
+                 "Shards answered by the in-process fallback engine "
+                 "while a breaker was open."),
+            ):
+                registry.counter_fn(
+                    f"repro_breaker_{field}_total",
+                    help_text,
+                    (lambda f=field: getattr(breakers, f)),
+                )
+            registry.gauge_fn(
+                "repro_breaker_state",
+                "Per-worker circuit-breaker state "
+                "(0=closed, 1=half_open, 2=open).",
+                lambda: [
+                    ({"worker": str(i)}, value)
+                    for i, value in breakers.values()
+                ],
+            )
         started = time.monotonic()
         registry.gauge_fn(
             "repro_uptime_seconds",
             "Seconds since this service registered its metrics.",
             lambda: time.monotonic() - started,
         )
+
+    @staticmethod
+    def _canary_error_delta(service) -> float:
+        canary = getattr(service, "_last_canary", None)
+        if canary is None:
+            return 0.0
+        return canary.error_rate("green") - canary.error_rate("blue")
+
+    @staticmethod
+    def _canary_p95_ratio(service) -> float:
+        canary = getattr(service, "_last_canary", None)
+        if canary is None:
+            return 0.0
+        blue = canary.p95("blue")
+        return canary.p95("green") / blue if blue else 0.0
 
     @staticmethod
     def _approx_samples(snapshots):

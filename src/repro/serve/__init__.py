@@ -26,7 +26,17 @@ into the batched workloads the blocked kernel (PR 2) is fast at:
   whose processes memory-map one shared index.
 * :func:`serve_http` / :class:`SimilarityHTTPServer` — a stdlib
   HTTP/JSON front end; ``python -m repro.serve`` is the CLI
-  (``serve`` / ``warmup`` / ``status`` / ``smoke``).
+  (``serve`` / ``warmup`` / ``status`` / ``smoke`` / ``chaos``).
+* :mod:`repro.serve.guard` — the overload-protection layer threaded
+  through all of the above: bounded-admission load shedding
+  (:class:`Overloaded` → HTTP 429), per-request deadlines
+  (:class:`DeadlineExceeded` → HTTP 504), a per-worker
+  :class:`CircuitBreaker` board quarantining crash-looping workers
+  behind an in-process fallback, and blue-green :class:`Canary`
+  snapshot swaps with automatic promote/rollback. The scripted
+  chaos drill (``python -m repro.serve chaos``,
+  :mod:`repro.serve.chaos`) proves the stack sheds instead of
+  collapsing.
 
 Quick taste::
 
@@ -40,6 +50,13 @@ Quick taste::
 
 from repro.serve.broker import BrokerStats, QueryBroker
 from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.guard import (
+    BreakerBoard,
+    Canary,
+    CircuitBreaker,
+    DeadlineExceeded,
+    Overloaded,
+)
 from repro.serve.http import (
     SimilarityHTTPServer,
     ranking_to_dict,
@@ -49,8 +66,13 @@ from repro.serve.service import ServingService
 from repro.serve.snapshot import Snapshot, SnapshotManager
 
 __all__ = [
+    "BreakerBoard",
     "BrokerStats",
     "CacheStats",
+    "Canary",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "Overloaded",
     "QueryBroker",
     "ResultCache",
     "ServingService",

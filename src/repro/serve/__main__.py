@@ -23,6 +23,12 @@ Subcommands::
              swapped through the O(delta) incremental path; the run
              also scrapes ``/metrics`` mid-load and asserts the
              exported counters agree with the broker's stats
+    chaos    scripted chaos drill (repro.serve.chaos): kill, hang,
+             and corrupt workers under client load, then force a bad
+             blue-green canary; asserts zero unaccounted requests,
+             bounded p99, breaker trip->recover transitions, and
+             canary auto-rollback; writes the report JSON and the
+             breaker-transition JSONL (the CI artifacts)
 
 Examples::
 
@@ -36,6 +42,8 @@ Examples::
     python -m repro.serve smoke --clients 64 --output smoke.json
     python -m repro.serve smoke --workers 2 --mutate-mid-run
     python -m repro.serve smoke --workers 2 --mutate-stream 6
+    python -m repro.serve chaos --backend process --workers 2
+    python -m repro.serve chaos --backend thread --clients 32
 
 Every subcommand and flag is documented in ``docs/operations.md``
 (cross-checked against these parsers by ``tests/test_docs.py``).
@@ -60,7 +68,7 @@ from repro.cliopts import (
 from repro.serve.http import serve_http
 from repro.serve.service import ServingService
 
-__all__ = ["build_parser", "main", "render_status"]
+__all__ = ["build_parser", "main", "render_status", "smoke_exit_code"]
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -144,6 +152,36 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "folds the chain with a full rebuild (default 8)",
     )
     parser.add_argument(
+        "--max-queue-depth", type=int, default=0,
+        help="load shedding: reject (HTTP 429 + Retry-After) any "
+        "request arriving while this many are already queued in the "
+        "broker (default 0 = never shed)",
+    )
+    parser.add_argument(
+        "--default-deadline-ms", type=float, default=0.0,
+        help="per-request deadline: a request not answered within "
+        "this budget fails with HTTP 504 without poisoning its "
+        "micro-batch; per-request 'deadline_ms' overrides it "
+        "(default 0 = no deadline)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="circuit breaker: consecutive crashes/timeouts before a "
+        "worker's breaker opens and its shards are answered by the "
+        "in-process fallback engine (cluster mode; default 5)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown-s", type=float, default=5.0,
+        help="seconds an open breaker waits before a half-open "
+        "probe may restore the worker (default 5.0)",
+    )
+    parser.add_argument(
+        "--canary-fraction", type=float, default=0.1,
+        help="blue-green mutations (POST /mutate with "
+        "'canary': true): fraction of traffic routed to the new "
+        "snapshot while it proves itself (default 0.1)",
+    )
+    parser.add_argument(
         "--no-telemetry", action="store_true",
         help="disable metrics + request tracing (repro.obs); "
         "/metrics then serves a one-line comment document",
@@ -184,6 +222,11 @@ def _build_service(args) -> ServingService:
         delta_mode=args.delta_mode,
         max_delta_fraction=args.max_delta_fraction,
         max_chain_depth=args.max_chain_depth,
+        max_queue_depth=args.max_queue_depth,
+        default_deadline_ms=args.default_deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        canary_fraction=args.canary_fraction,
         telemetry=not args.no_telemetry,
         slow_query_ms=(
             None if args.slow_query_ms < 0 else args.slow_query_ms
@@ -321,6 +364,67 @@ def build_parser() -> argparse.ArgumentParser:
         "in the report JSON",
     )
     smoke.set_defaults(nodes=800, edges=4800)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="scripted chaos drill (the chaos-drill CI job): kill, "
+        "hang, and corrupt workers under client load, then force a "
+        "bad blue-green canary; assert zero unaccounted requests, "
+        "bounded p99, breaker trip->recover, and canary "
+        "auto-rollback",
+    )
+    chaos.add_argument(
+        "--backend", choices=("process", "thread"), default="process",
+        help="cluster backend to attack (default process)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="workers in the attacked pool (default 2)",
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=16,
+        help="concurrent HTTP clients per wave (default 16)",
+    )
+    chaos.add_argument(
+        "--requests-per-client", type=int, default=4,
+        help="queries each client issues per wave (default 4)",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=300,
+        help="random-graph nodes (default 300)",
+    )
+    chaos.add_argument(
+        "--edges", type=int, default=1800,
+        help="random-graph edges (default 1800)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="graph + query-stream seed (default 7)",
+    )
+    chaos.add_argument(
+        "--shard-timeout", type=float, default=1.0,
+        help="seconds before a hung worker is declared dead "
+        "(default 1.0 — short, so the hang wave recovers quickly)",
+    )
+    chaos.add_argument(
+        "--breaker-cooldown-s", type=float, default=0.4,
+        help="breaker cooldown before the half-open probe "
+        "(default 0.4)",
+    )
+    chaos.add_argument(
+        "--p99-budget-ms", type=float, default=30000.0,
+        help="p99 latency bound the drill asserts (default 30000)",
+    )
+    chaos.add_argument(
+        "--output", default="SERVE_chaos.json",
+        help="drill report path (default SERVE_chaos.json)",
+    )
+    chaos.add_argument(
+        "--transitions", default="SERVE_chaos_transitions.jsonl",
+        metavar="PATH",
+        help="breaker-transition JSONL artifact path "
+        "(default SERVE_chaos_transitions.jsonl)",
+    )
     return parser
 
 
@@ -508,6 +612,44 @@ def render_status(document: dict) -> str:
         )
     else:
         lines.append("index         not configured")
+    guard = document.get("guard") or {}
+    if guard:
+        lines.append(
+            f"guard         queue_depth={guard.get('queue_depth', 0)}/"
+            f"{guard.get('max_queue_depth', 0) or 'unbounded'} "
+            f"shed={guard.get('shed', 0)} "
+            f"deadline_ms={guard.get('default_deadline_ms', 0.0):g} "
+            f"deadline_expired={guard.get('deadline_expired', 0)}"
+        )
+        breaker = guard.get("breaker") or {}
+        if breaker:
+            states = breaker.get("states", {})
+            lines.append(
+                f"breaker       threshold={breaker.get('threshold')} "
+                f"cooldown={breaker.get('cooldown_s')}s "
+                f"trips={breaker.get('trips', 0)} "
+                f"restores={breaker.get('restores', 0)} "
+                f"fallbacks={breaker.get('fallbacks', 0)} states="
+                + ",".join(
+                    f"{w}:{s}" for w, s in sorted(states.items())
+                )
+            )
+        canary = guard.get("canary")
+        if canary:
+            counts = canary.get("counts", {})
+            green = counts.get("green", {})
+            error_rate = canary.get("error_rate", {})
+            p95_ms = canary.get("p95_ms", {})
+            lines.append(
+                f"canary        outcome="
+                f"{canary.get('outcome') or 'in-flight'} "
+                f"fraction={canary.get('fraction')} "
+                f"green ok={green.get('ok', 0)} "
+                f"errors={green.get('errors', 0)} "
+                f"error_delta="
+                f"{error_rate.get('green', 0.0) - error_rate.get('blue', 0.0):+.3f} "
+                f"green_p95={p95_ms.get('green', 0.0):.1f}ms"
+            )
     obs = document.get("observability") or {}
     if obs.get("enabled"):
         tracing = obs.get("tracing", {})
@@ -548,6 +690,24 @@ def _cmd_metrics(args) -> int:
         return 2
     print(text, end="" if text.endswith("\n") else "\n")
     return 0
+
+
+def smoke_exit_code(checks: dict, failures: list) -> int:
+    """Exit code for a smoke/chaos run: 0 only when *everything* held.
+
+    A non-empty ``failures`` list fails the run even if every named
+    check passed — per-request errors must never be summarised away
+    into a green exit.
+
+    >>> from repro.serve.__main__ import smoke_exit_code
+    >>> smoke_exit_code({"coalesced": True}, [])
+    0
+    >>> smoke_exit_code({"coalesced": True}, ["query 3: timeout"])
+    1
+    >>> smoke_exit_code({"coalesced": False}, [])
+    1
+    """
+    return 0 if all(checks.values()) and not failures else 1
 
 
 def _cmd_smoke(args) -> int:
@@ -770,13 +930,63 @@ def _cmd_smoke(args) -> int:
     print(f"wrote {out}")
     for name, passed in checks.items():
         print(f"  {'ok' if passed else 'FAIL'} {name}")
-    if not all(checks.values()):
+    code = smoke_exit_code(checks, failures)
+    if code != 0:
         if failures:
             print(f"  first failure: {failures[0]}", file=sys.stderr)
         print("serving smoke test FAILED", file=sys.stderr)
-        return 1
+        return code
     print("serving smoke test passed")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.serve.chaos import run_drill
+
+    print(
+        f"chaos drill: {args.workers} {args.backend} workers, "
+        f"{args.clients} clients x {args.requests_per_client} "
+        "requests per wave (kill / hang / corrupt / bad green)",
+        flush=True,
+    )
+    report = run_drill(
+        backend=args.backend,
+        workers=args.workers,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        nodes=args.nodes,
+        edges=args.edges,
+        seed=args.seed,
+        shard_timeout=args.shard_timeout,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        p99_budget_ms=args.p99_budget_ms,
+        report_path=args.output,
+        transitions_path=args.transitions,
+        verbose=True,
+    )
+    counts = report["counts"]
+    print(
+        f"  {report['submitted']} requests: ok={counts['ok']} "
+        f"shed={counts['shed']} deadline={counts['deadline']} "
+        f"error={counts['error']}; p99 "
+        f"{report['latency']['p99_ms']:.1f} ms"
+    )
+    breaker = report["breaker"]
+    print(
+        f"  breaker trips={breaker.get('trips', 0)} "
+        f"restores={breaker.get('restores', 0)} "
+        f"fallbacks={breaker.get('fallbacks', 0)}; canary "
+        f"outcome={report['canary'].get('outcome')}"
+    )
+    print(f"wrote {args.output} and {args.transitions}")
+    for name, passed in report["checks"].items():
+        print(f"  {'ok' if passed else 'FAIL'} {name}")
+    code = smoke_exit_code(report["checks"], [])
+    print(
+        "chaos drill passed" if code == 0
+        else "chaos drill FAILED"
+    )
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -791,6 +1001,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

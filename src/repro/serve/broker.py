@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.engine.results import RankedNode, Ranking
 from repro.serve.cache import ResultCache
+from repro.serve.guard import DeadlineExceeded, Overloaded
 from repro.serve.snapshot import Snapshot, SnapshotManager
 
 __all__ = ["BrokerStats", "QueryBroker"]
@@ -58,6 +59,8 @@ class BrokerStats:
     coalesced_requests: int = 0
     largest_batch: int = 0
     errors: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
     batch_sizes: dict[int, int] = field(default_factory=dict)
 
     @property
@@ -79,7 +82,7 @@ class _Request:
 
     __slots__ = (
         "kind", "node", "u", "k", "include_query", "future",
-        "trace", "enqueued",
+        "trace", "enqueued", "deadline", "deadline_ms",
     )
 
     def __init__(
@@ -90,6 +93,7 @@ class _Request:
         u=None,
         k: int = 10,
         include_query: bool = False,
+        deadline_ms: float | None = None,
     ) -> None:
         self.kind = kind
         self.node = int(node) if isinstance(node, (int, np.integer)) else node
@@ -99,9 +103,14 @@ class _Request:
         self.future: asyncio.Future = (
             asyncio.get_running_loop().create_future()
         )
-        # telemetry (set by the broker only when it is enabled)
+        # telemetry trace (set by the broker only when it is enabled)
         self.trace = None
         self.enqueued = 0.0
+        # absolute perf_counter() instant this request must be
+        # answered by (None = no deadline); set by the broker at
+        # submission from deadline_ms or the server default
+        self.deadline: float | None = None
+        self.deadline_ms = deadline_ms
 
     def cache_key(self, snapshot: Snapshot, config_key) -> tuple:
         return (
@@ -181,12 +190,23 @@ class QueryBroker:
         cache: ResultCache | None = None,
         router=None,
         obs=None,
+        max_queue_depth: int = 0,
+        default_deadline_ms: float = 0.0,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if default_deadline_ms < 0:
+            raise ValueError(
+                "default_deadline_ms must be >= 0, got "
+                f"{default_deadline_ms}"
             )
         if obs is None:
             from repro.obs import NullObservability
@@ -199,10 +219,19 @@ class QueryBroker:
         self._cache = cache
         self._router = router
         self._config_key = snapshots.config
+        self.max_queue_depth = int(max_queue_depth)
+        self.default_deadline = float(default_deadline_ms) / 1e3
         self.stats = BrokerStats()
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._stopping = False
+        # EWMA of observed batch compute seconds — the basis of the
+        # Retry-After hint a shed request carries
+        self._compute_ewma = 0.0
+        #: active blue-green decision state (a
+        #: :class:`~repro.serve.guard.Canary`), attached by the
+        #: service during a canary mutation; None otherwise
+        self.canary = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -210,6 +239,11 @@ class QueryBroker:
     @property
     def running(self) -> bool:
         return self._task is not None and not self._task.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet collected into a batch."""
+        return self._queue.qsize() if self._queue is not None else 0
 
     async def start(self) -> None:
         """Start the dispatcher task on the running event loop."""
@@ -244,7 +278,11 @@ class QueryBroker:
     # public query surface
     # ------------------------------------------------------------------
     async def top_k(
-        self, query, k: int = 10, include_query: bool = False
+        self,
+        query,
+        k: int = 10,
+        include_query: bool = False,
+        deadline_ms: float | None = None,
     ) -> Ranking:
         """The coalesced equivalent of ``engine.top_k``."""
         if k < 0:
@@ -252,12 +290,17 @@ class QueryBroker:
             # own caller, never reach the shared dispatcher
             raise ValueError(f"k must be >= 0, got {k}")
         return await self._submit(
-            _Request("top_k", query, k=k, include_query=include_query)
+            _Request(
+                "top_k", query, k=k, include_query=include_query,
+                deadline_ms=deadline_ms,
+            )
         )
 
-    async def score(self, u, v) -> float:
+    async def score(self, u, v, deadline_ms: float | None = None) -> float:
         """The coalesced equivalent of ``engine.score``."""
-        return await self._submit(_Request("score", v, u=u))
+        return await self._submit(
+            _Request("score", v, u=u, deadline_ms=deadline_ms)
+        )
 
     async def _submit(self, request: _Request):
         if not self.running:
@@ -266,6 +309,14 @@ class QueryBroker:
                 "async context manager, or call start())"
             )
         self.stats.requests += 1
+        request.enqueued = perf_counter()
+        budget = (
+            request.deadline_ms / 1e3
+            if request.deadline_ms is not None
+            else self.default_deadline
+        )
+        if budget > 0:
+            request.deadline = request.enqueued + budget
         obs = self._obs
         if obs.enabled:
             if request.kind == "top_k":
@@ -273,7 +324,6 @@ class QueryBroker:
             else:
                 obs.requests_score.inc()
             request.trace = obs.start_trace(request.kind)
-            request.enqueued = perf_counter()
         if self._cache is not None:
             cached = self._cache.get(
                 request.cache_key(
@@ -293,8 +343,41 @@ class QueryBroker:
                         perf_counter() - request.enqueued
                     )
                 return cached
+        if (
+            self.max_queue_depth
+            and self._queue.qsize() >= self.max_queue_depth
+        ):
+            # admission control: refuse with an explicit, retryable
+            # error instead of letting the backlog (and every queued
+            # request's latency) grow without bound
+            self.stats.shed += 1
+            retry_after = self._retry_after_hint()
+            if obs.enabled:
+                obs.requests_shed.inc()
+                obs.request_duration.observe(
+                    perf_counter() - request.enqueued
+                )
+                if request.trace is not None:
+                    obs.finish_trace(request.trace, "shed")
+            raise Overloaded(
+                f"admission queue full (depth {self._queue.qsize()} "
+                f">= max_queue_depth {self.max_queue_depth})",
+                retry_after=retry_after,
+            )
         await self._queue.put(request)
         return await request.future
+
+    def _retry_after_hint(self) -> float:
+        """Seconds until the backlog has plausibly drained.
+
+        Derived from the EWMA of observed batch compute time: the
+        current queue is ``qsize / max_batch`` batches deep, each
+        costing roughly one EWMA; floored at 50ms so a cold broker
+        never advertises an instant retry storm.
+        """
+        per_batch = self._compute_ewma or 0.05
+        backlog = self._queue.qsize() / self.max_batch if self._queue else 0.0
+        return round(max(0.05, per_batch * (1.0 + backlog)), 3)
 
     # ------------------------------------------------------------------
     # dispatcher
@@ -340,9 +423,15 @@ class QueryBroker:
             if stop_seen or (self._stopping and self._queue.empty()):
                 return
 
-    def _fail_request(self, request: _Request, exc: Exception) -> None:
+    def _fail_request(
+        self, request: _Request, exc: Exception, side: str | None = None
+    ) -> None:
         """Fail one request's future and close out its telemetry."""
         self.stats.errors += 1
+        if side is not None and self.canary is not None:
+            self.canary.record(
+                side, False, perf_counter() - request.enqueued
+            )
         if request.trace is not None:
             self._obs.request_errors.inc()
             self._obs.request_duration.observe(
@@ -352,24 +441,107 @@ class QueryBroker:
         if not request.future.done():
             request.future.set_exception(exc)
 
+    def _expire_request(self, request: _Request) -> None:
+        """Answer one request ``DeadlineExceeded``; batch unharmed."""
+        self.stats.deadline_expired += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.deadline_exceeded.inc()
+            obs.request_duration.observe(
+                perf_counter() - request.enqueued
+            )
+            if request.trace is not None:
+                obs.finish_trace(request.trace, "deadline")
+        budget_ms = (
+            (request.deadline - request.enqueued) * 1e3
+            if request.deadline is not None
+            else 0.0
+        )
+        if not request.future.done():
+            request.future.set_exception(
+                DeadlineExceeded(
+                    f"deadline of {budget_ms:.1f}ms exceeded before "
+                    "the answer was rendered"
+                )
+            )
+
     async def _dispatch(self, batch: list[_Request]) -> None:
+        # blue-green: while a canary is live, a deterministic fraction
+        # of whole batches reads the green (candidate) snapshot; the
+        # rest keep reading blue. Split by batch, not by member, so a
+        # batch never mixes generations.
+        canary = self.canary
+        side = None
+        if canary is not None and canary.outcome is None:
+            side = canary.choose()
         if self._router is not None:
             # atomic pin: the router counts this batch in-flight
             # against the generation it reads, under the same lock a
             # hot-swap retires generations with
-            snapshot = self._router.pin()
+            if side == "green":
+                snapshot = self._router.pin_snapshot(canary.green)
+            else:
+                snapshot = self._router.pin()
             try:
-                await self._dispatch_pinned(batch, snapshot)
+                await self._dispatch_pinned(
+                    batch, snapshot, canary_side=side
+                )
             finally:
                 self._router.unpin(snapshot.seq)
         else:
-            await self._dispatch_pinned(
-                batch, self._snapshots.current
+            snapshot = (
+                canary.green
+                if side == "green"
+                else self._snapshots.current
             )
+            await self._dispatch_pinned(
+                batch, snapshot, canary_side=side
+            )
+        if side is not None:
+            await self._maybe_finalize_canary()
+
+    async def _maybe_finalize_canary(self) -> None:
+        """Promote or roll back once the canary verdict is conclusive."""
+        canary = self.canary
+        if canary is None:
+            return
+        verdict = canary.decide()
+        if verdict is None or not canary.finalize(verdict):
+            return
+        callback = (
+            canary.on_promote
+            if verdict == "promote"
+            else canary.on_rollback
+        )
+        if callback is not None:
+            # promote/rollback swap pointers and talk to the worker
+            # pool — keep that off the event loop
+            await asyncio.get_running_loop().run_in_executor(
+                None, callback
+            )
+        if self.canary is canary:
+            self.canary = None
 
     async def _dispatch_pinned(
-        self, batch: list[_Request], snapshot: Snapshot
+        self,
+        batch: list[_Request],
+        snapshot: Snapshot,
+        canary_side: str | None = None,
     ) -> None:
+        # deadline checkpoint one: a member already past its deadline
+        # is answered DeadlineExceeded here, without poisoning the
+        # rest of the batch; if *every* member expired, the dispatch
+        # (and its shard fan-out) is skipped entirely
+        now = perf_counter()
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                self._expire_request(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        batch = live
         engine = snapshot.engine
         obs = self._obs
         size = len(batch)
@@ -405,7 +577,7 @@ class QueryBroker:
                     else None
                 )
             except Exception as exc:
-                self._fail_request(request, exc)
+                self._fail_request(request, exc, side=canary_side)
                 continue
             work.append((request, node, extra))
         if not work:
@@ -444,10 +616,21 @@ class QueryBroker:
                 ],
             }
 
+        canary = self.canary
+
         def timed_compute():
             # runs on the executor thread: times the blocked column
             # work itself, separate from the executor hop around it
             t0 = perf_counter()
+            if (
+                canary_side == "green"
+                and canary is not None
+                and canary.inject_green_fault is not None
+            ):
+                # chaos-drill hook: a forced-bad-green raises here,
+                # exactly where a genuinely broken new generation
+                # would fail its batches
+                canary.inject_green_fault()
             if task_mode:
                 cols = self._router.compute_tasks(
                     snapshot.seq, tasks, meta=shard_meta
@@ -469,9 +652,15 @@ class QueryBroker:
             )
         except Exception as exc:
             for request, _, _ in work:
-                self._fail_request(request, exc)
+                self._fail_request(request, exc, side=canary_side)
             return
         dispatch_s = perf_counter() - t_dispatch
+        # feed the Retry-After estimator (EWMA, alpha 0.2)
+        self._compute_ewma = (
+            compute_s
+            if self._compute_ewma == 0.0
+            else 0.2 * compute_s + 0.8 * self._compute_ewma
+        )
         if obs.enabled:
             obs.batch_compute.observe(compute_s)
             mode = "cluster" if self._router is not None else "local"
@@ -512,6 +701,15 @@ class QueryBroker:
 
         labels = engine.graph.labels
         for position, (request, node, extra) in enumerate(work):
+            # deadline checkpoint two: the compute may have outlived a
+            # member's deadline — answer it DeadlineExceeded instead
+            # of a stale result, and keep rendering its peers
+            if (
+                request.deadline is not None
+                and perf_counter() >= request.deadline
+            ):
+                self._expire_request(request)
+                continue
             # per-request: a render failure (bad k, exotic payload)
             # fails its own future only — the dispatcher and the rest
             # of the batch must survive any single request
@@ -539,8 +737,14 @@ class QueryBroker:
                         result,
                     )
             except Exception as exc:
-                self._fail_request(request, exc)
+                self._fail_request(request, exc, side=canary_side)
                 continue
+            if canary_side is not None and canary is not None:
+                canary.record(
+                    canary_side,
+                    True,
+                    perf_counter() - request.enqueued,
+                )
             if request.trace is not None:
                 done = perf_counter()
                 obs.render_seconds.observe(done - t_render)

@@ -20,18 +20,28 @@ Endpoints
     ``docs/observability.md`` for the catalog.
 ``POST /top_k``
     Body ``{"query": <id-or-label>, "k": 10, "include_query": false}``
-    -> the ranking as JSON.
+    -> the ranking as JSON. An optional ``"deadline_ms"`` field
+    overrides the server's default per-request deadline.
 ``POST /score``
     Body ``{"u": <id-or-label>, "v": <id-or-label>}`` -> the score.
+    Accepts the same optional ``"deadline_ms"`` field.
 ``POST /warmup``
     Pre-build the current snapshot's shared artifacts.
 ``POST /mutate``
     Body ``{"add": [[u, v], ...], "remove": [[u, v], ...]}`` ->
     builds a fresh snapshot in the background and hot-swaps it;
-    responds with the new snapshot summary.
+    responds with the new snapshot summary. With ``"canary": true``
+    the edit is staged as a blue-green canary instead
+    (:meth:`ServingService.mutate_canary`, optional ``"fraction"``
+    field) and the response carries the live canary document; a
+    canary already in flight answers 409.
 
 Unknown nodes and malformed bodies answer 400 with
-``{"error": ...}``; unexpected server-side failures answer 500.
+``{"error": ...}``; unexpected server-side failures answer 500. The
+overload guard speaks HTTP too: a shed request
+(:class:`~repro.serve.guard.Overloaded`) answers **429** with a
+``Retry-After`` header, and a missed deadline
+(:class:`~repro.serve.guard.DeadlineExceeded`) answers **504**.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine.results import Ranking
+from repro.serve.guard import DeadlineExceeded, Overloaded
 from repro.serve.service import ServingService
 
 __all__ = ["SimilarityHTTPServer", "ranking_to_dict", "serve_http"]
@@ -82,11 +93,18 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, payload: dict, code: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: dict,
+        code: int = 200,
+        headers: dict | None = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -129,6 +147,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"error": f"bad JSON body: {exc}"}, 400)
             return
         try:
+            deadline_ms = body.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
             if self.path == "/top_k":
                 if "query" not in body:
                     raise KeyError("missing field 'query'")
@@ -136,25 +157,52 @@ class _Handler(BaseHTTPRequestHandler):
                     body["query"],
                     k=int(body.get("k", 10)),
                     include_query=bool(body.get("include_query", False)),
+                    deadline_ms=deadline_ms,
                 )
                 self._send_json(ranking_to_dict(ranking))
             elif self.path == "/score":
                 if "u" not in body or "v" not in body:
                     raise KeyError("missing field 'u' or 'v'")
-                score = service.score_sync(body["u"], body["v"])
+                score = service.score_sync(
+                    body["u"], body["v"], deadline_ms=deadline_ms
+                )
                 self._send_json({"score": score})
             elif self.path == "/warmup":
                 self._send_json({"engine_stats": service.warmup()})
             elif self.path == "/mutate":
-                snapshot = service.mutate(
-                    add=body.get("add", ()),
-                    remove=body.get("remove", ()),
-                )
-                self._send_json({"snapshot": snapshot.describe()})
+                add = body.get("add", ())
+                remove = body.get("remove", ())
+                if body.get("canary"):
+                    fraction = body.get("fraction")
+                    try:
+                        canary = service.mutate_canary(
+                            add=add,
+                            remove=remove,
+                            fraction=(
+                                None if fraction is None
+                                else float(fraction)
+                            ),
+                        )
+                    except RuntimeError as exc:
+                        self._send_json({"error": str(exc)}, 409)
+                        return
+                    self._send_json({"canary": canary.describe()})
+                else:
+                    snapshot = service.mutate(add=add, remove=remove)
+                    self._send_json({"snapshot": snapshot.describe()})
             else:
                 self._send_json(
                     {"error": f"no route {self.path}"}, 404
                 )
+        except Overloaded as exc:
+            # shed at admission: tell the client when to come back
+            self._send_json(
+                {"error": str(exc), "retry_after": exc.retry_after},
+                429,
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+        except DeadlineExceeded as exc:
+            self._send_json({"error": str(exc)}, 504)
         except (KeyError, IndexError, TypeError, ValueError) as exc:
             # bad node, bad edit, bad parameter: the caller's fault
             self._send_json({"error": str(exc)}, 400)

@@ -35,6 +35,7 @@ from repro.engine.results import Ranking
 from repro.graph.digraph import DiGraph
 from repro.serve.broker import QueryBroker
 from repro.serve.cache import ResultCache
+from repro.serve.guard import Canary
 from repro.serve.snapshot import Snapshot, SnapshotManager
 
 __all__ = ["ServingService"]
@@ -114,6 +115,34 @@ class ServingService:
         :class:`~repro.obs.NullObservability` (the
         ``telemetry_overhead`` bench tier gates the difference at
         < 5% p50).
+    max_queue_depth:
+        Load-shedding bound on the broker's admission queue: a request
+        arriving while ``max_queue_depth`` requests are already queued
+        is rejected immediately with
+        :class:`~repro.serve.guard.Overloaded` (HTTP 429 +
+        ``Retry-After``) instead of growing the backlog. ``0``
+        (default) disables shedding.
+    default_deadline_ms:
+        Server-wide per-request deadline in milliseconds; a request
+        whose answer is not rendered within its budget fails with
+        :class:`~repro.serve.guard.DeadlineExceeded` (HTTP 504)
+        without poisoning the rest of its micro-batch. Per-request
+        ``deadline_ms`` overrides it; ``0`` (default) disables.
+    breaker_threshold / breaker_cooldown_s:
+        Per-worker circuit breaker (cluster mode): after
+        ``breaker_threshold`` consecutive crashes a worker's breaker
+        opens and its shards are answered by the in-process fallback
+        engine; after ``breaker_cooldown_s`` seconds a half-open
+        probe decides whether to restore it. See
+        :class:`~repro.serve.guard.BreakerBoard`.
+    canary_fraction / canary_min_requests / canary_max_error_delta / canary_max_p95_ratio:
+        Blue-green swap policy for :meth:`mutate_canary`: route
+        ``canary_fraction`` of traffic to the new (green) snapshot,
+        and after ``canary_min_requests`` green observations
+        auto-promote — unless green's error rate exceeds blue's by
+        more than ``canary_max_error_delta`` or its p95 latency is
+        more than ``canary_max_p95_ratio`` times blue's, in which
+        case auto-rollback. See :class:`~repro.serve.guard.Canary`.
     slow_query_ms / slow_query_log:
         Slow-query logging knobs (telemetry only): a finished request
         trace at or above ``slow_query_ms`` milliseconds — or one
@@ -161,6 +190,14 @@ class ServingService:
         telemetry: bool = True,
         slow_query_ms: float | None = 250.0,
         slow_query_log=None,
+        max_queue_depth: int = 0,
+        default_deadline_ms: float = 0.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 5.0,
+        canary_fraction: float = 0.1,
+        canary_min_requests: int = 20,
+        canary_max_error_delta: float = 0.10,
+        canary_max_p95_ratio: float = 3.0,
         **overrides,
     ) -> None:
         from repro.obs import NullObservability, Observability
@@ -217,9 +254,18 @@ class ServingService:
                 self.snapshots,
                 obs=self.observability,
                 worker_topk=worker_topk,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown_s=breaker_cooldown_s,
             )
             self.snapshots.pre_swap = self.cluster.pre_swap
             self.snapshots.post_swap = self.cluster.post_swap
+            # blue-green: green generations become servable on the
+            # workers without touching the persisted index, and a
+            # rollback releases them (respecting in-flight pins)
+            self.snapshots.canary_prepare = (
+                self.cluster.prepare_generation
+            )
+            self.snapshots.abort_swap = self.cluster.abort_prepared
         self.broker = QueryBroker(
             self.snapshots,
             max_batch=max_batch,
@@ -227,7 +273,15 @@ class ServingService:
             cache=self.cache,
             router=self.cluster,
             obs=self.observability,
+            max_queue_depth=max_queue_depth,
+            default_deadline_ms=default_deadline_ms,
         )
+        self.canary_fraction = float(canary_fraction)
+        self.canary_min_requests = int(canary_min_requests)
+        self.canary_max_error_delta = float(canary_max_error_delta)
+        self.canary_max_p95_ratio = float(canary_max_p95_ratio)
+        self._canary_lock = threading.Lock()
+        self._last_canary = None
         self.observability.bind_service(self)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -257,16 +311,27 @@ class ServingService:
             )
 
     async def top_k(
-        self, query, k: int = 10, include_query: bool = False
+        self,
+        query,
+        k: int = 10,
+        include_query: bool = False,
+        deadline_ms: float | None = None,
     ) -> Ranking:
-        """Coalesced top-k (see :meth:`QueryBroker.top_k`)."""
+        """Coalesced top-k (see :meth:`QueryBroker.top_k`).
+
+        ``deadline_ms`` overrides the server's default deadline for
+        this request (``None`` inherits it; ``0`` disables).
+        """
         return await self.broker.top_k(
-            query, k=k, include_query=include_query
+            query,
+            k=k,
+            include_query=include_query,
+            deadline_ms=deadline_ms,
         )
 
-    async def score(self, u, v) -> float:
+    async def score(self, u, v, deadline_ms: float | None = None) -> float:
         """Coalesced pair score (see :meth:`QueryBroker.score`)."""
-        return await self.broker.score(u, v)
+        return await self.broker.score(u, v, deadline_ms=deadline_ms)
 
     # ------------------------------------------------------------------
     # background-loop lifecycle + sync queries
@@ -329,15 +394,29 @@ class ServingService:
         k: int = 10,
         include_query: bool = False,
         timeout: float | None = 30.0,
+        deadline_ms: float | None = None,
     ) -> Ranking:
         """Blocking top-k from any thread (funnels into the broker)."""
         return self.submit(
-            self.top_k(query, k=k, include_query=include_query)
+            self.top_k(
+                query,
+                k=k,
+                include_query=include_query,
+                deadline_ms=deadline_ms,
+            )
         ).result(timeout)
 
-    def score_sync(self, u, v, timeout: float | None = 30.0) -> float:
+    def score_sync(
+        self,
+        u,
+        v,
+        timeout: float | None = 30.0,
+        deadline_ms: float | None = None,
+    ) -> float:
         """Blocking pair score from any thread."""
-        return self.submit(self.score(u, v)).result(timeout)
+        return self.submit(
+            self.score(u, v, deadline_ms=deadline_ms)
+        ).result(timeout)
 
     # ------------------------------------------------------------------
     # control plane
@@ -358,6 +437,65 @@ class ServingService:
         batches see the new one.
         """
         return self.snapshots.mutate(add=add, remove=remove)
+
+    def mutate_canary(
+        self,
+        add: Iterable[Sequence] = (),
+        remove: Iterable[Sequence] = (),
+        *,
+        fraction: float | None = None,
+        inject_green_fault=None,
+    ):
+        """Apply graph edits as a blue-green canary instead of a swap.
+
+        The edited snapshot (*green*) is built and warmed next to the
+        serving one (*blue*), then a configurable traffic ``fraction``
+        is routed to it. After ``canary_min_requests`` green
+        observations the :class:`~repro.serve.guard.Canary` either
+        auto-promotes green (normal pointer swap) or auto-rolls back
+        to blue when green's error rate or p95 regresses past the
+        service thresholds. Returns the live ``Canary`` — poll
+        :meth:`canary_status` (or ``/status``) for its outcome.
+
+        ``inject_green_fault`` is a chaos hook: a callable invoked on
+        every green-side compute (raise to simulate a bad build).
+        Only one canary may be in flight at a time.
+        """
+        with self._canary_lock:
+            if self.broker.canary is not None:
+                raise RuntimeError(
+                    "a canary is already in flight; wait for it to "
+                    "promote or roll back before starting another"
+                )
+            blue, green = self.snapshots.prepare_canary(
+                add=add, remove=remove
+            )
+            canary = Canary(
+                blue,
+                green,
+                fraction=(
+                    self.canary_fraction if fraction is None else fraction
+                ),
+                min_requests=self.canary_min_requests,
+                max_error_delta=self.canary_max_error_delta,
+                max_p95_ratio=self.canary_max_p95_ratio,
+            )
+            canary.inject_green_fault = inject_green_fault
+            canary.on_promote = lambda: self.snapshots.promote_canary(
+                blue, green
+            )
+            canary.on_rollback = lambda: self.snapshots.rollback_canary(
+                blue, green
+            )
+            self._last_canary = canary
+            self.broker.canary = canary
+            return canary
+
+    def canary_status(self) -> dict | None:
+        """The most recent canary's :meth:`~repro.serve.guard.Canary.describe`
+        document (``None`` if no canary has ever been started)."""
+        canary = self._last_canary
+        return None if canary is None else canary.describe()
 
     def status(self) -> dict:
         """A JSON-ready status document (the ``/status`` endpoint).
@@ -406,6 +544,21 @@ class ServingService:
                 if self.cluster is not None
                 else None
             ),
+            "guard": {
+                "max_queue_depth": self.broker.max_queue_depth,
+                "default_deadline_ms": (
+                    self.broker.default_deadline * 1e3
+                ),
+                "queue_depth": self.broker.queue_depth,
+                "shed": self.broker.stats.shed,
+                "deadline_expired": self.broker.stats.deadline_expired,
+                "breaker": (
+                    self.cluster.breakers.describe()
+                    if self.cluster is not None
+                    else None
+                ),
+                "canary": self.canary_status(),
+            },
             "observability": self.observability.describe(),
         }
 
